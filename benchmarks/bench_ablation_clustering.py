@@ -1,0 +1,51 @@
+"""Ablation: task clustering (Section 5).
+
+COSYN's claim, inherited by CRUSADE: clustering yields up to a
+three-fold co-synthesis CPU-time reduction at under 1 % cost increase.
+We compare clustering on vs off (one cluster per task) on a mid-size
+example and check the direction of both effects.
+"""
+
+import pytest
+
+from repro import CrusadeConfig, crusade
+from repro.bench.examples import build_example
+
+from conftest import write_result
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("clustering", [True, False], ids=["clustered", "per-task"])
+def test_synthesis_with_and_without_clustering(
+    benchmark, clustering, bench_scale, results_dir
+):
+    spec = build_example("A1TR", scale=bench_scale)
+    config = CrusadeConfig(clustering=clustering, reconfiguration=False)
+    result = benchmark.pedantic(
+        crusade, args=(spec,), kwargs={"config": config}, rounds=1, iterations=1
+    )
+    _RESULTS[clustering] = result
+    benchmark.extra_info["cost"] = round(result.cost)
+    benchmark.extra_info["clusters"] = result.clustering.n_clusters
+    assert result.feasible
+
+
+def test_clustering_tradeoff_shape(benchmark, results_dir):
+    if len(_RESULTS) < 2:
+        pytest.skip("sweep incomplete")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    clustered, per_task = _RESULTS[True], _RESULTS[False]
+    write_result(
+        results_dir,
+        "ablation_clustering.txt",
+        "clustered: %d clusters, $%.0f, %.1fs\nper-task: %d clusters, $%.0f, %.1fs"
+        % (
+            clustered.clustering.n_clusters, clustered.cost, clustered.cpu_seconds,
+            per_task.clustering.n_clusters, per_task.cost, per_task.cpu_seconds,
+        ),
+    )
+    # Clustering shrinks the allocation problem...
+    assert clustered.clustering.n_clusters < per_task.clustering.n_clusters
+    # ...and saves CPU time (the paper's headline motivation).
+    assert clustered.cpu_seconds < per_task.cpu_seconds

@@ -1,0 +1,43 @@
+"""Ablation: the ERUF/EPUF caps (Section 4.5).
+
+The 70 %/80 % caps trade device count for post-route delay safety.
+Raising ERUF packs more logic per device (cheaper architectures) but
+Table 1 shows the delay constraints then break after routing -- this
+ablation quantifies the cost side of that trade on a real example.
+"""
+
+import pytest
+
+from repro import CrusadeConfig, DelayPolicy, crusade
+from repro.bench.examples import build_example
+
+from conftest import write_result
+
+_COSTS = {}
+
+
+@pytest.mark.parametrize("eruf", [0.5, 0.7, 0.9])
+def test_architecture_cost_vs_eruf(benchmark, eruf, bench_scale, results_dir):
+    spec = build_example("A1TR", scale=bench_scale)
+    config = CrusadeConfig(delay_policy=DelayPolicy(eruf=eruf))
+
+    result = benchmark.pedantic(
+        crusade, args=(spec,), kwargs={"config": config}, rounds=1, iterations=1
+    )
+    _COSTS[eruf] = result.cost
+    benchmark.extra_info["cost"] = round(result.cost)
+    benchmark.extra_info["n_pes"] = result.n_pes
+    assert result.feasible
+
+
+def test_eruf_tradeoff_shape(benchmark, results_dir):
+    if len(_COSTS) < 3:
+        pytest.skip("sweep incomplete")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "ablation_eruf.txt",
+        "\n".join("ERUF=%.2f  cost $%.0f" % (e, c) for e, c in sorted(_COSTS.items())),
+    )
+    # Tighter caps can only need more (or equal) silicon.
+    assert _COSTS[0.5] >= _COSTS[0.7] >= _COSTS[0.9] - 1e-9

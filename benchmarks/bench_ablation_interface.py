@@ -1,0 +1,72 @@
+"""Ablation: reconfiguration-interface chaining and programming modes
+(Section 4.4).
+
+Chaining shares one PROM/programming port across single-mode devices;
+serial versus parallel and clock rate trade boot time against dollars.
+"""
+
+import pytest
+
+from repro import CrusadeConfig, crusade
+from repro.bench.examples import build_example
+from repro.reconfig.interface import (
+    InterfaceKind,
+    ProgrammingOption,
+    default_option_array,
+    synthesize_interface,
+)
+from repro.units import KB
+
+from conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def example_arch(bench_scale):
+    spec = build_example("A1TR", scale=bench_scale)
+    result = crusade(spec, config=CrusadeConfig())
+    assert result.feasible
+    return spec, result.arch
+
+
+def test_chaining_saves_interface_cost(benchmark, example_arch, results_dir):
+    spec, arch = example_arch
+
+    def chained_cost():
+        candidate = arch.clone()
+        plan = synthesize_interface(candidate, spec.boot_time_requirement)
+        return plan
+
+    plan = benchmark.pedantic(chained_cost, rounds=3, iterations=1)
+    # Unchained alternative: every single-mode device pays for its own
+    # cheapest master interface.
+    masters = [o for o in default_option_array() if o.kind.is_master]
+    cheapest = masters[0]
+    unchained = 0.0
+    chained = 0.0
+    chain_members = 0
+    for device in plan.devices.values():
+        if len(device.chained_with) > 1:
+            chain_members += 1
+            chained += device.cost_share
+            unchained += cheapest.cost(device.storage_bytes)
+    write_result(
+        results_dir,
+        "ablation_interface.txt",
+        "chain members: %d\nchained cost: $%.2f\nunchained cost: $%.2f"
+        % (chain_members, chained, unchained),
+    )
+    assert chain_members >= 2, "example should produce a shared chain"
+    assert chained < unchained
+
+
+def test_serial_vs_parallel_boot_tradeoff(benchmark):
+    bits = 400_000  # a mid-90s FPGA image
+
+    def measure():
+        serial = ProgrammingOption(InterfaceKind.SERIAL_MASTER, 4e6)
+        parallel = ProgrammingOption(InterfaceKind.PARALLEL_MASTER, 4e6)
+        return serial, parallel
+
+    serial, parallel = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert parallel.boot_time(bits) == pytest.approx(serial.boot_time(bits) / 8)
+    assert parallel.cost(64 * KB) > serial.cost(64 * KB)

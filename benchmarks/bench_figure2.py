@@ -1,0 +1,36 @@
+"""Figure 2: the motivating example.
+
+One reconfigured F1 (mode 1 = {T1, T2}, mode 2 = {T1, T3}) must beat
+both no-reconfiguration options (two F1s or one F2).
+"""
+
+from repro.bench.figure2 import run_figure2
+from repro.core.report import render_architecture
+
+from conftest import write_result
+
+
+def test_figure2(benchmark, results_dir):
+    outcome = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "figure2.txt",
+        "savings: %.1f%%\n\n%s"
+        % (outcome.savings_pct, render_architecture(outcome.with_reconfig)),
+    )
+    assert outcome.with_reconfig.feasible
+    assert outcome.without.feasible
+    assert outcome.reconfiguration_wins
+    # One F1 instead of two (or one costlier F2): ~50 % cheaper silicon.
+    assert outcome.savings_pct > 30.0
+    ppes = outcome.with_reconfig.arch.programmable_pes()
+    assert len(ppes) == 1 and ppes[0].pe_type.name == "F1"
+    assert ppes[0].n_modes == 2
+    # T1 is present in both configurations (the paper's mode table).
+    assert ppes[0].modes_of_cluster("T1/c000") == (0, 1)
+    # The reboot task T_rc fires between the windows.
+    assert outcome.with_reconfig.reconfigurations >= 1
+    baseline_ppes = outcome.without.arch.programmable_pes()
+    assert len(baseline_ppes) == 2 or any(
+        p.pe_type.name == "F2" for p in baseline_ppes
+    )

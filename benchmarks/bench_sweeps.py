@@ -1,0 +1,56 @@
+"""Scaling series: CPU time vs task count; savings vs group size.
+
+These reproduce the *implied* shapes of the evaluation: Table 2's CPU
+columns grow with example size, and Figure 2's argument predicts that
+savings grow with how many compatible functions can share a device.
+"""
+
+import pytest
+
+from repro.bench.sweeps import (
+    cpu_time_series,
+    render_sweep,
+    savings_vs_group_size,
+)
+
+from conftest import write_result
+
+
+def test_cpu_time_grows_with_tasks(benchmark, results_dir):
+    points = benchmark.pedantic(
+        cpu_time_series,
+        kwargs={"example": "A1TR", "scales": (0.1, 0.3, 0.45)},
+        rounds=1, iterations=1,
+    )
+    write_result(
+        results_dir,
+        "sweep_cpu_time.txt",
+        render_sweep("CPU time vs scale (A1TR)", "scale", points),
+    )
+    assert all(p.feasible for p in points)
+    tasks = [p.tasks for p in points]
+    assert tasks == sorted(tasks)
+    assert tasks[-1] > tasks[0]  # scales genuinely grow the system
+    # CPU time grows with task count (allow the smallest pair to tie).
+    assert points[-1].cpu_seconds > points[0].cpu_seconds
+
+
+def test_savings_grow_with_group_size(benchmark, results_dir):
+    points = benchmark.pedantic(
+        savings_vs_group_size, kwargs={"group_sizes": (1, 2, 3)},
+        rounds=1, iterations=1,
+    )
+    write_result(
+        results_dir,
+        "sweep_group_size.txt",
+        render_sweep("Savings vs compatibility-group size", "group", points),
+    )
+    assert all(p.feasible for p in points)
+    by_size = {p.x: p.savings_pct for p in points}
+    # No compatibility -> nothing to time-share; more compatible
+    # functions per window -> more to share.
+    assert by_size[1.0] <= by_size[2.0] <= by_size[3.0] + 1e-9
+    # Some group structure must pay off substantially.
+    assert max(by_size.values()) > 10.0
+    # Reconfiguration never loses anywhere on the sweep.
+    assert min(by_size.values()) >= 0.0

@@ -1,0 +1,52 @@
+"""Table 1: delay management through FPGAs/CPLDs.
+
+Regenerates the full (circuit x ERUF) sweep at EPUF = 0.80 and checks
+the published shape: zero delay increase at the 70 % cap, monotone
+growth above it, and exactly r2d2p/cv46/wamxp unroutable at 100 %.
+"""
+
+from repro.bench.table1 import ERUF_SWEEP, render_table1, run_table1
+from repro.delay.circuits import TABLE1_CIRCUITS, UNROUTABLE_AT_FULL
+
+from conftest import write_result
+
+
+def test_table1_sweep(benchmark, results_dir):
+    results = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    text = render_table1(results)
+    write_result(results_dir, "table1.txt", text)
+
+    assert set(results) == set(TABLE1_CIRCUITS)
+    unroutable = []
+    for name, cells in results.items():
+        assert cells[0].eruf == 0.70
+        assert cells[0].increase_pct == 0.0
+        routable_values = [c.increase_pct for c in cells if c.routable]
+        assert routable_values == sorted(routable_values)
+        if not cells[-1].routable:
+            unroutable.append(name)
+        else:
+            # Routable circuits blow up substantially at 100 %.
+            assert cells[-1].increase_pct > 40.0
+    assert tuple(unroutable) == UNROUTABLE_AT_FULL
+
+
+def test_table1_epuf_column(benchmark, results_dir):
+    """The paper's experiments also varied EPUF; verify pin pressure
+    raises delay at fixed ERUF."""
+
+    def sweep():
+        relaxed = run_table1(epuf=0.70, erufs=(0.90,))
+        pressed = run_table1(epuf=1.00, erufs=(0.90,))
+        return relaxed, pressed
+
+    relaxed, pressed = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    worse = 0
+    for name in TABLE1_CIRCUITS:
+        low = relaxed[name][0]
+        high = pressed[name][0]
+        if not high.routable:
+            worse += 1
+        elif low.routable and high.increase_pct >= low.increase_pct:
+            worse += 1
+    assert worse >= 8  # pin crowding hurts essentially everywhere

@@ -1,0 +1,50 @@
+"""Table 2: efficacy of CRUSADE.
+
+Synthesizes every example with and without dynamic reconfiguration at
+the benchmark scale and regenerates the paper's table.  The shape that
+must hold: both runs feasible, reconfiguration never costs more, its
+PE count never grows, and its synthesis CPU time is the same order.
+"""
+
+import pytest
+
+from repro.bench.examples import EXAMPLE_NAMES
+from repro.bench.table2 import render_table2, run_table2_row
+
+from conftest import write_result
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("example", EXAMPLE_NAMES)
+def test_table2_row(benchmark, example, bench_scale):
+    row = benchmark.pedantic(
+        run_table2_row, args=(example,), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    _ROWS[example] = row
+    benchmark.extra_info["tasks"] = row.tasks
+    benchmark.extra_info["cost_without"] = round(row.without.cost)
+    benchmark.extra_info["cost_with"] = round(row.with_reconfig.cost)
+    benchmark.extra_info["savings_pct"] = round(row.savings_pct, 1)
+
+    assert row.without.feasible, "baseline must meet every deadline"
+    assert row.with_reconfig.feasible, "reconfig run must meet every deadline"
+    # Dynamic reconfiguration never loses (Figure 3 accepts only
+    # cost-decreasing merges).
+    assert row.with_reconfig.cost <= row.without.cost + 1e-6
+    assert row.with_reconfig.n_pes <= row.without.n_pes
+
+
+def test_table2_render(benchmark, results_dir):
+    """Aggregate the rows gathered above into the paper's layout."""
+    if len(_ROWS) < len(EXAMPLE_NAMES):
+        pytest.skip("row benchmarks did not all run")
+    rows = [_ROWS[name] for name in EXAMPLE_NAMES]
+    text = benchmark.pedantic(render_table2, args=(rows,), rounds=1, iterations=1)
+    write_result(results_dir, "table2.txt", text)
+    savings = [row.savings_pct for row in rows]
+    # Reconfiguration must pay off somewhere substantially, as in the
+    # paper's 25.9-56.7 % column.
+    assert max(savings) > 15.0
+    assert min(savings) >= 0.0

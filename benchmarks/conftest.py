@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks default to ``REPRO_SCALE=0.05`` (each paper example shrunk
+to ~5 % of its task count, structure preserved); export ``REPRO_SCALE``
+to change it -- 1.0 reproduces the full 1126-7416-task examples at
+Sparcstation-like runtimes.  Rendered paper-style tables are written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return float(os.environ.get("REPRO_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir, name: str, text: str) -> None:
+    """Persist a rendered table for EXPERIMENTS.md."""
+    (results_dir / name).write_text(text + "\n")

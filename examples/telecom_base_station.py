@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Synthesize a scaled telecom base-station system (Table 2's A1TR).
+
+Runs CRUSADE with and without dynamic reconfiguration on the A1TR
+example (digital cellular base-station workload, scaled to ~15 % of
+the paper's 1126 tasks) and prints the Table 2 row plus a cost
+breakdown -- showing where reconfiguration saves money.
+
+Run:  python examples/telecom_base_station.py  [scale]
+"""
+
+import sys
+
+from repro.arch.cost import cost_breakdown
+from repro.bench.table2 import render_table2, run_table2_row
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    print("Synthesizing A1TR at scale %.2f (this runs CRUSADE twice)..." % scale)
+    row = run_table2_row("A1TR", scale=scale)
+
+    print()
+    print(render_table2([row]))
+    print()
+    for label, result in (
+        ("without reconfiguration", row.without),
+        ("with reconfiguration", row.with_reconfig),
+    ):
+        breakdown = cost_breakdown(result.arch)
+        print(
+            "%-26s  %s  modes=%d  reconfigs/hyperperiod=%d"
+            % (label, result.arch.summary(), result.n_modes, result.reconfigurations)
+        )
+        for category, dollars in breakdown.as_dict().items():
+            if dollars:
+                print("    %-11s $%8.0f" % (category, dollars))
+    print()
+    print("cost savings from dynamic reconfiguration: %.1f%%" % row.savings_pct)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""CRUSADE: hardware/software co-synthesis of dynamically
+reconfigurable heterogeneous real-time distributed embedded systems.
+
+A from-scratch reproduction of B. P. Dave's DATE 1999 paper.  The
+public API:
+
+* build specifications with :class:`Task`, :class:`TaskGraph` and
+  :class:`SystemSpec` (or generate synthetic ones with
+  :func:`generate_spec`);
+* pick a resource library -- :func:`default_library` rebuilds the
+  paper's 1997 catalog;
+* run :func:`crusade` (or :func:`crusade_ft` for fault tolerance) and
+  inspect the returned :class:`CoSynthesisResult`.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.errors import (
+    AllocationError,
+    DependabilityError,
+    ReproError,
+    ResourceLibraryError,
+    RoutingError,
+    SchedulingError,
+    SpecificationError,
+    SynthesisError,
+)
+from repro.graph import (
+    AssertionSpec,
+    Edge,
+    GeneratorConfig,
+    MemoryRequirement,
+    SystemSpec,
+    Task,
+    TaskGraph,
+    generate_graph,
+    generate_spec,
+    hyperperiod_of,
+    validate_spec,
+)
+from repro.resources import (
+    AsicType,
+    LinkType,
+    MemoryBank,
+    PEKind,
+    PpeType,
+    ProcessorType,
+    ResourceLibrary,
+    default_library,
+)
+from repro.delay import DelayPolicy
+from repro.core import (
+    CoSynthesisResult,
+    CrusadeConfig,
+    FtConfig,
+    crusade,
+    crusade_ft,
+    render_architecture,
+)
+from repro.io import (
+    load_spec_file,
+    save_result_file,
+    save_spec_file,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.sched.gantt import render_gantt, utilization_summary
+from repro.sched.validate import validate_schedule
+from repro.arch.validate import validate_architecture
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "DependabilityError",
+    "ReproError",
+    "ResourceLibraryError",
+    "RoutingError",
+    "SchedulingError",
+    "SpecificationError",
+    "SynthesisError",
+    "AssertionSpec",
+    "Edge",
+    "GeneratorConfig",
+    "MemoryRequirement",
+    "SystemSpec",
+    "Task",
+    "TaskGraph",
+    "generate_graph",
+    "generate_spec",
+    "hyperperiod_of",
+    "validate_spec",
+    "AsicType",
+    "LinkType",
+    "MemoryBank",
+    "PEKind",
+    "PpeType",
+    "ProcessorType",
+    "ResourceLibrary",
+    "default_library",
+    "DelayPolicy",
+    "CoSynthesisResult",
+    "CrusadeConfig",
+    "FtConfig",
+    "crusade",
+    "crusade_ft",
+    "render_architecture",
+    "load_spec_file",
+    "save_result_file",
+    "save_spec_file",
+    "spec_from_dict",
+    "spec_to_dict",
+    "render_gantt",
+    "utilization_summary",
+    "validate_schedule",
+    "validate_architecture",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Allocation: mapping clusters onto PE instances (Section 4.2, 5).
+
+For each cluster (in decreasing priority order) CRUSADE builds an
+*allocation array* of candidate placements -- existing PE instances,
+new configuration modes of existing programmable PEs, and fresh PE
+instances from the library -- ordered by increasing incremental dollar
+cost.  Each candidate is applied to a trial architecture, scheduled,
+and kept only if finish-time estimation shows every deadline met.
+"""
+
+from repro.alloc.capacity import (
+    exclusion_conflict,
+    fits_new_pe_type,
+    fits_on_asic,
+    fits_on_processor,
+    fits_in_ppe_mode,
+)
+from repro.alloc.array import AllocationKind, AllocationOption, build_allocation_array
+from repro.alloc.evaluate import EvalResult, apply_option, evaluate_architecture
+
+__all__ = [
+    "exclusion_conflict",
+    "fits_new_pe_type",
+    "fits_on_asic",
+    "fits_on_processor",
+    "fits_in_ppe_mode",
+    "AllocationKind",
+    "AllocationOption",
+    "build_allocation_array",
+    "EvalResult",
+    "apply_option",
+    "evaluate_architecture",
+]

@@ -1,0 +1,114 @@
+"""Capacity checks for cluster placement.
+
+While allocating a cluster to a hardware module it is made sure that
+the module capacity related to pin count, gate count etc. is not
+exceeded; for general-purpose processors the memory capacity is
+checked (Section 5).  Programmable devices additionally respect the
+ERUF/EPUF utilization caps of the delay-management policy
+(Section 4.5).  Exclusion vectors forbid co-locating flagged task
+pairs on one PE (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.pe_instance import PEInstance
+from repro.cluster.clustering import Cluster, ClusteringResult
+from repro.delay.model import DelayPolicy
+from repro.resources.pe import AsicType, PpeType, ProcessorType
+
+
+def exclusion_conflict(
+    cluster: Cluster, pe: PEInstance, clustering: ClusteringResult
+) -> bool:
+    """True when placing ``cluster`` on ``pe`` violates any exclusion
+    vector -- in either direction -- against tasks already there."""
+    resident_tasks = set()
+    resident_exclusions = set()
+    for resident_name in pe.clusters():
+        resident = clustering.clusters[resident_name]
+        resident_tasks.update(resident.task_names)
+        resident_exclusions.update(resident.exclusions)
+    if resident_tasks & cluster.exclusions:
+        return True
+    if resident_exclusions & set(cluster.task_names):
+        return True
+    return False
+
+
+def fits_on_processor(
+    cluster: Cluster, pe: PEInstance, clustering: ClusteringResult
+) -> bool:
+    """Memory-capacity and exclusion check for a processor placement."""
+    processor = pe.pe_type
+    if not isinstance(processor, ProcessorType):
+        return False
+    if processor.name not in cluster.allowed_pe_types:
+        return False
+    demand = pe.memory_demand.total + cluster.memory.total
+    if demand > processor.max_memory_bytes and demand > 0:
+        return False
+    return not exclusion_conflict(cluster, pe, clustering)
+
+
+def fits_on_asic(
+    cluster: Cluster, pe: PEInstance, clustering: ClusteringResult
+) -> bool:
+    """Gate/pin capacity and exclusion check for an ASIC placement."""
+    asic = pe.pe_type
+    if not isinstance(asic, AsicType):
+        return False
+    if asic.name not in cluster.allowed_pe_types:
+        return False
+    mode = pe.mode(0)
+    if mode.gates_used + cluster.area_gates > asic.gates:
+        return False
+    if mode.pins_used + cluster.pins > asic.pins:
+        return False
+    return not exclusion_conflict(cluster, pe, clustering)
+
+
+def fits_in_ppe_mode(
+    cluster: Cluster,
+    pe: PEInstance,
+    mode_index: Optional[int],
+    clustering: ClusteringResult,
+    policy: DelayPolicy,
+) -> bool:
+    """ERUF/EPUF-capped capacity check for a programmable placement.
+
+    ``mode_index=None`` checks a hypothetical fresh mode (empty usage).
+    """
+    ppe = pe.pe_type
+    if not isinstance(ppe, PpeType):
+        return False
+    if ppe.name not in cluster.allowed_pe_types:
+        return False
+    gates_used = 0
+    pins_used = 0
+    if mode_index is not None:
+        mode = pe.mode(mode_index)
+        gates_used = mode.gates_used
+        pins_used = mode.pins_used
+    if not policy.admits(
+        ppe, gates_used + cluster.area_gates, pins_used + cluster.pins
+    ):
+        return False
+    return not exclusion_conflict(cluster, pe, clustering)
+
+
+def fits_new_pe_type(cluster: Cluster, pe_type, policy: DelayPolicy) -> bool:
+    """Would ``cluster`` fit alone on a fresh instance of ``pe_type``?"""
+    if pe_type.name not in cluster.allowed_pe_types:
+        return False
+    if isinstance(pe_type, ProcessorType):
+        demand = cluster.memory.total
+        return demand <= pe_type.max_memory_bytes or demand == 0
+    if isinstance(pe_type, AsicType):
+        return (
+            cluster.area_gates <= pe_type.gates and cluster.pins <= pe_type.pins
+        )
+    if isinstance(pe_type, PpeType):
+        return policy.admits(pe_type, cluster.area_gates, cluster.pins)
+    return False

@@ -1,0 +1,201 @@
+"""Applying and evaluating allocation options (the inner loop).
+
+``apply_option`` realizes one allocation-array entry on a (cloned)
+architecture, including the link-library connections the new placement
+needs; ``evaluate_architecture`` runs the scheduler and finish-time
+estimation and wraps the verdict for the allocation-evaluation step,
+which compares candidates on total dollar cost (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import AllocationError
+from repro.arch.architecture import Architecture
+from repro.arch.pe_instance import PEInstance
+from repro.cluster.clustering import Cluster, ClusteringResult
+from repro.graph.association import AssociationArray
+from repro.graph.spec import SystemSpec
+from repro.resources.link import LinkType
+from repro.sched.finish_time import DeadlineReport, evaluate_deadlines
+from repro.sched.scheduler import Schedule, ScheduleRequest, build_schedule
+from repro.alloc.array import AllocationKind, AllocationOption
+
+
+def choose_link_type(arch: Architecture, strategy: str = "cheapest") -> LinkType:
+    """The link type new connections use.
+
+    ``"cheapest"`` minimizes instance-plus-two-ports dollar cost;
+    ``"fastest"`` minimizes the transfer time of a representative
+    256-byte message.  The CRUSADE driver retries a failed cluster
+    with the fastest strategy before giving up.
+    """
+    links = arch.library.links_by_cost()
+    if not links:
+        raise AllocationError("resource library has no link types")
+    if strategy == "fastest":
+        return min(links, key=lambda l: (l.comm_time(256), l.name))
+    if strategy == "cheapest":
+        return min(
+            links, key=lambda l: (l.instance_cost(2), l.name)
+        )
+    raise AllocationError("unknown link strategy %r" % (strategy,))
+
+
+def _connect_cluster_edges(
+    arch: Architecture,
+    cluster: Cluster,
+    pe: PEInstance,
+    clustering: ClusteringResult,
+    spec: SystemSpec,
+    link_type: LinkType,
+) -> None:
+    """Ensure links exist for every allocated inter-PE edge touching
+    the cluster."""
+    graph = spec.graph(cluster.graph)
+    member = set(cluster.task_names)
+    neighbours: Set[str] = set()
+    for task_name in cluster.task_names:
+        for other in graph.predecessors(task_name):
+            if other not in member:
+                neighbours.add(other)
+        for other in graph.successors(task_name):
+            if other not in member:
+                neighbours.add(other)
+    peer_pe_ids: Set[str] = set()
+    for other in sorted(neighbours):
+        other_cluster = clustering.cluster_of(cluster.graph, other)
+        if not arch.is_allocated(other_cluster.name):
+            continue
+        peer_id, _ = arch.placement_of(other_cluster.name)
+        if peer_id != pe.id:
+            peer_pe_ids.add(peer_id)
+    for peer_id in sorted(peer_pe_ids):
+        arch.connect(pe.id, peer_id, link_type)
+
+
+def apply_option(
+    option: AllocationOption,
+    arch: Architecture,
+    cluster: Cluster,
+    clustering: ClusteringResult,
+    spec: SystemSpec,
+    link_strategy: str = "cheapest",
+) -> PEInstance:
+    """Realize ``option`` on ``arch`` (typically a clone).
+
+    Returns the PE instance now hosting the cluster.
+    """
+    if option.kind is AllocationKind.NEW_PE:
+        pe_type = arch.library.pe_type(option.pe_type_name)
+        pe = arch.new_pe(pe_type)
+        mode_index = 0
+    else:
+        pe = arch.pe(option.pe_id)
+        if option.kind is AllocationKind.NEW_MODE:
+            mode_index = pe.new_mode().index
+        else:
+            mode_index = option.mode_index if option.mode_index is not None else 0
+    arch.allocate_cluster(
+        cluster.name,
+        pe.id,
+        mode_index,
+        gates=cluster.area_gates,
+        pins=cluster.pins,
+        memory=cluster.memory,
+    )
+    # Replicate overlapping residents into the new mode (Figure 2(e)).
+    for resident_name in option.replicate:
+        resident = clustering.clusters[resident_name]
+        pe.add_replica(
+            resident_name,
+            mode_index,
+            gates=resident.area_gates,
+            pins=resident.pins,
+        )
+    link_type = choose_link_type(arch, link_strategy)
+    _connect_cluster_edges(arch, cluster, pe, clustering, spec, link_type)
+    return pe
+
+
+@dataclass
+class EvalResult:
+    """Verdict on one candidate architecture."""
+
+    arch: Architecture
+    schedule: Schedule
+    report: DeadlineReport
+    cost: float
+
+    @property
+    def feasible(self) -> bool:
+        """Deadlines met and no resource overloaded."""
+        return self.report.all_met
+
+    def badness(self) -> tuple:
+        """(infeasibility, cost) ordering for fallback selection."""
+        misses, lateness = self.report.badness()
+        return (misses, lateness, self.cost)
+
+
+def evaluate_architecture(
+    spec: SystemSpec,
+    assoc: AssociationArray,
+    clustering: ClusteringResult,
+    arch: Architecture,
+    priorities: Dict[str, Dict[str, float]],
+    boot_time_fn: Optional[Callable[[PEInstance, int], float]] = None,
+    preemption: bool = True,
+    graphs: Optional[List[str]] = None,
+) -> EvalResult:
+    """Schedule ``arch`` and wrap the finish-time verdict.
+
+    ``graphs`` restricts scheduling and verification to a subset (the
+    fast inner-loop path); the driver always re-validates the final
+    architecture with the full graph set.
+    """
+    if graphs is not None:
+        scoped_spec, scoped_assoc = _scope(spec, assoc, graphs)
+    else:
+        scoped_spec, scoped_assoc = spec, assoc
+    request = ScheduleRequest(
+        spec=scoped_spec,
+        assoc=scoped_assoc,
+        clustering=clustering,
+        arch=arch,
+        priorities=priorities,
+        boot_time_fn=boot_time_fn,
+        preemption=preemption,
+    )
+    schedule = build_schedule(request)
+    report = evaluate_deadlines(schedule, scoped_spec, scoped_assoc)
+    return EvalResult(arch=arch, schedule=schedule, report=report, cost=arch.cost)
+
+
+import weakref
+
+_scope_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _scope(spec: SystemSpec, assoc: AssociationArray, graphs: List[str]):
+    """A sub-specification (and matching association array) covering
+    only ``graphs``; memoized per specification because the inner loop
+    asks repeatedly for the same subsets."""
+    per_spec = _scope_cache.setdefault(spec, {})
+    key = tuple(sorted(graphs))
+    hit = per_spec.get(key)
+    if hit is not None:
+        return hit
+    scoped = SystemSpec(
+        name=spec.name + "/subset",
+        graphs=[spec.graph(g) for g in sorted(set(graphs))],
+        compatibility=None,
+        boot_time_requirement=spec.boot_time_requirement,
+    )
+    scoped_assoc = AssociationArray(
+        scoped, max_explicit_copies=assoc.max_explicit_copies
+    )
+    per_spec[key] = (scoped, scoped_assoc)
+    return scoped, scoped_assoc

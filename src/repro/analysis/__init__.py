@@ -1,0 +1,18 @@
+"""Post-synthesis analysis: comparing and explaining architectures.
+
+The paper's evaluation is comparative (with versus without dynamic
+reconfiguration); this package provides the machinery to make such
+comparisons explainable -- which devices the reconfigurable run
+eliminated, how mode sharing is distributed, and where the dollars
+went.
+"""
+
+from repro.analysis.compare import ArchitectureDiff, compare_results
+from repro.analysis.sharing import ModeSharingReport, mode_sharing_report
+
+__all__ = [
+    "ArchitectureDiff",
+    "compare_results",
+    "ModeSharingReport",
+    "mode_sharing_report",
+]

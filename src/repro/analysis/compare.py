@@ -1,0 +1,120 @@
+"""Architecture comparison: explain where reconfiguration saved money.
+
+Given two co-synthesis results for the same specification (typically
+the with/without-reconfiguration pair of Table 2), compute a
+structured diff: per-PE-type instance deltas, per-category cost
+deltas, and the headline numbers the paper's tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.arch.cost import cost_breakdown
+from repro.core.report import CoSynthesisResult
+from repro.errors import SpecificationError
+
+
+@dataclass
+class ArchitectureDiff:
+    """Structured comparison of two architectures (baseline vs other)."""
+
+    baseline_cost: float
+    other_cost: float
+    #: PE type name -> (baseline instances, other instances)
+    pe_counts: Dict[str, tuple] = field(default_factory=dict)
+    #: cost category -> (baseline dollars, other dollars)
+    cost_categories: Dict[str, tuple] = field(default_factory=dict)
+    baseline_modes: int = 0
+    other_modes: int = 0
+    baseline_links: int = 0
+    other_links: int = 0
+
+    @property
+    def savings(self) -> float:
+        """Dollar saving of `other` relative to the baseline."""
+        return self.baseline_cost - self.other_cost
+
+    @property
+    def savings_pct(self) -> float:
+        """Percentage saving (the paper's last column)."""
+        if self.baseline_cost <= 0:
+            return 0.0
+        return self.savings / self.baseline_cost * 100.0
+
+    def eliminated_types(self) -> List[str]:
+        """PE types with fewer instances in the other architecture."""
+        return sorted(
+            name
+            for name, (base, other) in self.pe_counts.items()
+            if other < base
+        )
+
+    def render(self) -> str:
+        """Human-readable multi-line diff."""
+        lines = [
+            "cost: $%.0f -> $%.0f (%.1f%% saved)"
+            % (self.baseline_cost, self.other_cost, self.savings_pct),
+            "modes: %d -> %d;  links: %d -> %d"
+            % (self.baseline_modes, self.other_modes,
+               self.baseline_links, self.other_links),
+            "PE instances:",
+        ]
+        for name in sorted(self.pe_counts):
+            base, other = self.pe_counts[name]
+            marker = ""
+            if other < base:
+                marker = "  (-%d)" % (base - other)
+            elif other > base:
+                marker = "  (+%d)" % (other - base)
+            lines.append("  %-14s %2d -> %2d%s" % (name, base, other, marker))
+        lines.append("cost categories:")
+        for name, (base, other) in sorted(self.cost_categories.items()):
+            lines.append("  %-11s $%8.0f -> $%8.0f" % (name, base, other))
+        return "\n".join(lines)
+
+
+def _count_types(result: CoSynthesisResult) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for pe in result.arch.pes.values():
+        counts[pe.pe_type.name] = counts.get(pe.pe_type.name, 0) + 1
+    return counts
+
+
+def compare_results(
+    baseline: CoSynthesisResult, other: CoSynthesisResult
+) -> ArchitectureDiff:
+    """Diff two results for the same specification.
+
+    Raises when the results synthesized different systems -- comparing
+    across specifications is a bug in the caller.
+    """
+    if baseline.spec.name != other.spec.name:
+        raise SpecificationError(
+            "comparing results of different systems: %r vs %r"
+            % (baseline.spec.name, other.spec.name)
+        )
+    base_counts = _count_types(baseline)
+    other_counts = _count_types(other)
+    pe_counts = {
+        name: (base_counts.get(name, 0), other_counts.get(name, 0))
+        for name in set(base_counts) | set(other_counts)
+    }
+    base_break = cost_breakdown(baseline.arch).as_dict()
+    other_break = cost_breakdown(other.arch).as_dict()
+    categories = {
+        name: (base_break.get(name, 0.0), other_break.get(name, 0.0))
+        for name in set(base_break) | set(other_break)
+        if name != "total"
+    }
+    return ArchitectureDiff(
+        baseline_cost=baseline.cost,
+        other_cost=other.cost,
+        pe_counts=pe_counts,
+        cost_categories=categories,
+        baseline_modes=baseline.n_modes,
+        other_modes=other.n_modes,
+        baseline_links=baseline.n_links,
+        other_links=other.n_links,
+    )

@@ -1,0 +1,122 @@
+"""Mode-sharing analysis: how dynamic reconfiguration is being used.
+
+Quantifies, for one synthesized system, the temporal-sharing structure
+the paper's Section 3 motivates: how many devices are multi-mode,
+which task graphs share silicon through reconfiguration, how much
+gate area the sharing avoided buying, and the run-time reconfiguration
+load (switches and boot time per hyperperiod).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.core.report import CoSynthesisResult
+from repro.units import GATES_PER_PFU
+
+
+@dataclass
+class DeviceSharing:
+    """Sharing structure of one programmable device."""
+
+    pe_id: str
+    pe_type: str
+    n_modes: int
+    #: graphs configured per mode (replicas included)
+    graphs_per_mode: List[Set[str]] = field(default_factory=list)
+    #: gates the device would need to host every mode simultaneously
+    gates_if_flat: int = 0
+    #: worst single-mode gate usage (what it actually needs)
+    gates_worst_mode: int = 0
+
+    @property
+    def shared(self) -> bool:
+        """True when the device carries more than one configuration."""
+        return self.n_modes > 1
+
+    @property
+    def gates_avoided(self) -> int:
+        """Gate capacity reconfiguration avoided having to buy."""
+        return max(0, self.gates_if_flat - self.gates_worst_mode)
+
+
+@dataclass
+class ModeSharingReport:
+    """System-level mode-sharing summary."""
+
+    devices: List[DeviceSharing] = field(default_factory=list)
+    reconfigurations: int = 0
+    boot_time_total: float = 0.0
+    hyperperiod: float = 0.0
+
+    @property
+    def n_shared_devices(self) -> int:
+        return sum(1 for d in self.devices if d.shared)
+
+    @property
+    def total_gates_avoided(self) -> int:
+        return sum(d.gates_avoided for d in self.devices)
+
+    def sharing_pairs(self) -> List[Tuple[str, str]]:
+        """Graph pairs time-sharing some device through different
+        modes (sorted, deduplicated)."""
+        pairs = set()
+        for device in self.devices:
+            for i, graphs_a in enumerate(device.graphs_per_mode):
+                for graphs_b in device.graphs_per_mode[i + 1 :]:
+                    for a in graphs_a:
+                        for b in graphs_b:
+                            if a != b:
+                                pairs.add(tuple(sorted((a, b))))
+        return sorted(pairs)
+
+    def render(self) -> str:
+        lines = [
+            "%d programmable devices, %d carrying multiple modes"
+            % (len(self.devices), self.n_shared_devices),
+            "gate capacity avoided by time sharing: %d gates (~%d PFUs)"
+            % (self.total_gates_avoided, self.total_gates_avoided // GATES_PER_PFU),
+            "run-time reconfigurations per hyperperiod: %d (%.4fs booting)"
+            % (self.reconfigurations, self.boot_time_total),
+        ]
+        for device in self.devices:
+            if not device.shared:
+                continue
+            modes = "; ".join(
+                "mode %d: %s" % (i, ",".join(sorted(graphs)) or "-")
+                for i, graphs in enumerate(device.graphs_per_mode)
+            )
+            lines.append("  %s (%s): %s" % (device.pe_id, device.pe_type, modes))
+        return "\n".join(lines)
+
+
+def mode_sharing_report(result: CoSynthesisResult) -> ModeSharingReport:
+    """Analyse the mode-sharing structure of a synthesized system."""
+    report = ModeSharingReport()
+    clustering = result.clustering
+    for pe in result.arch.programmable_pes():
+        graphs_per_mode: List[Set[str]] = [set() for _ in pe.modes]
+        for cluster_name in pe.clusters():
+            graph = clustering.clusters[cluster_name].graph
+            for mode_index in pe.modes_of_cluster(cluster_name):
+                graphs_per_mode[mode_index].add(graph)
+        gates_flat = sum(mode.gates_used for mode in pe.modes)
+        gates_worst = max((mode.gates_used for mode in pe.modes), default=0)
+        report.devices.append(
+            DeviceSharing(
+                pe_id=pe.id,
+                pe_type=pe.pe_type.name,
+                n_modes=pe.n_modes,
+                graphs_per_mode=graphs_per_mode,
+                gates_if_flat=gates_flat,
+                gates_worst_mode=gates_worst,
+            )
+        )
+    for timeline in result.schedule.ppe_timelines.values():
+        report.reconfigurations += timeline.reconfigurations
+        report.boot_time_total += timeline.boot_time_total
+    from repro.graph.hyperperiod import hyperperiod_of
+
+    report.hyperperiod = hyperperiod_of(result.spec)
+    return report

@@ -1,0 +1,180 @@
+"""Independent architecture validation.
+
+Cross-checks the internal consistency of an
+:class:`~repro.arch.architecture.Architecture` against the clustering
+it allocates: the allocation table and the per-instance bookkeeping
+must agree, per-mode resource counters must equal the sum of their
+residents' demands, capacity policies must hold, and every allocated
+inter-cluster edge must have a connecting link.  Used by property
+tests after every synthesis run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import ClusteringResult
+from repro.delay.model import DelayPolicy
+from repro.graph.spec import SystemSpec
+from repro.resources.pe import AsicType, PpeType, ProcessorType
+from repro.sched.validate import ValidationReport
+
+
+def validate_architecture(
+    arch: Architecture,
+    clustering: ClusteringResult,
+    spec: Optional[SystemSpec] = None,
+    policy: Optional[DelayPolicy] = None,
+) -> ValidationReport:
+    """Check architecture invariants; returns the violation list."""
+    report = ValidationReport()
+    _check_allocation_table(report, arch)
+    _check_mode_accounting(report, arch, clustering)
+    if policy is not None:
+        _check_capacities(report, arch, policy)
+    if spec is not None:
+        _check_connectivity(report, arch, clustering, spec)
+    _check_links(report, arch)
+    return report
+
+
+def _check_allocation_table(report: ValidationReport, arch: Architecture) -> None:
+    for cluster_name, (pe_id, mode_index) in arch.cluster_alloc.items():
+        if pe_id not in arch.pes:
+            report.add(
+                "cluster %r allocated to missing PE %r" % (cluster_name, pe_id)
+            )
+            continue
+        pe = arch.pe(pe_id)
+        if pe.cluster_modes.get(cluster_name) != mode_index:
+            report.add(
+                "allocation table and PE %r disagree on cluster %r"
+                % (pe_id, cluster_name)
+            )
+        if not 0 <= mode_index < pe.n_modes:
+            report.add(
+                "cluster %r points at mode %d of %d on %r"
+                % (cluster_name, mode_index, pe.n_modes, pe_id)
+            )
+    for pe in arch.pes.values():
+        for cluster_name in pe.cluster_modes:
+            if arch.cluster_alloc.get(cluster_name) is None:
+                report.add(
+                    "PE %r holds cluster %r missing from the allocation table"
+                    % (pe.id, cluster_name)
+                )
+        for cluster_name, replicas in pe.replica_modes.items():
+            if cluster_name not in pe.cluster_modes:
+                report.add(
+                    "PE %r replicates unallocated cluster %r"
+                    % (pe.id, cluster_name)
+                )
+            primary = pe.cluster_modes.get(cluster_name)
+            for mode_index in replicas:
+                if mode_index == primary:
+                    report.add(
+                        "replica of %r duplicates its primary mode" % (cluster_name,)
+                    )
+                if not 0 <= mode_index < pe.n_modes:
+                    report.add(
+                        "replica of %r points at missing mode %d"
+                        % (cluster_name, mode_index)
+                    )
+
+
+def _check_mode_accounting(
+    report: ValidationReport, arch: Architecture, clustering: ClusteringResult
+) -> None:
+    for pe in arch.pes.values():
+        for mode in pe.modes:
+            gates = 0
+            pins = 0
+            for cluster_name in mode.clusters:
+                cluster = clustering.clusters.get(cluster_name)
+                if cluster is None:
+                    report.add(
+                        "mode %d of %r holds unknown cluster %r"
+                        % (mode.index, pe.id, cluster_name)
+                    )
+                    continue
+                gates += cluster.area_gates
+                pins += cluster.pins
+                if mode.index not in pe.modes_of_cluster(cluster_name):
+                    report.add(
+                        "mode %d of %r lists %r but the cluster does not "
+                        "claim the mode" % (mode.index, pe.id, cluster_name)
+                    )
+            if gates != mode.gates_used:
+                report.add(
+                    "mode %d of %r gate counter %d != resident sum %d"
+                    % (mode.index, pe.id, mode.gates_used, gates)
+                )
+            if pins != mode.pins_used:
+                report.add(
+                    "mode %d of %r pin counter %d != resident sum %d"
+                    % (mode.index, pe.id, mode.pins_used, pins)
+                )
+
+
+def _check_capacities(
+    report: ValidationReport, arch: Architecture, policy: DelayPolicy
+) -> None:
+    for pe in arch.pes.values():
+        pe_type = pe.pe_type
+        if isinstance(pe_type, PpeType):
+            for mode in pe.modes:
+                if not policy.admits(pe_type, mode.gates_used, mode.pins_used):
+                    report.add(
+                        "mode %d of %r exceeds ERUF/EPUF caps (%d gates, %d pins)"
+                        % (mode.index, pe.id, mode.gates_used, mode.pins_used)
+                    )
+        elif isinstance(pe_type, AsicType):
+            mode = pe.mode(0)
+            if mode.gates_used > pe_type.gates or mode.pins_used > pe_type.pins:
+                report.add("ASIC %r over capacity" % (pe.id,))
+        elif isinstance(pe_type, ProcessorType):
+            demand = pe.memory_demand.total
+            if demand > pe_type.max_memory_bytes and demand > 0:
+                report.add("processor %r memory demand exceeds banks" % (pe.id,))
+
+
+def _check_connectivity(
+    report: ValidationReport,
+    arch: Architecture,
+    clustering: ClusteringResult,
+    spec: SystemSpec,
+) -> None:
+    for graph_name in spec.graph_names():
+        graph = spec.graph(graph_name)
+        for (src, dst), edge in graph.edges.items():
+            if edge.bytes_ == 0:
+                continue
+            src_cluster = clustering.task_to_cluster.get((graph_name, src))
+            dst_cluster = clustering.task_to_cluster.get((graph_name, dst))
+            if src_cluster is None or dst_cluster is None:
+                continue
+            if not (
+                arch.is_allocated(src_cluster) and arch.is_allocated(dst_cluster)
+            ):
+                continue
+            src_pe, _ = arch.placement_of(src_cluster)
+            dst_pe, _ = arch.placement_of(dst_cluster)
+            if src_pe == dst_pe:
+                continue
+            if arch.find_link_between(src_pe, dst_pe) is None:
+                report.add(
+                    "edge %s->%s of %r crosses unconnected PEs %r / %r"
+                    % (src, dst, graph_name, src_pe, dst_pe)
+                )
+
+
+def _check_links(report: ValidationReport, arch: Architecture) -> None:
+    for link in arch.links.values():
+        if link.ports_used > link.link_type.max_ports:
+            report.add("link %r exceeds its port capacity" % (link.id,))
+        for pe_id in link.attached:
+            if pe_id not in arch.pes:
+                report.add(
+                    "link %r attaches missing PE %r" % (link.id, pe_id)
+                )

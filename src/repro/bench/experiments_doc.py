@@ -1,0 +1,79 @@
+"""EXPERIMENTS.md table refresher.
+
+``pytest benchmarks/ --benchmark-only`` writes each rendered table to
+``benchmarks/results/``; this module splices those files back into the
+fenced code blocks of EXPERIMENTS.md so the document always reflects
+the latest measured run.  Blocks are located by the heading that
+precedes them, so the surrounding analysis text is preserved.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Dict, Optional, Union
+
+from repro.errors import SpecificationError
+
+#: EXPERIMENTS.md heading fragment -> results file(s) whose content
+#: replaces the first fenced block after the heading.
+_SECTION_SOURCES = {
+    "## Table 1": ("table1.txt",),
+    "## Table 2": ("table2.txt",),
+    "## Table 3": ("table3.txt",),
+    "## Figure 2": ("figure2.txt",),
+    "## Implied scaling series": ("sweep_cpu_time.txt", "sweep_group_size.txt"),
+}
+
+
+def refresh_experiments(
+    experiments_path: Union[str, pathlib.Path] = "EXPERIMENTS.md",
+    results_dir: Union[str, pathlib.Path] = "benchmarks/results",
+) -> Dict[str, bool]:
+    """Splice the latest measured tables into EXPERIMENTS.md.
+
+    Returns a mapping of section heading to whether it was refreshed
+    (False when the results file is missing -- that benchmark has not
+    run yet).  Raises when the document itself is missing.
+    """
+    doc_path = pathlib.Path(experiments_path)
+    results = pathlib.Path(results_dir)
+    if not doc_path.exists():
+        raise SpecificationError("no experiments document at %s" % (doc_path,))
+    text = doc_path.read_text()
+    status: Dict[str, bool] = {}
+    for heading, sources in _SECTION_SOURCES.items():
+        contents = []
+        for source in sources:
+            path = results / source
+            if not path.exists():
+                break
+            contents.append(path.read_text().strip())
+        else:
+            replacement = "```\n" + "\n\n".join(contents) + "\n```"
+            new_text = _replace_block_after(text, heading, replacement)
+            status[heading] = new_text is not None
+            if new_text is not None:
+                text = new_text
+            continue
+        status[heading] = False
+    doc_path.write_text(text)
+    return status
+
+
+def _replace_block_after(
+    text: str, heading: str, replacement: str
+) -> Optional[str]:
+    """Replace the first ``` fenced block after ``heading``; None when
+    the heading or block is absent."""
+    start = text.find(heading)
+    if start < 0:
+        return None
+    open_fence = text.find("```", start)
+    if open_fence < 0:
+        return None
+    close_fence = text.find("```", open_fence + 3)
+    if close_fence < 0:
+        return None
+    end = close_fence + 3
+    return text[:open_fence] + replacement + text[end:]

@@ -1,0 +1,135 @@
+"""Figure 2: the motivating dynamic-reconfiguration example.
+
+Three task graphs T1, T2, T3; a small FPGA F1 that can host any two of
+them and a large FPGA F2 that can host all three.  T2 and T3 never
+overlap in time, so with dynamic reconfiguration a single F1 suffices:
+mode 1 carries {T1, T2}, mode 2 carries {T1, T3}, with a reboot task
+T_rc ahead of T3's window.  Without reconfiguration the architecture
+needs either two F1s or one F2 -- both costlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CrusadeConfig
+from repro.core.crusade import crusade
+from repro.core.report import CoSynthesisResult
+from repro.graph.spec import SystemSpec
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.resources.library import ResourceLibrary
+from repro.resources.link import LinkType
+from repro.resources.pe import PEKind, PpeType
+from repro.units import MS
+
+
+def figure2_library() -> ResourceLibrary:
+    """The two-FPGA resource library of Figure 2(b).
+
+    F1 can accommodate either {T1, T2} or {T1, T3} but not all three;
+    F2 can accommodate all three.  F2 costs more than one F1 but less
+    than two.
+    """
+    library = ResourceLibrary()
+    library.add_pe_type(
+        PpeType(
+            name="F1",
+            cost=100.0,
+            device_kind=PEKind.FPGA,
+            pfus=300,
+            flip_flops=300,
+            pins=64,
+            config_bits_per_pfu=128,
+        )
+    )
+    library.add_pe_type(
+        PpeType(
+            name="F2",
+            cost=160.0,
+            device_kind=PEKind.FPGA,
+            pfus=460,
+            flip_flops=460,
+            pins=96,
+            config_bits_per_pfu=128,
+        )
+    )
+    library.add_link_type(
+        LinkType(
+            name="bus",
+            cost=4.0,
+            max_ports=4,
+            access_times=(1e-6, 1e-6, 2e-6, 2e-6),
+            bytes_per_packet=32,
+            packet_tx_time=2e-6,
+        )
+    )
+    return library
+
+
+def figure2_spec() -> SystemSpec:
+    """The three task graphs of Figure 2(a).
+
+    T1 runs all the time (period 100 ms); T2 and T3 run in disjoint
+    halves of a 200 ms frame, so they are compatible.  Gate areas are
+    sized so T1 + T2 + T3 exceeds F1's 70 %-capped capacity while any
+    two fit.
+    """
+
+    def graph(name: str, period: float, deadline: float, est: float, gates: int) -> TaskGraph:
+        g = TaskGraph(name=name, period=period, deadline=deadline, est=est)
+        g.add_task(
+            Task(
+                name=name + ".f",
+                exec_times={"F1": 2 * MS, "F2": 2 * MS},
+                area_gates=gates,
+                pins=12,
+            )
+        )
+        return g
+
+    t1 = graph("T1", period=0.1, deadline=0.05, est=0.0, gates=800)
+    t2 = graph("T2", period=0.2, deadline=0.1, est=0.0, gates=700)
+    t3 = graph("T3", period=0.2, deadline=0.1, est=0.1, gates=700)
+    return SystemSpec(
+        name="figure2",
+        graphs=[t1, t2, t3],
+        compatibility=[("T2", "T3")],
+        boot_time_requirement=0.05,
+    )
+
+
+@dataclass
+class Figure2Outcome:
+    """Both architectures for the Figure 2 system."""
+
+    with_reconfig: CoSynthesisResult
+    without: CoSynthesisResult
+
+    @property
+    def savings_pct(self) -> float:
+        return (
+            (self.without.cost - self.with_reconfig.cost) / self.without.cost * 100.0
+        )
+
+    @property
+    def reconfiguration_wins(self) -> bool:
+        """The paper's claim: one reconfigured F1 beats both
+        single-mode options."""
+        return (
+            self.with_reconfig.feasible
+            and self.without.feasible
+            and self.with_reconfig.cost < self.without.cost
+        )
+
+
+def run_figure2() -> Figure2Outcome:
+    """Synthesize the Figure 2 system both ways."""
+    spec = figure2_spec()
+    with_reconfig = crusade(
+        spec, library=figure2_library(), config=CrusadeConfig(reconfiguration=True)
+    )
+    without = crusade(
+        spec, library=figure2_library(), config=CrusadeConfig(reconfiguration=False)
+    )
+    return Figure2Outcome(with_reconfig=with_reconfig, without=without)

@@ -1,0 +1,28 @@
+"""Shared rendering helpers for the benchmark tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width text table in the paper's row/column layout."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in materialized
+    ]
+    return "\n".join([title, rule, line, rule] + body + [rule])
+
+
+def pct(value: float) -> str:
+    """Format a percentage with one decimal, like the paper."""
+    return "%.1f" % (value,)

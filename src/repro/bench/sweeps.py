@@ -1,0 +1,142 @@
+"""Parameter sweeps: the scaling series behind the paper's tables.
+
+Two series the evaluation implies but does not plot:
+
+* **CPU time versus task count** -- Table 2's CPU-time columns grow
+  monotonically with example size (19 ks to 130 ks on a
+  Sparcstation-20); :func:`cpu_time_series` reproduces the shape on
+  one example across scales.
+* **Savings versus compatibility-group size** -- Figure 2's argument
+  generalizes: the more non-overlapping functions share a device, the
+  larger the saving; :func:`savings_vs_group_size` quantifies it on
+  generated workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import CrusadeConfig
+from repro.core.crusade import crusade
+from repro.graph.generator import GeneratorConfig, generate_spec
+from repro.resources.catalog import default_library
+from repro.resources.library import ResourceLibrary
+from repro.bench.examples import build_example
+from repro.bench.runner import render_table
+
+
+@dataclass
+class SweepPoint:
+    """One measurement of a sweep series."""
+
+    x: float
+    tasks: int
+    cost_without: float
+    cost_with: float
+    cpu_seconds: float
+    feasible: bool
+
+    @property
+    def savings_pct(self) -> float:
+        if self.cost_without <= 0:
+            return 0.0
+        return (self.cost_without - self.cost_with) / self.cost_without * 100.0
+
+
+def cpu_time_series(
+    example: str = "A1TR",
+    scales: Sequence[float] = (0.1, 0.3, 0.45),
+    library: Optional[ResourceLibrary] = None,
+    config: Optional[CrusadeConfig] = None,
+) -> List[SweepPoint]:
+    """Synthesis CPU time (and cost) across example scales.
+
+    The paper's shape: CPU time grows with task count, and the
+    reconfiguration run is somewhat slower than the baseline (its
+    columns in Table 2 are consistently higher).
+    """
+    if library is None:
+        library = default_library()
+    if config is None:
+        config = CrusadeConfig()
+    points = []
+    for scale in scales:
+        spec = build_example(example, scale=scale, library=library)
+        baseline = crusade(spec, library=library, config=CrusadeConfig(
+            reconfiguration=False,
+            max_explicit_copies=config.max_explicit_copies,
+        ))
+        reconfig = crusade(
+            spec, library=library, config=config, baseline=baseline
+        )
+        points.append(SweepPoint(
+            x=scale,
+            tasks=spec.total_tasks,
+            cost_without=baseline.cost,
+            cost_with=reconfig.cost,
+            cpu_seconds=baseline.cpu_seconds + reconfig.cpu_seconds,
+            feasible=baseline.feasible and reconfig.feasible,
+        ))
+    return points
+
+
+def savings_vs_group_size(
+    group_sizes: Sequence[int] = (1, 2, 3),
+    seed: int = 56,
+    n_graphs: int = 6,
+    tasks_per_graph: int = 18,
+    library: Optional[ResourceLibrary] = None,
+) -> List[SweepPoint]:
+    """Reconfiguration savings as a function of how many compatible
+    functions share a window structure.
+
+    Group size 1 (no compatibility) gives reconfiguration nothing to
+    time-share, so savings should be ~0; larger groups let one device
+    replace several.
+    """
+    if library is None:
+        library = default_library()
+    points = []
+    for size in group_sizes:
+        spec = generate_spec(GeneratorConfig(
+            seed=seed,
+            n_graphs=n_graphs - (n_graphs % size),
+            tasks_per_graph=tasks_per_graph,
+            compat_group_size=size,
+            utilization=0.2,
+            hw_only_fraction=0.4,
+            mixed_fraction=0.15,
+        ))
+        baseline = crusade(spec, library=library, config=CrusadeConfig(
+            reconfiguration=False, max_explicit_copies=2))
+        reconfig = crusade(spec, library=library, config=CrusadeConfig(
+            reconfiguration=True, max_explicit_copies=2), baseline=baseline)
+        points.append(SweepPoint(
+            x=float(size),
+            tasks=spec.total_tasks,
+            cost_without=baseline.cost,
+            cost_with=reconfig.cost,
+            cpu_seconds=baseline.cpu_seconds + reconfig.cpu_seconds,
+            feasible=baseline.feasible and reconfig.feasible,
+        ))
+    return points
+
+
+def render_sweep(title: str, x_label: str, points: List[SweepPoint]) -> str:
+    """Fixed-width rendering of a sweep series."""
+    return render_table(
+        title,
+        [x_label, "tasks", "cost w/o", "cost w/", "savings %", "cpu s"],
+        [
+            [
+                "%g" % p.x,
+                p.tasks,
+                "%.0f" % p.cost_without,
+                "%.0f" % p.cost_with,
+                "%.1f" % p.savings_pct,
+                "%.1f" % p.cpu_seconds,
+            ]
+            for p in points
+        ],
+    )

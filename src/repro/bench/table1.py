@@ -1,0 +1,75 @@
+"""Table 1: delay management through FPGAs/CPLDs.
+
+"Increase in delay (%), EPUF = 0.80" for the ten circuits as ERUF
+sweeps 0.70 to 1.00; unroutable entries print "Not routable", exactly
+like the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RoutingError
+from repro.delay.circuits import TABLE1_CIRCUITS, table1_circuit
+from repro.delay.pnr import Device, delay_increase
+from repro.bench.runner import render_table
+
+#: The ERUF sweep of the paper's columns.
+ERUF_SWEEP: Tuple[float, ...] = (0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00)
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    """One (circuit, ERUF) measurement."""
+
+    circuit: str
+    eruf: float
+    increase_pct: Optional[float]  # None = not routable
+
+    @property
+    def routable(self) -> bool:
+        return self.increase_pct is not None
+
+    def rendered(self) -> str:
+        if self.increase_pct is None:
+            return "Not routable"
+        return "%.1f" % (self.increase_pct,)
+
+
+def run_table1(
+    epuf: float = 0.80,
+    erufs: Sequence[float] = ERUF_SWEEP,
+    circuits: Optional[Sequence[str]] = None,
+    device: Device = Device(),
+) -> Dict[str, List[Table1Cell]]:
+    """Measure every cell of Table 1; keyed by circuit name."""
+    if circuits is None:
+        circuits = TABLE1_CIRCUITS
+    results: Dict[str, List[Table1Cell]] = {}
+    for name in circuits:
+        circuit = table1_circuit(name)
+        cells = []
+        for eruf in erufs:
+            try:
+                increase = delay_increase(circuit, eruf, epuf=epuf, device=device)
+            except RoutingError:
+                increase = None
+            cells.append(
+                Table1Cell(circuit=name, eruf=eruf, increase_pct=increase)
+            )
+        results[name] = cells
+    return results
+
+
+def render_table1(results: Dict[str, List[Table1Cell]]) -> str:
+    """The paper's Table 1 layout."""
+    erufs = [cell.eruf for cell in next(iter(results.values()))]
+    headers = ["Circuit", "PFUs"] + ["ERUF=%.2f" % e for e in erufs]
+    rows = []
+    for name, cells in results.items():
+        circuit = table1_circuit(name)
+        rows.append([name, circuit.n_pfus] + [c.rendered() for c in cells])
+    return render_table(
+        "Table 1: Increase in delay (%), EPUF = 0.80", headers, rows
+    )

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``synthesize SPEC.json``
+    Run CRUSADE on a JSON specification; print the architecture (and
+    optionally export the full result / a Gantt chart).
+``generate``
+    Emit a synthetic specification as JSON (the paper's workload
+    generator), for editing or archiving.
+``example NAME``
+    Emit one of the eight Table 2/3 examples as JSON at a given scale.
+``table1 | table2 | table3 | figure2``
+    Regenerate the paper's tables/figure and print them.
+``experiments``
+    Splice the latest ``benchmarks/results`` tables into
+    EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import CrusadeConfig
+from repro.core.crusade import crusade
+from repro.core.crusade_ft import crusade_ft
+from repro.core.report import render_architecture
+from repro.graph.generator import GeneratorConfig, generate_spec
+from repro.io.result_json import save_result_file
+from repro.io.spec_json import load_spec_file, save_spec_file, spec_to_dict
+from repro.bench.examples import EXAMPLE_NAMES, build_example
+
+
+def _add_synthesize(subparsers) -> None:
+    p = subparsers.add_parser(
+        "synthesize", help="co-synthesize an architecture for a JSON spec"
+    )
+    p.add_argument("spec", help="path to a crusade-spec JSON file")
+    p.add_argument("--no-reconfig", action="store_true",
+                   help="disable dynamic reconfiguration (baseline)")
+    p.add_argument("--ft", action="store_true",
+                   help="run the CRUSADE-FT fault-tolerance extension")
+    p.add_argument("--out", metavar="RESULT.json",
+                   help="export the full result as JSON")
+    p.add_argument("--gantt", action="store_true",
+                   help="print a text Gantt chart of the schedule")
+    p.add_argument("--copies", type=int, default=4,
+                   help="association-array explicit copy cap (default 4)")
+
+
+def _add_generate(subparsers) -> None:
+    p = subparsers.add_parser(
+        "generate", help="emit a synthetic specification as JSON"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--graphs", type=int, default=4)
+    p.add_argument("--tasks-per-graph", type=int, default=20)
+    p.add_argument("--group-size", type=int, default=3,
+                   help="compatibility group size (1 disables)")
+    p.add_argument("--out", metavar="SPEC.json", required=True)
+
+
+def _add_example(subparsers) -> None:
+    p = subparsers.add_parser(
+        "example", help="emit a Table 2/3 example specification as JSON"
+    )
+    p.add_argument("name", choices=EXAMPLE_NAMES)
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--out", metavar="SPEC.json", required=True)
+
+
+def _add_tables(subparsers) -> None:
+    t1 = subparsers.add_parser("table1", help="regenerate Table 1")
+    t2 = subparsers.add_parser("table2", help="regenerate Table 2")
+    t2.add_argument("--scale", type=float, default=0.05)
+    t2.add_argument("--examples", nargs="*", default=None, metavar="NAME")
+    t3 = subparsers.add_parser("table3", help="regenerate Table 3")
+    t3.add_argument("--scale", type=float, default=0.05)
+    t3.add_argument("--examples", nargs="*", default=None, metavar="NAME")
+    subparsers.add_parser("figure2", help="run the Figure 2 example")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CRUSADE co-synthesis (DATE 1999 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_synthesize(subparsers)
+    _add_generate(subparsers)
+    _add_example(subparsers)
+    _add_tables(subparsers)
+    experiments = subparsers.add_parser(
+        "experiments",
+        help="splice the latest benchmarks/results tables into EXPERIMENTS.md",
+    )
+    experiments.add_argument("--doc", default="EXPERIMENTS.md")
+    experiments.add_argument("--results", default="benchmarks/results")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_synthesize(args) -> int:
+    spec = load_spec_file(args.spec)
+    config = CrusadeConfig(
+        reconfiguration=not args.no_reconfig,
+        max_explicit_copies=args.copies,
+    )
+    if args.ft:
+        ft_result = crusade_ft(spec, config=config)
+        result = ft_result.base
+        print(render_architecture(result))
+        print()
+        print("spares: %d ($%.0f), availability met: %s"
+              % (ft_result.spares.total_spares(), ft_result.spares.spare_cost,
+                 ft_result.spares.met))
+        print("total cost incl. spares: $%.0f" % ft_result.cost)
+        feasible = ft_result.feasible
+    else:
+        result = crusade(spec, config=config)
+        print(render_architecture(result))
+        feasible = result.feasible
+    if args.gantt:
+        from repro.sched.gantt import render_gantt
+
+        print()
+        print(render_gantt(result.schedule))
+    if args.out:
+        save_result_file(result, args.out)
+        print("result written to %s" % args.out)
+    print("feasible:", feasible)
+    return 0 if feasible else 1
+
+
+def _cmd_generate(args) -> int:
+    spec = generate_spec(GeneratorConfig(
+        seed=args.seed,
+        n_graphs=args.graphs,
+        tasks_per_graph=args.tasks_per_graph,
+        compat_group_size=args.group_size,
+    ))
+    save_spec_file(spec, args.out)
+    print("wrote %s (%d graphs, %d tasks)"
+          % (args.out, len(spec.graphs), spec.total_tasks))
+    return 0
+
+
+def _cmd_example(args) -> int:
+    spec = build_example(args.name, scale=args.scale)
+    save_spec_file(spec, args.out)
+    print("wrote %s (%d graphs, %d tasks)"
+          % (args.out, len(spec.graphs), spec.total_tasks))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.bench.table1 import render_table1, run_table1
+
+    print(render_table1(run_table1()))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.bench.table2 import render_table2, run_table2_row
+
+    names = args.examples or EXAMPLE_NAMES
+    rows = []
+    for name in names:
+        print("synthesizing %s..." % name, file=sys.stderr)
+        rows.append(run_table2_row(name, scale=args.scale))
+    print(render_table2(rows))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.bench.table3 import render_table3, run_table3_row
+
+    names = args.examples or EXAMPLE_NAMES
+    rows = []
+    for name in names:
+        print("synthesizing %s (FT)..." % name, file=sys.stderr)
+        rows.append(run_table3_row(name, scale=args.scale))
+    print(render_table3(rows))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.bench.experiments_doc import refresh_experiments
+
+    status = refresh_experiments(args.doc, args.results)
+    for heading, refreshed in sorted(status.items()):
+        print("%-30s %s" % (heading, "refreshed" if refreshed else "skipped"))
+    return 0
+
+
+def _cmd_figure2(args) -> int:
+    from repro.bench.figure2 import run_figure2
+
+    outcome = run_figure2()
+    print(render_architecture(outcome.with_reconfig))
+    print()
+    print("baseline cost: $%.0f" % outcome.without.cost)
+    print("savings: %.1f%%" % outcome.savings_pct)
+    return 0
+
+
+_HANDLERS = {
+    "synthesize": _cmd_synthesize,
+    "generate": _cmd_generate,
+    "example": _cmd_example,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "figure2": _cmd_figure2,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Task clustering: priority levels and critical-path cluster formation.
+
+CRUSADE inherits COSYN's clustering step (Section 5): deadline-based
+priority levels identify the current longest path through each task
+graph, a cluster is formed along it (zeroing its communication costs),
+priorities are recomputed, and the process repeats on the remaining
+unclustered tasks.  Clustering shrinks the allocation search space --
+the paper reports up to three-fold CPU-time reduction for under 1 %
+cost increase.
+"""
+
+from repro.cluster.priority import (
+    PriorityContext,
+    compute_edge_priorities,
+    compute_task_priorities,
+)
+from repro.cluster.clustering import Cluster, ClusteringResult, cluster_spec
+
+__all__ = [
+    "PriorityContext",
+    "compute_edge_priorities",
+    "compute_task_priorities",
+    "Cluster",
+    "ClusteringResult",
+    "cluster_spec",
+]

@@ -1,0 +1,21 @@
+"""Top-level co-synthesis drivers.
+
+:func:`repro.core.crusade.crusade` implements the full Figure 5 flow
+(pre-processing, synthesis, dynamic-reconfiguration generation);
+:func:`repro.core.crusade_ft.crusade_ft` wraps it with the Section 6
+fault-tolerance extension.
+"""
+
+from repro.core.config import CrusadeConfig
+from repro.core.report import CoSynthesisResult, render_architecture
+from repro.core.crusade import crusade
+from repro.core.crusade_ft import FtConfig, crusade_ft
+
+__all__ = [
+    "CrusadeConfig",
+    "CoSynthesisResult",
+    "render_architecture",
+    "crusade",
+    "FtConfig",
+    "crusade_ft",
+]

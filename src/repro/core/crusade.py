@@ -1,0 +1,561 @@
+"""The CRUSADE co-synthesis algorithm (Section 5, Figure 5).
+
+Flow:
+
+1. **Pre-processing** -- validate the specification, build the
+   association array (hyperperiod copies), assign deadline-based
+   priority levels and cluster the task graphs along critical paths.
+2. **Synthesis** -- allocate clusters in decreasing priority order.
+   For each cluster an allocation array of candidate placements is
+   built (cheapest first) and each candidate is applied to a trial
+   architecture, scheduled, and checked against every deadline; the
+   first feasible candidate wins, priorities are recomputed with the
+   new allocation, and the loop continues.  When no candidate is
+   feasible the least-infeasible one is kept (heuristics can fail;
+   the final result is flagged infeasible).
+3. **Dynamic reconfiguration generation** -- the reconfiguration
+   controller interface is synthesized (Section 4.4) and the Figure 3
+   merge procedure folds compatible PPEs into multi-mode devices while
+   deadlines and the boot-time requirement hold.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Dict, List, Optional, Set
+
+_log = logging.getLogger("repro.crusade")
+
+from repro.errors import AllocationError, SynthesisError
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import (
+    ClusteringResult,
+    cluster_spec,
+    trivial_clustering,
+)
+from repro.cluster.priority import PriorityContext, compute_task_priorities
+from repro.core.config import CrusadeConfig
+from repro.core.report import CoSynthesisResult
+from repro.graph.association import AssociationArray
+from repro.graph.spec import SystemSpec
+from repro.graph.validate import validate_spec
+from repro.reconfig.compatibility import CompatibilityAnalysis
+from repro.reconfig.interface import InterfacePlan, synthesize_interface
+from repro.reconfig.merge import merge_reconfigurable_pes
+from repro.resources.catalog import default_library
+from repro.resources.library import ResourceLibrary
+from repro.alloc.array import build_allocation_array
+from repro.alloc.evaluate import EvalResult, apply_option, evaluate_architecture
+
+
+def _allocation_aware_context(
+    library: ResourceLibrary,
+    arch: Architecture,
+    clustering: ClusteringResult,
+) -> PriorityContext:
+    """Priority estimators reflecting the current partial allocation.
+
+    Allocated tasks use their placement's actual execution time;
+    intra-cluster and same-PE edges cost zero; other edges fall back
+    to the pessimistic library maximum (Section 5: priority levels are
+    recomputed after each allocation and clustering step).
+    """
+    pessimistic = PriorityContext.pessimistic(library)
+
+    def exec_time(graph, task):
+        key = (graph.name, task.name)
+        cluster_name = clustering.task_to_cluster.get(key)
+        if cluster_name is not None and arch.is_allocated(cluster_name):
+            pe_id, _ = arch.placement_of(cluster_name)
+            return task.wcet_on(arch.pe(pe_id).pe_type.name)
+        return pessimistic.exec_time(graph, task)
+
+    def comm_time(graph, edge):
+        src_cluster = clustering.task_to_cluster.get((graph.name, edge.src))
+        dst_cluster = clustering.task_to_cluster.get((graph.name, edge.dst))
+        if src_cluster is not None and src_cluster == dst_cluster:
+            return 0.0
+        if (
+            src_cluster is not None
+            and dst_cluster is not None
+            and arch.is_allocated(src_cluster)
+            and arch.is_allocated(dst_cluster)
+        ):
+            src_pe, _ = arch.placement_of(src_cluster)
+            dst_pe, _ = arch.placement_of(dst_cluster)
+            if src_pe == dst_pe or edge.bytes_ == 0:
+                return 0.0
+            link = arch.find_link_between(src_pe, dst_pe)
+            if link is not None:
+                return link.comm_time(edge.bytes_)
+        return pessimistic.comm_time(graph, edge)
+
+    return PriorityContext(exec_time=exec_time, comm_time=comm_time)
+
+
+def _compute_priorities(
+    spec: SystemSpec, context: PriorityContext
+) -> Dict[str, Dict[str, float]]:
+    """Task priority levels for every graph under ``context``."""
+    return {
+        name: compute_task_priorities(spec.graph(name), context)
+        for name in spec.graph_names()
+    }
+
+
+def _coupled_graphs(
+    arch: Architecture, clustering: ClusteringResult, graph_name: str
+) -> List[str]:
+    """Graphs sharing any PE instance with ``graph_name`` (one hop).
+
+    The fast inner loop schedules only these; others cannot be
+    perturbed by the candidate placement.
+    """
+    pes_of_graph: Set[str] = set()
+    for cluster in clustering.clusters.values():
+        if cluster.graph == graph_name and arch.is_allocated(cluster.name):
+            pes_of_graph.add(arch.placement_of(cluster.name)[0])
+    coupled = {graph_name}
+    for cluster in clustering.clusters.values():
+        if arch.is_allocated(cluster.name):
+            if arch.placement_of(cluster.name)[0] in pes_of_graph:
+                coupled.add(cluster.graph)
+    return sorted(coupled)
+
+
+def _repair(
+    spec: SystemSpec,
+    assoc: AssociationArray,
+    clustering: ClusteringResult,
+    current: EvalResult,
+    priorities: Dict[str, Dict[str, float]],
+    compat,
+    config: CrusadeConfig,
+    max_rounds: int = 8,
+    candidates_per_round: int = 5,
+) -> EvalResult:
+    """Re-home clusters of deadline-missing tasks until feasible or
+    out of rounds.
+
+    Each round takes the latest full evaluation's worst offenders,
+    deallocates each offender's cluster on a cloned architecture, and
+    retries its allocation array under *full* (not subset) evaluation;
+    the first strictly-badness-reducing placement wins.
+    """
+    for _ in range(max_rounds):
+        if current.report.all_met:
+            break
+        late_keys = sorted(
+            (k for k, v in current.report.lateness.items() if v > 1e-12),
+            key=lambda k: -current.report.lateness[k],
+        )
+        offender_clusters: List[str] = []
+
+        def add_offender(graph_name: str, task_name: str) -> None:
+            cluster = clustering.cluster_of(graph_name, task_name)
+            if cluster.name not in offender_clusters:
+                offender_clusters.append(cluster.name)
+
+        for key in late_keys:
+            graph_name, copy_index, task_name = key
+            # The late task's own cluster, then the critical chain
+            # upstream: predecessors whose data arrival dominated the
+            # task's start are the actual bottleneck.
+            add_offender(graph_name, task_name)
+            graph = spec.graph(graph_name)
+            walker = task_name
+            for _ in range(3):
+                preds = graph.predecessors(walker)
+                if not preds:
+                    break
+                walker = max(
+                    preds,
+                    key=lambda p: current.schedule.finish_of(
+                        (graph_name, copy_index, p)
+                    ),
+                )
+                add_offender(graph_name, walker)
+            if len(offender_clusters) >= candidates_per_round:
+                break
+        # Oversubscribed resources (utilization > 1 over the
+        # hyperperiod) may carry no late *explicit* copy; shed load by
+        # re-homing their busiest clusters of the fastest graphs.
+        for resource in sorted(current.report.overloaded):
+            residents = [
+                name
+                for name, (pe_id, _) in current.arch.cluster_alloc.items()
+                if pe_id == resource
+            ]
+            residents.sort(
+                key=lambda name: (
+                    spec.graph(clustering.clusters[name].graph).period,
+                    -clustering.clusters[name].size,
+                    name,
+                )
+            )
+            for name in residents:
+                if name not in offender_clusters:
+                    offender_clusters.append(name)
+                if len(offender_clusters) >= 2 * candidates_per_round:
+                    break
+        round_best: Optional[EvalResult] = None
+        solved = False
+        for cluster_name in offender_clusters:
+            cluster = clustering.clusters[cluster_name]
+            stripped = current.arch.clone()
+            old_pe, _ = stripped.deallocate_cluster(
+                cluster_name,
+                gates=cluster.area_gates,
+                pins=cluster.pins,
+                memory=cluster.memory,
+            )
+            if not stripped.pe(old_pe).cluster_modes:
+                stripped.remove_pe(old_pe)
+            options = build_allocation_array(
+                cluster,
+                stripped,
+                clustering,
+                spec,
+                config.delay_policy,
+                compat=compat,
+                max_existing_options=config.max_existing_options,
+                allow_new_modes=config.reconfiguration,
+            )
+            for option in options:
+                trial = stripped.clone()
+                try:
+                    apply_option(
+                        option, trial, cluster, clustering, spec, "fastest"
+                    )
+                except AllocationError:
+                    continue
+                verdict = evaluate_architecture(
+                    spec,
+                    assoc,
+                    clustering,
+                    trial,
+                    priorities,
+                    preemption=config.preemption,
+                )
+                if verdict.report.all_met:
+                    current = verdict
+                    solved = True
+                    break
+                if verdict.badness() < current.badness() and (
+                    round_best is None or verdict.badness() < round_best.badness()
+                ):
+                    round_best = verdict
+            if solved:
+                break
+        if solved:
+            break
+        if round_best is None:
+            break
+        current = round_best
+    return current
+
+
+def crusade(
+    spec: SystemSpec,
+    library: Optional[ResourceLibrary] = None,
+    config: Optional[CrusadeConfig] = None,
+    clustering: Optional[ClusteringResult] = None,
+    baseline: Optional[CoSynthesisResult] = None,
+) -> CoSynthesisResult:
+    """Co-synthesize an architecture for ``spec``.
+
+    Returns a :class:`~repro.core.report.CoSynthesisResult`; when the
+    heuristic cannot meet every deadline the result is returned with
+    ``feasible=False`` rather than raising, so callers can inspect how
+    close it came.  ``clustering`` lets CRUSADE-FT substitute its
+    fault-tolerance-level clustering (Section 6).
+
+    When dynamic reconfiguration is enabled the driver explores two
+    routes and keeps the cheaper feasible one, mirroring the paper's
+    two entry points into reconfiguration (Sections 4.1-4.2): (a)
+    mode-aware allocation followed by PPE merging, and (b) the plain
+    single-mode architecture improved by the Figure 3 merge loop.
+    Because route (b) starts from the baseline and only accepts
+    cost-decreasing merges, reconfiguration never yields a costlier
+    architecture than the baseline.  ``baseline`` lets callers that
+    already synthesized the reconfiguration-free architecture (the
+    Table 2 harness) donate it; otherwise it is computed internally.
+    """
+    started = time.perf_counter()
+    if library is None:
+        library = default_library()
+    if config is None:
+        config = CrusadeConfig()
+    library.validate()
+    warnings = validate_spec(spec, library)
+
+    # ------------------------------------------------------------- 1.
+    assoc = AssociationArray(
+        spec, max_explicit_copies=config.max_explicit_copies
+    )
+    pessimistic = PriorityContext.pessimistic(library)
+    if clustering is None:
+        if config.clustering:
+            clustering = cluster_spec(
+                spec,
+                library,
+                context=pessimistic,
+                delay_policy=config.delay_policy,
+                max_cluster_size=config.max_cluster_size,
+            )
+        else:
+            clustering = trivial_clustering(spec, library)
+
+    compat: Optional[CompatibilityAnalysis] = None
+    if config.reconfiguration and spec.has_explicit_compatibility:
+        compat = CompatibilityAnalysis.from_spec(spec)
+
+    # ------------------------------------------------------------- 2.
+    arch = Architecture(library)
+    priorities = _compute_priorities(spec, pessimistic)
+    fast = config.use_fast_inner_loop(spec.total_tasks)
+    allocation_feasible = True
+
+    for cluster in clustering.ordered_by_priority():
+        chosen: Optional[EvalResult] = None
+        fallback: Optional[EvalResult] = None
+        for strategy in config.link_strategies:
+            options = build_allocation_array(
+                cluster,
+                arch,
+                clustering,
+                spec,
+                config.delay_policy,
+                compat=compat,
+                max_existing_options=config.max_existing_options,
+                allow_new_modes=config.reconfiguration,
+            )
+            if not options:
+                continue
+            for option in options:
+                trial = arch.clone()
+                try:
+                    apply_option(
+                        option, trial, cluster, clustering, spec, strategy
+                    )
+                except AllocationError:
+                    continue
+                # Coupled graphs are computed on the *trial* so the
+                # placement's new resource sharing is verified too.
+                graphs = (
+                    _coupled_graphs(trial, clustering, cluster.graph)
+                    if fast
+                    else None
+                )
+                verdict = evaluate_architecture(
+                    spec,
+                    assoc,
+                    clustering,
+                    trial,
+                    priorities,
+                    preemption=config.preemption,
+                    graphs=graphs,
+                )
+                if verdict.feasible:
+                    chosen = verdict
+                    break
+                if fallback is None or verdict.badness() < fallback.badness():
+                    fallback = verdict
+            if chosen is not None:
+                break
+        if chosen is None:
+            if fallback is None:
+                raise SynthesisError(
+                    "no allocation option exists for cluster %r" % (cluster.name,)
+                )
+            chosen = fallback
+            allocation_feasible = False
+            _log.debug(
+                "cluster %s: NO feasible option, kept least-infeasible", cluster.name
+            )
+        arch = chosen.arch
+        if _log.isEnabledFor(logging.DEBUG):
+            placement = arch.placement_of(cluster.name)
+            _log.debug(
+                "cluster %s (graph %s, %d gates, %d pins) -> %s mode %d",
+                cluster.name,
+                cluster.graph,
+                cluster.area_gates,
+                cluster.pins,
+                placement[0],
+                placement[1],
+            )
+        context = _allocation_aware_context(library, arch, clustering)
+        priorities = _compute_priorities(spec, context)
+
+    # Full-system validation of the allocation-phase architecture.
+    full = evaluate_architecture(
+        spec, assoc, clustering, arch, priorities, preemption=config.preemption
+    )
+    if not full.report.all_met:
+        # The fast inner loop verifies only resource-coupled graphs, so
+        # transitive interference may surface only now; repair by
+        # re-homing the clusters of late tasks (a bounded re-allocation
+        # pass -- the heuristic still cannot guarantee optimality).
+        full = _repair(
+            spec, assoc, clustering, full, priorities, compat, config
+        )
+        arch = full.arch
+        context = _allocation_aware_context(library, arch, clustering)
+        priorities = _compute_priorities(spec, context)
+        allocation_feasible = full.report.all_met
+
+    # ------------------------------------------------------------- 3.
+    interface: Optional[InterfacePlan] = None
+    merge_stats: Dict[str, int] = {}
+
+    def make_interface_evaluator(route_priorities):
+        """Trial evaluator bound to one route's priority levels:
+        interface synthesis + full schedule."""
+
+        def evaluate_with_interface(candidate: Architecture):
+            try:
+                plan = synthesize_interface(candidate, spec.boot_time_requirement)
+            except SynthesisError:
+                return None
+            verdict = evaluate_architecture(
+                spec,
+                assoc,
+                clustering,
+                candidate,
+                route_priorities,
+                boot_time_fn=plan.boot_time_fn(),
+                preemption=config.preemption,
+            )
+            verdict.interface = plan  # type: ignore[attr-defined]
+            return verdict
+
+        return evaluate_with_interface
+
+    best = full
+    if config.reconfiguration:
+        resolved_compat = compat
+        if resolved_compat is None:
+            resolved_compat = CompatibilityAnalysis.from_schedule(
+                spec, full.schedule
+            )
+
+        def merged_candidate(start_arch: Architecture):
+            """Interface-synthesize then Figure 3-merge an architecture.
+
+            Priority levels are recomputed for the start architecture:
+            routes carry different allocations, and the scheduler's
+            order must reflect the one it is verifying.
+            """
+            route_context = _allocation_aware_context(
+                library, start_arch, clustering
+            )
+            route_priorities = _compute_priorities(spec, route_context)
+            evaluator = make_interface_evaluator(route_priorities)
+            seeded = evaluator(start_arch)
+            if seeded is None or not seeded.feasible:
+                return None, {}
+            outcome = merge_reconfigurable_pes(
+                spec,
+                clustering,
+                resolved_compat,
+                config.delay_policy,
+                seeded,
+                evaluator,
+                combine_modes=config.combine_modes,
+            )
+            stats = {
+                "accepted": outcome.merges_accepted,
+                "rejected": outcome.merges_rejected,
+                "mode_combines": outcome.mode_combines,
+                "rounds": outcome.rounds,
+            }
+            return outcome.result, stats
+
+        # Route (a): the mode-aware allocation, merged (only worth
+        # pursuing when the allocation phase met every deadline).
+        candidate_a, stats_a = (None, {})
+        if full.feasible:
+            candidate_a, stats_a = merged_candidate(arch)
+        # Route (b): the plain single-mode baseline, merged (Figure 3's
+        # entry when compatibility vectors were not specified).
+        if baseline is None:
+            baseline_config = CrusadeConfig(
+                reconfiguration=False,
+                clustering=config.clustering,
+                max_explicit_copies=config.max_explicit_copies,
+                max_cluster_size=config.max_cluster_size,
+                delay_policy=config.delay_policy,
+                preemption=config.preemption,
+                max_existing_options=config.max_existing_options,
+                fast_inner_loop=config.fast_inner_loop,
+                link_strategies=config.link_strategies,
+            )
+            baseline = crusade(
+                spec, library=library, config=baseline_config, clustering=clustering
+            )
+        candidate_b, stats_b = (None, {})
+        if baseline.feasible:
+            candidate_b, stats_b = merged_candidate(baseline.arch.clone())
+
+        _log.debug(
+            "route a: %s; route b: %s",
+            "none" if candidate_a is None else "$%.0f %s" % (candidate_a.cost, candidate_a.feasible),
+            "none" if candidate_b is None else "$%.0f %s" % (candidate_b.cost, candidate_b.feasible),
+        )
+        chosen_route = None
+        for candidate, stats in ((candidate_a, stats_a), (candidate_b, stats_b)):
+            if candidate is None or not candidate.feasible:
+                continue
+            if chosen_route is None or candidate.cost < chosen_route[0].cost:
+                chosen_route = (candidate, stats)
+        if chosen_route is not None:
+            best, merge_stats = chosen_route
+            arch = best.arch
+            interface = getattr(best, "interface", None)
+
+    if interface is None:
+        # Either reconfiguration is off or merging never ran: still
+        # synthesize the interface for the final architecture, with
+        # the boot-time requirement tightened until the schedule
+        # absorbs the chosen boot times.
+        requirement = spec.boot_time_requirement
+        for _ in range(config.interface_retries + 1):
+            try:
+                plan = synthesize_interface(arch, requirement)
+            except SynthesisError:
+                break
+            verdict = evaluate_architecture(
+                spec,
+                assoc,
+                clustering,
+                arch,
+                priorities,
+                boot_time_fn=plan.boot_time_fn(),
+                preemption=config.preemption,
+            )
+            if verdict.feasible or not full.feasible:
+                best = verdict
+                interface = plan
+                break
+            requirement /= 2.0
+
+    # Feasibility is judged on the architecture actually returned: the
+    # allocation phase may have dead-ended (allocation_feasible False)
+    # and still been rescued by repair or by the baseline-seeded merge
+    # route.
+    feasible = best.report.all_met
+    return CoSynthesisResult(
+        spec=spec,
+        arch=best.arch,
+        schedule=best.schedule,
+        report=best.report,
+        clustering=clustering,
+        interface=interface,
+        feasible=feasible,
+        cpu_seconds=time.perf_counter() - started,
+        reconfiguration_enabled=config.reconfiguration,
+        merge_stats=merge_stats,
+        warnings=warnings,
+    )

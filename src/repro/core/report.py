@@ -1,0 +1,150 @@
+"""Co-synthesis results and human-readable reports.
+
+:class:`CoSynthesisResult` is what :func:`repro.core.crusade.crusade`
+returns: the synthesized architecture plus everything needed to audit
+it -- the final schedule, the deadline report, the interface plan and
+the bookkeeping the benchmark tables print (#PEs, #links, cost, CPU
+seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.architecture import Architecture
+from repro.arch.cost import CostBreakdown, cost_breakdown
+from repro.cluster.clustering import ClusteringResult
+from repro.graph.spec import SystemSpec
+from repro.reconfig.interface import InterfacePlan
+from repro.sched.finish_time import DeadlineReport
+from repro.sched.scheduler import Schedule
+
+
+@dataclass
+class CoSynthesisResult:
+    """Everything CRUSADE produces for one specification."""
+
+    spec: SystemSpec
+    arch: Architecture
+    schedule: Schedule
+    report: DeadlineReport
+    clustering: ClusteringResult
+    interface: Optional[InterfacePlan]
+    feasible: bool
+    cpu_seconds: float
+    reconfiguration_enabled: bool
+    merge_stats: Dict[str, int] = field(default_factory=dict)
+    warnings: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pes(self) -> int:
+        """PE instances in the final architecture."""
+        return self.arch.n_pes
+
+    @property
+    def n_links(self) -> int:
+        """Link instances in the final architecture."""
+        return self.arch.n_links
+
+    @property
+    def cost(self) -> float:
+        """Total architecture dollar cost."""
+        return self.arch.cost
+
+    @property
+    def n_modes(self) -> int:
+        """Configuration modes across programmable PEs."""
+        return self.arch.total_modes()
+
+    @property
+    def reconfigurations(self) -> int:
+        """Run-time mode switches in one scheduled hyperperiod."""
+        return self.schedule.reconfigurations
+
+    def breakdown(self) -> CostBreakdown:
+        """Cost split by category."""
+        return cost_breakdown(self.arch)
+
+    def table_row(self) -> Dict[str, object]:
+        """The paper's Table 2/3 row for this run."""
+        return {
+            "example": self.spec.name,
+            "tasks": self.spec.total_tasks,
+            "pes": self.n_pes,
+            "links": self.n_links,
+            "cpu_s": round(self.cpu_seconds, 2),
+            "cost": round(self.cost, 0),
+            "feasible": self.feasible,
+        }
+
+    def summary(self) -> str:
+        """One-line outcome summary."""
+        flag = "feasible" if self.feasible else "INFEASIBLE"
+        return "%s: %s, %s" % (self.spec.name, flag, self.arch.summary())
+
+
+def render_architecture(result: CoSynthesisResult) -> str:
+    """Multi-line description of the synthesized architecture.
+
+    Lists every PE instance with its modes and clusters, every link
+    with its attachments, and the cost breakdown -- the shape of the
+    paper's Figure 4 walk-through, in text.
+    """
+    lines: List[str] = [result.summary(), ""]
+    lines.append("Processing elements:")
+    for pe_id in sorted(result.arch.pes):
+        pe = result.arch.pes[pe_id]
+        lines.append("  %s (%s, $%.0f)" % (pe.id, pe.pe_type.name, pe.cost))
+        for mode in pe.modes:
+            members = ", ".join(sorted(mode.clusters)) or "-"
+            if pe.is_programmable:
+                lines.append(
+                    "    mode %d: %d gates, %d pins: %s"
+                    % (mode.index, mode.gates_used, mode.pins_used, members)
+                )
+            else:
+                lines.append("    clusters: %s" % (members,))
+    lines.append("")
+    lines.append("Links:")
+    if not result.arch.links:
+        lines.append("  (none)")
+    for link_id in sorted(result.arch.links):
+        link = result.arch.links[link_id]
+        lines.append(
+            "  %s (%s, %d ports): %s"
+            % (
+                link.id,
+                link.link_type.name,
+                link.ports_used,
+                ", ".join(link.attached_sorted()),
+            )
+        )
+    lines.append("")
+    lines.append("Cost breakdown:")
+    for label, value in result.breakdown().as_dict().items():
+        lines.append("  %-11s $%8.0f" % (label, value))
+    if result.interface is not None and result.interface.devices:
+        lines.append("")
+        lines.append("Programming interfaces:")
+        for pe_id in sorted(result.interface.devices):
+            device = result.interface.devices[pe_id]
+            chain = (
+                " (chained x%d)" % len(device.chained_with)
+                if len(device.chained_with) > 1
+                else ""
+            )
+            worst = max(device.runtime_boot_times.values() or [0.0])
+            lines.append(
+                "  %s: %s%s, %d image bytes, worst boot %.3fs, $%.2f"
+                % (
+                    pe_id,
+                    device.option.name,
+                    chain,
+                    device.storage_bytes,
+                    worst,
+                    device.cost_share,
+                )
+            )
+    return "\n".join(lines)

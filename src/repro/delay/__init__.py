@@ -1,0 +1,25 @@
+"""Delay management for programmable devices (Section 4.5, Table 1).
+
+High utilization of PFUs and pins forces routers into detours that can
+violate the delay constraints used during co-synthesis.  CRUSADE caps
+effective resource utilization (ERUF = 70 %) and effective pin
+utilization (EPUF = 80 %) so post-route delays never exceed the
+execution-time vector.  This package provides the policy object the
+allocator consults plus a deterministic place-and-route simulator that
+reproduces the phenomenon Table 1 measures.
+"""
+
+from repro.delay.model import DelayPolicy
+from repro.delay.pnr import Circuit, Device, PnRResult, place_and_route, delay_increase
+from repro.delay.circuits import TABLE1_CIRCUITS, table1_circuit
+
+__all__ = [
+    "DelayPolicy",
+    "Circuit",
+    "Device",
+    "PnRResult",
+    "place_and_route",
+    "delay_increase",
+    "TABLE1_CIRCUITS",
+    "table1_circuit",
+]

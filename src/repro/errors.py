@@ -1,0 +1,68 @@
+"""Exception hierarchy for the CRUSADE co-synthesis library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary.  More specific
+subclasses distinguish specification problems (the user's input is
+malformed) from synthesis failures (the input is well formed but no
+architecture meeting the constraints was found).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SpecificationError(ReproError):
+    """The embedded-system specification is malformed.
+
+    Raised during validation, e.g. for cyclic task graphs, edges that
+    reference unknown tasks, non-positive periods, or execution-time
+    vectors that name PE types absent from the resource library.
+    """
+
+
+class ResourceLibraryError(ReproError):
+    """The resource library is malformed or internally inconsistent."""
+
+
+class AllocationError(ReproError):
+    """No feasible allocation exists for a cluster.
+
+    Raised when every entry of the allocation array has been exhausted
+    without finding a placement that satisfies capacity constraints.
+    """
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a schedule.
+
+    This indicates an internal inconsistency (e.g. an unallocated task
+    reached the scheduler), not merely a missed deadline; missed
+    deadlines are reported through finish-time estimation results.
+    """
+
+
+class SynthesisError(ReproError):
+    """Co-synthesis completed without finding a deadline-feasible
+    architecture.
+
+    Carries the best (least infeasible) architecture found so that
+    callers can inspect how close synthesis came.
+    """
+
+    def __init__(self, message: str, best_result=None):
+        super().__init__(message)
+        self.best_result = best_result
+
+
+class RoutingError(ReproError):
+    """The place-and-route simulator could not route a circuit.
+
+    Corresponds to the "Not routable" entries of Table 1 in the paper.
+    """
+
+
+class DependabilityError(ReproError):
+    """Availability requirements cannot be met with the allowed spares."""

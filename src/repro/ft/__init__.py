@@ -1,0 +1,34 @@
+"""Fault tolerance: the CRUSADE-FT extension (Section 6).
+
+Fault detection is added to the specification itself -- assertion
+tasks where the task offers one, duplicate-and-compare otherwise --
+with the *error-transparency* property exploited to share checks along
+transparent chains.  Dependability is analysed with Markov models of
+*service modules* (groups of PEs replaced as a unit) and error
+recovery is enabled by allocating spare PEs until each task graph's
+availability requirement holds.
+"""
+
+from repro.ft.transparency import check_points
+from repro.ft.assertions import FtTransform, transform_spec_for_ft
+from repro.ft.clustering import fault_tolerance_levels, ft_cluster_spec
+from repro.ft.availability import (
+    ServiceModule,
+    module_unavailability,
+    steady_state_unavailability,
+)
+from repro.ft.recovery import SpareAllocation, allocate_spares, service_modules_of
+
+__all__ = [
+    "check_points",
+    "FtTransform",
+    "transform_spec_for_ft",
+    "fault_tolerance_levels",
+    "ft_cluster_spec",
+    "ServiceModule",
+    "module_unavailability",
+    "steady_state_unavailability",
+    "SpareAllocation",
+    "allocate_spares",
+    "service_modules_of",
+]

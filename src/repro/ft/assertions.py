@@ -1,0 +1,207 @@
+"""Fault-detection transformation: assertions and duplicate-and-compare.
+
+Section 6: "Fault tolerance is incorporated by adding assertion tasks
+and duplicate-and-compare tasks to the system followed by error
+recovery."  For each task needing a check (see
+:mod:`repro.ft.transparency`):
+
+* when the task declares assertions, the assertion (or the combination
+  needed to reach the required coverage) is added as a successor check
+  task, with the specified communication weight and execution vector;
+* otherwise the task is duplicated and a compare task collates the two
+  outputs.
+
+Check tasks are sinks, so they inherit the graph deadline -- fault
+detection must complete within the same real-time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SpecificationError
+from repro.graph.spec import SystemSpec
+from repro.graph.task import AssertionSpec, MemoryRequirement, Task
+from repro.graph.taskgraph import TaskGraph
+from repro.ft.transparency import check_points
+
+#: Suffixes for synthesized check structures.
+ASSERT_SUFFIX = ".A"
+DUP_SUFFIX = ".D"
+CMP_SUFFIX = ".C"
+
+
+@dataclass
+class FtTransform:
+    """Bookkeeping of the fault-detection transformation."""
+
+    spec: SystemSpec
+    assertion_tasks: List[Tuple[str, str]] = field(default_factory=list)
+    duplicated_tasks: List[Tuple[str, str]] = field(default_factory=list)
+    checks_saved_by_transparency: int = 0
+
+    @property
+    def n_assertions(self) -> int:
+        return len(self.assertion_tasks)
+
+    @property
+    def n_duplicates(self) -> int:
+        return len(self.duplicated_tasks)
+
+
+def _pick_assertions(
+    task: Task, required_coverage: float
+) -> Optional[List[AssertionSpec]]:
+    """Assertions to reach ``required_coverage``, fewest first.
+
+    A single assertion may not suffice; combine greedily by descending
+    coverage (independent-coverage composition: 1 - prod(1 - c_i)).
+    Returns None when the task has no assertions or they cannot reach
+    the requirement even combined (caller falls back to
+    duplicate-and-compare).
+    """
+    if not task.assertions:
+        return None
+    ranked = sorted(task.assertions, key=lambda a: (-a.coverage, a.name))
+    chosen: List[AssertionSpec] = []
+    missed = 1.0
+    for assertion in ranked:
+        chosen.append(assertion)
+        missed *= 1.0 - assertion.coverage
+        if 1.0 - missed >= required_coverage:
+            return chosen
+    return None
+
+
+def _compare_exec_times(task: Task) -> Dict[str, float]:
+    """Execution vector of a compare task: a small fraction of the
+    checked task, floor-bounded so it never vanishes."""
+    return {
+        pe: max(t * 0.05, 1e-7)
+        for pe, t in task.exec_times.items()
+        if t is not None
+    }
+
+
+def transform_graph_for_ft(
+    graph: TaskGraph, required_coverage: float = 0.9
+) -> Tuple[TaskGraph, List[Tuple[str, str]], List[Tuple[str, str]], int]:
+    """Add fault detection to one task graph.
+
+    Returns (new graph, assertion additions, duplications, checks
+    saved by error transparency).
+    """
+    if not 0.0 < required_coverage <= 1.0:
+        raise SpecificationError("required coverage must be in (0, 1]")
+    out = TaskGraph(
+        name=graph.name,
+        period=graph.period,
+        deadline=graph.deadline,
+        est=graph.est,
+    )
+    for task in graph.iter_tasks():
+        out.add_task(task)
+    for edge in graph.iter_edges():
+        out.add_edge(edge.src, edge.dst, bytes_=edge.bytes_)
+
+    to_check = check_points(graph)
+    saved = len(graph) - len(to_check)
+    assertions_added: List[Tuple[str, str]] = []
+    duplications: List[Tuple[str, str]] = []
+    for task_name in to_check:
+        task = graph.task(task_name)
+        chosen = _pick_assertions(task, required_coverage)
+        if chosen is not None:
+            for assertion in chosen:
+                check_name = task_name + ASSERT_SUFFIX + assertion.name[-8:]
+                check_times = dict(assertion.exec_times)
+                if not check_times:
+                    # Assertion without its own vector: default to a
+                    # 15 % overhead of the checked task.
+                    check_times = {
+                        pe: t * 0.15
+                        for pe, t in task.exec_times.items()
+                        if t is not None
+                    }
+                check = Task(
+                    name=check_name,
+                    exec_times=check_times,
+                    memory=MemoryRequirement(program=1024, data=512, stack=256),
+                    area_gates=max(16, task.area_gates // 10),
+                    pins=max(2, task.pins // 4),
+                )
+                out.add_task(check)
+                out.add_edge(task_name, check_name, bytes_=assertion.comm_bytes)
+                assertions_added.append((task_name, check_name))
+        else:
+            dup_name = task_name + DUP_SUFFIX
+            cmp_name = task_name + CMP_SUFFIX
+            duplicate = Task(
+                name=dup_name,
+                exec_times=dict(task.exec_times),
+                preference=dict(task.preference),
+                # The duplicate must not share a PE with the original,
+                # or a single PE fault kills both versions.
+                exclusions=frozenset({task_name}),
+                memory=task.memory,
+                area_gates=task.area_gates,
+                pins=task.pins,
+            )
+            compare = Task(
+                name=cmp_name,
+                exec_times=_compare_exec_times(task),
+                memory=MemoryRequirement(program=512, data=256, stack=128),
+                area_gates=max(8, task.area_gates // 20),
+                pins=2,
+            )
+            out.add_task(duplicate)
+            out.add_task(compare)
+            for pred in graph.predecessors(task_name):
+                bytes_ = graph.edge(pred, task_name).bytes_
+                out.add_edge(pred, dup_name, bytes_=bytes_)
+            out_bytes = 64
+            out.add_edge(task_name, cmp_name, bytes_=out_bytes)
+            out.add_edge(dup_name, cmp_name, bytes_=out_bytes)
+            duplications.append((task_name, dup_name))
+    return out, assertions_added, duplications, saved
+
+
+def transform_spec_for_ft(
+    spec: SystemSpec, required_coverage: float = 0.9
+) -> FtTransform:
+    """Add fault detection to every graph of a specification."""
+    graphs: List[TaskGraph] = []
+    transform_assertions: List[Tuple[str, str]] = []
+    transform_dups: List[Tuple[str, str]] = []
+    saved_total = 0
+    for name in spec.graph_names():
+        new_graph, added, dups, saved = transform_graph_for_ft(
+            spec.graph(name), required_coverage
+        )
+        graphs.append(new_graph)
+        transform_assertions.extend(added)
+        transform_dups.extend(dups)
+        saved_total += saved
+    compatibility = None
+    if spec.has_explicit_compatibility:
+        names = spec.graph_names()
+        compatibility = [
+            (a, b)
+            for i, a in enumerate(names)
+            for b in names[i + 1 :]
+            if spec.compatible(a, b)
+        ]
+    new_spec = SystemSpec(
+        name=spec.name + "+ft",
+        graphs=graphs,
+        compatibility=compatibility,
+        boot_time_requirement=spec.boot_time_requirement,
+        unavailability=dict(spec.unavailability),
+    )
+    return FtTransform(
+        spec=new_spec,
+        assertion_tasks=transform_assertions,
+        duplicated_tasks=transform_dups,
+        checks_saved_by_transparency=saved_total,
+    )

@@ -1,0 +1,114 @@
+"""Markov dependability analysis (Section 6).
+
+"Markov models are used to evaluate the availability of service
+modules and the distributed architecture."  A *service module* is a
+set of PEs replaced as a unit, protected by ``spares`` standby units.
+We model it as the classic machine-repair birth-death chain:
+
+* states k = number of failed units, k in [0, n + s];
+* failure rate from state k: ``(n + s - k) * lambda`` (all powered
+  units age);
+* repair rate: ``min(k, crews) * mu`` with a single repair crew by
+  default (MTTR = 1/mu);
+* the module is *down* whenever more units have failed than there are
+  spares (fewer than n workers remain).
+
+FIT rates (failures per 1e9 hours) come from the architecture's
+modules, Bellcore-style; MTTR defaults to the paper's two hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import DependabilityError
+from repro.units import fit_to_lambda
+
+
+@dataclass(frozen=True)
+class ServiceModule:
+    """A replaceable group of identical PEs with standby spares."""
+
+    name: str
+    n_active: int
+    spares: int
+    fit_per_unit: float
+    mttr_hours: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_active < 1:
+            raise DependabilityError("service module needs an active unit")
+        if self.spares < 0:
+            raise DependabilityError("spares must be non-negative")
+        if self.fit_per_unit < 0:
+            raise DependabilityError("FIT must be non-negative")
+        if self.mttr_hours <= 0:
+            raise DependabilityError("MTTR must be positive")
+
+    def with_spares(self, spares: int) -> "ServiceModule":
+        """Copy with a different spare count."""
+        return ServiceModule(
+            name=self.name,
+            n_active=self.n_active,
+            spares=spares,
+            fit_per_unit=self.fit_per_unit,
+            mttr_hours=self.mttr_hours,
+        )
+
+
+def steady_state_unavailability(
+    n_active: int,
+    spares: int,
+    lambda_per_hour: float,
+    mu_per_hour: float,
+    repair_crews: int = 1,
+) -> float:
+    """Steady-state probability that fewer than ``n_active`` units work.
+
+    Solves the birth-death chain analytically via the product-form
+    stationary distribution.
+    """
+    if n_active < 1 or spares < 0:
+        raise DependabilityError("invalid module shape")
+    if lambda_per_hour < 0 or mu_per_hour <= 0 or repair_crews < 1:
+        raise DependabilityError("invalid rates")
+    if lambda_per_hour == 0.0:
+        return 0.0
+    total = n_active + spares
+    # pi_k proportional to prod_{i<k} birth(i)/death(i+1).
+    weights: List[float] = [1.0]
+    for k in range(1, total + 1):
+        birth = (total - (k - 1)) * lambda_per_hour
+        death = min(k, repair_crews) * mu_per_hour
+        weights.append(weights[-1] * birth / death)
+    norm = sum(weights)
+    down = sum(weights[k] for k in range(spares + 1, total + 1))
+    return down / norm
+
+
+def module_unavailability(module: ServiceModule, repair_crews: int = 1) -> float:
+    """Unavailability of one service module."""
+    lam = fit_to_lambda(module.fit_per_unit)
+    mu = 1.0 / module.mttr_hours
+    return steady_state_unavailability(
+        module.n_active, module.spares, lam, mu, repair_crews
+    )
+
+
+def system_unavailability(modules: List[ServiceModule]) -> float:
+    """Unavailability of a set of modules in series (all needed).
+
+    1 - prod(availability); exact under independence.
+    """
+    availability = 1.0
+    for module in modules:
+        availability *= 1.0 - module_unavailability(module)
+    return 1.0 - availability
+
+
+def minutes_per_year(unavailability: float) -> float:
+    """Convert a fraction to downtime minutes per year for reports."""
+    from repro.units import MINUTES_PER_YEAR
+
+    return unavailability * MINUTES_PER_YEAR

@@ -1,0 +1,80 @@
+"""Fault-tolerance-level clustering (Section 6).
+
+"We still use priority levels to identify the order of clustering for
+tasks.  However, we use fault tolerance levels to cluster the tasks."
+The fault-tolerance level of a task is its assertion overhead plus the
+largest fault-tolerance level among its successors -- a longest-path
+metric over check overhead inherited from COFTA.  Clustering along
+high-FT-level paths keeps a checked chain on one PE, so one check
+covers it with minimal communication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.clustering import ClusteringResult, cluster_spec
+from repro.cluster.priority import PriorityContext
+from repro.delay.model import DelayPolicy
+from repro.graph.spec import SystemSpec
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.resources.library import ResourceLibrary
+
+
+def _assertion_overhead(task: Task) -> float:
+    """Worst-case execution overhead of the task's fault check.
+
+    Assertion tasks cost their own execution; tasks without assertions
+    pay duplicate-and-compare, i.e. roughly the task itself again.
+    Error-transparent tasks defer their check downstream and carry no
+    local overhead.
+    """
+    if task.error_transparent:
+        return 0.0
+    usable = [t for t in task.exec_times.values() if t is not None]
+    if not usable:
+        return 0.0
+    worst = max(usable)
+    if task.assertions:
+        check_times = [
+            max((t for t in a.exec_times.values()), default=worst * 0.15)
+            for a in task.assertions
+        ]
+        return min(check_times)
+    return worst  # duplicate-and-compare re-runs the task
+
+
+def fault_tolerance_levels(graph: TaskGraph) -> Dict[str, float]:
+    """Fault-tolerance level of every task (reverse topological DP)."""
+    levels: Dict[str, float] = {}
+    for task_name in reversed(graph.topological_order()):
+        task = graph.task(task_name)
+        downstream = max(
+            (levels[s] for s in graph.successors(task_name)), default=0.0
+        )
+        levels[task_name] = _assertion_overhead(task) + downstream
+    return levels
+
+
+def ft_cluster_spec(
+    spec: SystemSpec,
+    library: ResourceLibrary,
+    context: Optional[PriorityContext] = None,
+    delay_policy: Optional[DelayPolicy] = None,
+    max_cluster_size: int = 8,
+) -> ClusteringResult:
+    """Cluster a (fault-detection-transformed) spec with FT levels
+    steering cluster growth while priority levels pick seeds."""
+    growth: Dict[Tuple[str, str], float] = {}
+    for name in spec.graph_names():
+        for task_name, level in fault_tolerance_levels(spec.graph(name)).items():
+            growth[(name, task_name)] = level
+    return cluster_spec(
+        spec,
+        library,
+        context=context,
+        delay_policy=delay_policy,
+        max_cluster_size=max_cluster_size,
+        growth_scores=growth,
+    )

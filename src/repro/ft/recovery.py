@@ -1,0 +1,201 @@
+"""Error recovery: service modules and spare allocation (Section 6).
+
+"Error recovery is enabled through a few spare PEs.  In the event of
+failure of any service module a switch to a standby module is made."
+Service modules are derived from the architecture automatically: every
+PE type in use forms one module whose active count is its instance
+count (the paper permits architectural hints; grouping by part type is
+the automated fallback it describes).  Spares of the worst module are
+added greedily until every task graph's availability requirement
+holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import DependabilityError
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import ClusteringResult
+from repro.graph.spec import SystemSpec
+from repro.resources.pe import PEKind
+from repro.ft.availability import (
+    ServiceModule,
+    module_unavailability,
+)
+from repro.units import MINUTES_PER_YEAR, unavailability_to_fraction
+
+#: Default FIT rates per PE kind (failures per 1e9 hours), estimated
+#: Bellcore-style for 1997 parts.
+DEFAULT_FIT: Mapping[PEKind, float] = {
+    PEKind.PROCESSOR: 500.0,
+    PEKind.ASIC: 250.0,
+    PEKind.FPGA: 400.0,
+    PEKind.CPLD: 200.0,
+}
+
+
+@dataclass
+class SpareAllocation:
+    """Outcome of spare-PE allocation."""
+
+    modules: Dict[str, ServiceModule] = field(default_factory=dict)
+    spare_cost: float = 0.0
+    graph_unavailability: Dict[str, float] = field(default_factory=dict)
+    met: bool = True
+
+    def total_spares(self) -> int:
+        """Spare units across all service modules."""
+        return sum(m.spares for m in self.modules.values())
+
+    def downtime_minutes(self, graph_name: str) -> float:
+        """Predicted downtime (min/year) for one task graph."""
+        return self.graph_unavailability.get(graph_name, 0.0) * MINUTES_PER_YEAR
+
+
+def service_modules_of(
+    arch: Architecture,
+    fit_rates: Optional[Mapping[PEKind, float]] = None,
+    mttr_hours: float = 2.0,
+    hints: Optional[Mapping[str, str]] = None,
+) -> Dict[str, ServiceModule]:
+    """Derive service modules from an architecture.
+
+    The paper obtains service modules "using architectural hints (if
+    available, otherwise using an automated process)".  ``hints`` maps
+    a PE *type name* to a module label, letting designers group
+    several part types into one replaceable unit (e.g. every 68K-class
+    CPU card under ``"cpu-card"``); unhinted types fall back to the
+    automated grouping -- one module per PE type in use.  A module's
+    per-unit FIT rate is the worst FIT among its member kinds.
+    """
+    if fit_rates is None:
+        fit_rates = DEFAULT_FIT
+    if hints is None:
+        hints = {}
+    counts: Dict[str, int] = {}
+    worst_fit: Dict[str, float] = {}
+    for pe in arch.pes.values():
+        module_name = hints.get(pe.pe_type.name, pe.pe_type.name)
+        counts[module_name] = counts.get(module_name, 0) + 1
+        fit = fit_rates.get(pe.pe_type.kind, 400.0)
+        worst_fit[module_name] = max(worst_fit.get(module_name, 0.0), fit)
+    return {
+        module_name: ServiceModule(
+            name=module_name,
+            n_active=count,
+            spares=0,
+            fit_per_unit=worst_fit[module_name],
+            mttr_hours=mttr_hours,
+        )
+        for module_name, count in sorted(counts.items())
+    }
+
+
+def _graph_module_map(
+    arch: Architecture,
+    clustering: ClusteringResult,
+    spec: SystemSpec,
+    hints: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Set[str]]:
+    """Graph name -> set of service-module names it depends on."""
+    if hints is None:
+        hints = {}
+    uses: Dict[str, Set[str]] = {name: set() for name in spec.graph_names()}
+    for cluster in clustering.clusters.values():
+        if not arch.is_allocated(cluster.name):
+            continue
+        pe_id, _ = arch.placement_of(cluster.name)
+        type_name = arch.pe(pe_id).pe_type.name
+        uses.setdefault(cluster.graph, set()).add(hints.get(type_name, type_name))
+    return uses
+
+
+def _spare_unit_costs(
+    arch: Architecture, hints: Optional[Mapping[str, str]] = None
+) -> Dict[str, float]:
+    """Service-module name -> dollar cost of one standby unit (the
+    costliest member part, conservatively)."""
+    if hints is None:
+        hints = {}
+    costs: Dict[str, float] = {}
+    for pe in arch.pes.values():
+        module_name = hints.get(pe.pe_type.name, pe.pe_type.name)
+        costs[module_name] = max(costs.get(module_name, 0.0), pe.pe_type.cost)
+    return costs
+
+
+def _graph_unavailability(
+    modules: Dict[str, ServiceModule], used: Set[str]
+) -> float:
+    availability = 1.0
+    for name in sorted(used):
+        availability *= 1.0 - module_unavailability(modules[name])
+    return 1.0 - availability
+
+
+def allocate_spares(
+    arch: Architecture,
+    clustering: ClusteringResult,
+    spec: SystemSpec,
+    fit_rates: Optional[Mapping[PEKind, float]] = None,
+    mttr_hours: float = 2.0,
+    max_spares: int = 64,
+    hints: Optional[Mapping[str, str]] = None,
+) -> SpareAllocation:
+    """Add spare PEs until every graph's availability requirement holds.
+
+    Greedy: repeatedly give one spare to the service module whose extra
+    spare most improves the worst-violating graph.  Module spares are
+    standby PEs of the module's type; their cost is added to
+    ``spare_cost`` (the architecture object itself is not mutated --
+    the caller folds the cost into its report).
+
+    Graphs without an explicit requirement in ``spec.unavailability``
+    are not constrained.  When ``max_spares`` is exhausted the result
+    is returned with ``met=False``.
+    """
+    allocation = SpareAllocation(
+        modules=service_modules_of(arch, fit_rates, mttr_hours, hints=hints)
+    )
+    usage = _graph_module_map(arch, clustering, spec, hints=hints)
+    unit_costs = _spare_unit_costs(arch, hints=hints)
+    requirements = {
+        name: unavailability_to_fraction(minutes)
+        for name, minutes in spec.unavailability.items()
+    }
+
+    def refresh() -> List[Tuple[str, float, float]]:
+        """(graph, unavailability, requirement) for violating graphs."""
+        violations = []
+        for name, requirement in sorted(requirements.items()):
+            current = _graph_unavailability(allocation.modules, usage.get(name, set()))
+            allocation.graph_unavailability[name] = current
+            if current > requirement:
+                violations.append((name, current, requirement))
+        return violations
+
+    spares_added = 0
+    violations = refresh()
+    while violations and spares_added < max_spares:
+        worst_graph, _, _ = max(violations, key=lambda v: v[1] / max(v[2], 1e-18))
+        used = usage.get(worst_graph, set())
+        if not used:
+            raise DependabilityError(
+                "graph %r has an availability requirement but no allocated PEs"
+                % (worst_graph,)
+            )
+        # Spare the module contributing the most unavailability.
+        contribution = {
+            name: module_unavailability(allocation.modules[name]) for name in used
+        }
+        target = max(sorted(contribution), key=lambda n: contribution[n])
+        module = allocation.modules[target]
+        allocation.modules[target] = module.with_spares(module.spares + 1)
+        allocation.spare_cost += unit_costs.get(target, 0.0)
+        spares_added += 1
+        violations = refresh()
+
+    allocation.met = not violations
+    return allocation

@@ -1,0 +1,52 @@
+"""Error transparency analysis (Section 6).
+
+A task that transmits any error at its inputs to its outputs is
+*error-transparent*; a check placed downstream of a transparent chain
+detects faults anywhere along it, so CRUSADE-FT checks only the chain
+ends instead of every task -- the paper's main lever for low fault-
+tolerance overhead (inherited from COFTA).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.graph.taskgraph import TaskGraph
+
+
+def check_points(graph: TaskGraph) -> List[str]:
+    """Tasks that need their own fault check.
+
+    A task may *defer* its check when it is error-transparent and every
+    one of its successors is (transitively) checked -- any error it
+    produces flows through to a checked point.  Sinks can never defer.
+    Computed in reverse topological order; returns sorted task names.
+    """
+    needs_check: Set[str] = set()
+    covered: Dict[str, bool] = {}
+    for task_name in reversed(graph.topological_order()):
+        task = graph.task(task_name)
+        successors = graph.successors(task_name)
+        if not successors:
+            needs_check.add(task_name)
+            covered[task_name] = True
+            continue
+        if task.error_transparent:
+            # Errors propagate: covered iff every downstream path hits
+            # a check, which holds because every successor is covered
+            # (inductively true -- every task ends covered).
+            covered[task_name] = all(covered[s] for s in successors)
+            if not covered[task_name]:  # pragma: no cover - defensive
+                needs_check.add(task_name)
+                covered[task_name] = True
+        else:
+            # Opaque task: an input error may vanish into a wrong-but-
+            # plausible output, so the task must be checked directly.
+            needs_check.add(task_name)
+            covered[task_name] = True
+    return sorted(needs_check)
+
+
+def transparent_chain_savings(graph: TaskGraph) -> int:
+    """How many checks error transparency eliminated for ``graph``."""
+    return len(graph) - len(check_points(graph))

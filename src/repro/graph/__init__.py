@@ -1,0 +1,36 @@
+"""Task-graph model: periodic acyclic task graphs with rate constraints.
+
+This package implements the execution model of Section 2.2 of the
+paper: tasks carry execution-time, preference, exclusion and memory
+vectors; edges carry byte counts from which per-link communication
+vectors are derived; each periodic task graph has an earliest start
+time, a period and deadlines.  It also provides hyperperiod/association
+-array bookkeeping (Section 5) and a deterministic synthetic workload
+generator used to stand in for the paper's proprietary telecom graphs.
+"""
+
+from repro.graph.task import AssertionSpec, MemoryRequirement, Task
+from repro.graph.edge import Edge
+from repro.graph.taskgraph import TaskGraph
+from repro.graph.spec import SystemSpec
+from repro.graph.hyperperiod import hyperperiod_of
+from repro.graph.association import AssociationArray, CopyInstance
+from repro.graph.generator import GeneratorConfig, generate_graph, generate_spec
+from repro.graph.validate import validate_graph, validate_spec
+
+__all__ = [
+    "AssertionSpec",
+    "MemoryRequirement",
+    "Task",
+    "Edge",
+    "TaskGraph",
+    "SystemSpec",
+    "hyperperiod_of",
+    "AssociationArray",
+    "CopyInstance",
+    "GeneratorConfig",
+    "generate_graph",
+    "generate_spec",
+    "validate_graph",
+    "validate_spec",
+]

@@ -1,0 +1,377 @@
+"""Deterministic synthetic task-graph generator.
+
+The paper evaluates on proprietary Bell Labs telecom task graphs
+(base-station, video-router, SONET/ATM systems).  This module generates
+structurally similar workloads: layered acyclic DAGs whose tasks mix
+software-only control/OAM work, hardware-only DSP/cell-processing
+blocks, and mixed-mapping tasks; periods drawn from a harmonic set so
+hyperperiods stay bounded; and *compatibility groups* -- sets of task
+graphs whose execution windows never overlap, declared compatible a
+priori exactly as Section 4.1 says real task-graph generation does.
+
+Everything is driven by a seeded :class:`random.Random`, so the same
+:class:`GeneratorConfig` always produces the same specification.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SpecificationError
+from repro.graph.spec import SystemSpec
+from repro.graph.task import AssertionSpec, MemoryRequirement, Task
+from repro.graph.taskgraph import TaskGraph
+from repro.resources.catalog import default_library
+from repro.resources.library import ResourceLibrary
+from repro.resources.pe import ProcessorType
+from repro.units import KB, MS, US
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the synthetic workload generator.
+
+    Attributes
+    ----------
+    seed:
+        Master seed; every derived random choice flows from it.
+    n_graphs:
+        Number of periodic task graphs in the system.
+    tasks_per_graph:
+        Mean tasks per graph; actual counts vary +-30 %.  The last
+        graph absorbs rounding so the total matches ``total_tasks``
+        when that is set.
+    total_tasks:
+        Optional exact total task count across all graphs (used to hit
+        the paper's example sizes); overrides per-graph rounding.
+    periods:
+        Harmonic period choices in seconds.  Defaults span 25 us to
+        60 s like the paper's workloads, downsampled to a harmonic
+        subset to keep hyperperiods tractable.
+    deadline_slack:
+        Graph deadline = ``deadline_slack`` x period.
+    avg_parallelism:
+        Mean layer width of the layered DAG.
+    hw_only_fraction / mixed_fraction:
+        Fractions of tasks mappable only to hardware (DSP-style) and to
+        both hardware and software; the remainder is software-only.
+    asic_eligible_fraction:
+        Fraction of hardware-capable tasks that may also map to ASICs.
+        Telecom functions overwhelmingly demand field reprogrammability
+        (the paper's Section 3 motivations: post-release bug fixes and
+        feature upgrades), so most hardware tasks are FPGA/CPLD-only.
+    hw_speedup:
+        Hardware execution is ``hw_speedup`` x faster than the baseline
+        processor.
+    utilization:
+        Target fraction of the deadline consumed by the critical path
+        on a mid-speed processor; controls schedule tightness.
+    compat_group_size:
+        Task graphs are partitioned into groups of this size; graphs
+        within a group get non-overlapping execution windows and are
+        declared mutually compatible.  1 disables compatibility (every
+        pair overlaps), which removes all reconfiguration opportunity.
+    exclusion_prob:
+        Probability a task excludes a same-layer sibling.
+    assertion_prob / assertion_coverage:
+        FT parameters: probability a task has an assertion available
+        and that assertion's fault coverage.
+    error_transparent_prob:
+        Probability a task is error-transparent (Section 6).
+    """
+
+    seed: int = 0
+    n_graphs: int = 4
+    tasks_per_graph: int = 20
+    total_tasks: Optional[int] = None
+    periods: Tuple[float, ...] = (
+        400 * US,
+        800 * US,
+        1600 * US,
+        3200 * US,
+        12800 * US,
+        51200 * US,
+    )
+    compat_periods: Tuple[float, ...] = (0.8192, 1.6384, 3.2768, 6.5536)
+    deadline_slack: float = 1.0
+    avg_parallelism: float = 3.0
+    hw_only_fraction: float = 0.25
+    mixed_fraction: float = 0.25
+    asic_eligible_fraction: float = 0.3
+    hw_speedup: float = 12.0
+    utilization: float = 0.45
+    compat_group_size: int = 3
+    exclusion_prob: float = 0.02
+    assertion_prob: float = 0.7
+    assertion_coverage: float = 0.95
+    error_transparent_prob: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.n_graphs < 1:
+            raise SpecificationError("n_graphs must be at least 1")
+        if self.tasks_per_graph < 1:
+            raise SpecificationError("tasks_per_graph must be at least 1")
+        if self.total_tasks is not None and self.total_tasks < self.n_graphs:
+            raise SpecificationError("total_tasks must be >= n_graphs")
+        if not self.periods or not self.compat_periods:
+            raise SpecificationError("period sets must be non-empty")
+        if not 0 < self.deadline_slack <= 4.0:
+            raise SpecificationError("deadline_slack must be in (0, 4]")
+        if self.hw_only_fraction + self.mixed_fraction > 1.0:
+            raise SpecificationError("hardware fractions exceed 1.0")
+        if self.compat_group_size < 1:
+            raise SpecificationError("compat_group_size must be at least 1")
+        if not 0 < self.utilization <= 1.0:
+            raise SpecificationError("utilization must be in (0, 1]")
+
+
+def _graph_sizes(config: GeneratorConfig, rng: random.Random) -> List[int]:
+    """Per-graph task counts, matching total_tasks exactly if set."""
+    sizes = []
+    for _ in range(config.n_graphs):
+        jitter = rng.uniform(0.7, 1.3)
+        sizes.append(max(1, int(round(config.tasks_per_graph * jitter))))
+    if config.total_tasks is not None:
+        scale = config.total_tasks / max(1, sum(sizes))
+        sizes = [max(1, int(round(s * scale))) for s in sizes]
+        # Repair rounding drift one task at a time, deterministically.
+        index = 0
+        while sum(sizes) < config.total_tasks:
+            sizes[index % len(sizes)] += 1
+            index += 1
+        index = 0
+        while sum(sizes) > config.total_tasks:
+            if sizes[index % len(sizes)] > 1:
+                sizes[index % len(sizes)] -= 1
+            index += 1
+    return sizes
+
+
+def _layering(n_tasks: int, config: GeneratorConfig, rng: random.Random) -> List[int]:
+    """Assign each of ``n_tasks`` to a layer; returns layer sizes."""
+    layers: List[int] = []
+    remaining = n_tasks
+    while remaining > 0:
+        width = max(1, int(round(rng.gauss(config.avg_parallelism, 1.0))))
+        width = min(width, remaining)
+        layers.append(width)
+        remaining -= width
+    return layers
+
+
+def _software_pe_names(library: ResourceLibrary) -> List[str]:
+    return [p.name for p in library.processors()]
+
+
+def _ppe_names(library: ResourceLibrary) -> List[str]:
+    return [p.name for p in library.ppes()]
+
+
+def _asic_names(library: ResourceLibrary) -> List[str]:
+    return [a.name for a in library.asics()]
+
+
+def _baseline_speed(library: ResourceLibrary) -> float:
+    """Median processor speed, used to calibrate utilization."""
+    speeds = sorted(
+        p.speed for p in library.processors() if isinstance(p, ProcessorType)
+    )
+    if not speeds:
+        raise SpecificationError("library has no processors to calibrate against")
+    return speeds[len(speeds) // 2]
+
+
+def generate_graph(
+    name: str,
+    n_tasks: int,
+    period: float,
+    config: GeneratorConfig,
+    rng: random.Random,
+    library: Optional[ResourceLibrary] = None,
+    est: float = 0.0,
+    window_fraction: float = 1.0,
+) -> TaskGraph:
+    """Generate one layered periodic task graph.
+
+    Parameters
+    ----------
+    window_fraction:
+        Fraction of the period the graph's deadline occupies; used to
+        confine compatibility-group members to disjoint windows.
+    """
+    if library is None:
+        library = default_library()
+    deadline = period * config.deadline_slack * window_fraction
+    graph = TaskGraph(name=name, period=period, deadline=deadline, est=est)
+    layer_sizes = _layering(n_tasks, config, rng)
+    depth = len(layer_sizes)
+    sw_names = _software_pe_names(library)
+    ppe_names = _ppe_names(library)
+    asic_names = _asic_names(library)
+    base_speed = _baseline_speed(library)
+    # Budget the critical path: `depth` tasks back-to-back should use
+    # `utilization` of the deadline on a median processor.
+    unit = (deadline * config.utilization) / max(1, depth)
+
+    # Edge payloads scale with the rate: a 25 us control loop moves a
+    # few words per activation while a provisioning function ships
+    # kilobytes.  Without this, fast graphs could never meet deadlines
+    # on any library link.
+    bytes_cap = int(min(2048, max(32, period / MS * 64)))
+
+    layers: List[List[str]] = []
+    task_index = 0
+    for layer_id, width in enumerate(layer_sizes):
+        layer: List[str] = []
+        for _ in range(width):
+            task_name = "%s.t%03d" % (name, task_index)
+            task_index += 1
+            roll = rng.random()
+            if roll < config.hw_only_fraction:
+                kind = "hw"
+            elif roll < config.hw_only_fraction + config.mixed_fraction:
+                kind = "mixed"
+            else:
+                kind = "sw"
+            base_time = unit * rng.uniform(0.3, 1.0)
+            exec_times: Dict[str, Optional[float]] = {}
+            memory = MemoryRequirement()
+            area = 0
+            pins = 0
+            if kind in ("sw", "mixed"):
+                for processor in library.processors():
+                    exec_times[processor.name] = (
+                        base_time * base_speed / processor.speed
+                    )
+                memory = MemoryRequirement(
+                    program=rng.randint(2, 48) * KB,
+                    data=rng.randint(1, 32) * KB,
+                    stack=rng.randint(1, 4) * KB,
+                )
+            if kind in ("hw", "mixed"):
+                hw_time = base_time / config.hw_speedup
+                hw_names = list(ppe_names)
+                if rng.random() < config.asic_eligible_fraction:
+                    hw_names.extend(asic_names)
+                for hw in hw_names:
+                    exec_times[hw] = hw_time
+                area = rng.randint(120, 2400)
+                pins = rng.randint(4, 24)
+                if kind == "hw":
+                    memory = MemoryRequirement()
+            exclusions = frozenset(
+                sibling
+                for sibling in layer
+                if rng.random() < config.exclusion_prob
+            )
+            assertions: Tuple[AssertionSpec, ...] = ()
+            if rng.random() < config.assertion_prob:
+                check_times = {
+                    pe: t * 0.15
+                    for pe, t in exec_times.items()
+                    if t is not None
+                }
+                assertions = (
+                    AssertionSpec(
+                        name=task_name + ".chk",
+                        coverage=config.assertion_coverage,
+                        exec_times=check_times,
+                        comm_bytes=rng.choice((16, 32, 64)),
+                    ),
+                )
+            task = Task(
+                name=task_name,
+                exec_times=exec_times,
+                exclusions=exclusions,
+                memory=memory,
+                area_gates=area,
+                pins=pins,
+                assertions=assertions,
+                error_transparent=rng.random() < config.error_transparent_prob,
+            )
+            graph.add_task(task)
+            layer.append(task_name)
+        layers.append(layer)
+        if layer_id > 0:
+            previous = layers[layer_id - 1]
+            # Every node gets at least one parent; parents fan out.
+            for task_name in layer:
+                parent = rng.choice(previous)
+                graph.add_edge(parent, task_name, bytes_=rng.randint(16, bytes_cap))
+            # A few extra cross edges, including skip-layer ones.
+            extra = max(0, int(round(len(layer) * 0.4)))
+            for _ in range(extra):
+                src_layer = layers[rng.randint(0, layer_id - 1)]
+                src = rng.choice(src_layer)
+                dst = rng.choice(layer)
+                if (src, dst) not in graph.edges:
+                    graph.add_edge(src, dst, bytes_=rng.randint(16, bytes_cap))
+    return graph
+
+
+def generate_spec(
+    config: GeneratorConfig,
+    library: Optional[ResourceLibrary] = None,
+    name: str = "synthetic",
+) -> SystemSpec:
+    """Generate a full system specification.
+
+    Task graphs are partitioned into compatibility groups of
+    ``config.compat_group_size``; members of a group receive disjoint
+    execution windows within their common period (staggered ESTs and
+    shortened deadlines) and the group's pairs are declared compatible,
+    mirroring how the paper's task-graph generation relays
+    compatibility vectors to the co-synthesis system.
+    """
+    if library is None:
+        library = default_library()
+    rng = random.Random(config.seed)
+    sizes = _graph_sizes(config, rng)
+    graphs: List[TaskGraph] = []
+    compat_pairs: List[Tuple[str, str]] = []
+    unavailability: Dict[str, float] = {}
+
+    group_size = config.compat_group_size
+    graph_id = 0
+    for group_start in range(0, config.n_graphs, group_size):
+        members = list(range(group_start, min(group_start + group_size, config.n_graphs)))
+        # Compatibility groups share a programmable device through
+        # reconfiguration, so their windows must dwarf device boot
+        # times (hundreds of ms): they draw from the slow period set.
+        if len(members) > 1:
+            period = rng.choice(config.compat_periods)
+        else:
+            period = rng.choice(config.periods)
+        window = 1.0 / len(members)
+        member_names = []
+        for slot, index in enumerate(members):
+            graph_name = "%s.g%02d" % (name, graph_id)
+            graph_id += 1
+            est = slot * window * period
+            graph = generate_graph(
+                name=graph_name,
+                n_tasks=sizes[index],
+                period=period,
+                config=config,
+                rng=rng,
+                library=library,
+                est=est,
+                window_fraction=window if len(members) > 1 else 1.0,
+            )
+            graphs.append(graph)
+            member_names.append(graph_name)
+            # Telecom-style availability classes (minutes/year).
+            unavailability[graph_name] = rng.choice((4.0, 12.0, 30.0))
+        for i, a in enumerate(member_names):
+            for b in member_names[i + 1 :]:
+                compat_pairs.append((a, b))
+
+    return SystemSpec(
+        name=name,
+        graphs=graphs,
+        compatibility=compat_pairs if group_size > 1 else [],
+        boot_time_requirement=0.25,
+        unavailability=unavailability,
+    )

@@ -1,0 +1,55 @@
+"""Hyperperiod computation.
+
+The hyperperiod Gamma is the least common multiple of all task-graph
+periods (Section 3).  Periods are floats in seconds; to keep the LCM
+well defined we quantize them onto a microsecond tick grid first (the
+paper's smallest period is 25 microseconds).  Quantization error is
+bounded by half a tick and is far below scheduling granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import SpecificationError
+from repro.graph.spec import SystemSpec
+from repro.units import US, lcm_of, quantize
+
+
+def hyperperiod_of(spec_or_periods, tick: float = US) -> float:
+    """Hyperperiod in seconds of a :class:`SystemSpec` or an iterable
+    of periods.
+
+    Parameters
+    ----------
+    spec_or_periods:
+        Either a :class:`~repro.graph.spec.SystemSpec` or any iterable
+        of positive periods in seconds.
+    tick:
+        Quantization grid in seconds (default one microsecond).
+    """
+    if isinstance(spec_or_periods, SystemSpec):
+        periods: Iterable[float] = spec_or_periods.periods()
+    else:
+        periods = list(spec_or_periods)
+    ticks = [quantize(p, tick) for p in periods]
+    if not ticks:
+        raise SpecificationError("hyperperiod of an empty period set is undefined")
+    return lcm_of(ticks) * tick
+
+
+def copies_in_hyperperiod(period: float, hyperperiod: float, tick: float = US) -> int:
+    """Number of copies of a graph with ``period`` inside ``hyperperiod``.
+
+    Both quantities are quantized onto the same grid so the division is
+    exact; the traditional real-time computing rule gives
+    ``hyperperiod / period`` copies (Section 3).
+    """
+    p = quantize(period, tick)
+    h = quantize(hyperperiod, tick)
+    if h % p != 0:
+        raise SpecificationError(
+            "hyperperiod %g is not an integer multiple of period %g"
+            % (hyperperiod, period)
+        )
+    return h // p

@@ -1,0 +1,26 @@
+"""Specification and result serialization.
+
+Specifications round-trip through a stable JSON format so workloads
+can be authored, archived, and shared outside Python; synthesis
+results export to JSON for downstream tooling (dashboards, diffing
+architectures across runs).
+"""
+
+from repro.io.spec_json import (
+    load_spec,
+    load_spec_file,
+    save_spec_file,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.io.result_json import result_to_dict, save_result_file
+
+__all__ = [
+    "load_spec",
+    "load_spec_file",
+    "save_spec_file",
+    "spec_from_dict",
+    "spec_to_dict",
+    "result_to_dict",
+    "save_result_file",
+]

@@ -1,0 +1,45 @@
+"""Dynamic reconfiguration: the paper's core contribution (Section 4).
+
+Four pieces:
+
+* :mod:`repro.reconfig.reboot` -- boot-time accounting: the implicit
+  ``reboot_task`` charged whenever a programmable device switches
+  configuration modes;
+* :mod:`repro.reconfig.compatibility` -- identification of
+  non-overlapping task graphs, from explicit compatibility vectors or
+  automatically from the schedule (Figure 3's detection step);
+* :mod:`repro.reconfig.interface` -- reconfiguration controller
+  interface synthesis: the option array over serial/parallel x
+  master/slave x clock rate x chaining, cheapest option meeting the
+  boot-time requirement;
+* :mod:`repro.reconfig.merge` -- the iterative PPE mode-merge
+  procedure of Figure 3, driven by merge potential.
+"""
+
+from repro.reconfig.reboot import DEFAULT_PROGRAMMING_HZ, default_boot_time
+from repro.reconfig.compatibility import (
+    CompatibilityAnalysis,
+    occupancy_windows,
+    windows_overlap_periodic,
+)
+from repro.reconfig.interface import (
+    InterfacePlan,
+    ProgrammingOption,
+    default_option_array,
+    synthesize_interface,
+)
+from repro.reconfig.merge import MergeOutcome, merge_reconfigurable_pes
+
+__all__ = [
+    "DEFAULT_PROGRAMMING_HZ",
+    "default_boot_time",
+    "CompatibilityAnalysis",
+    "occupancy_windows",
+    "windows_overlap_periodic",
+    "InterfacePlan",
+    "ProgrammingOption",
+    "default_option_array",
+    "synthesize_interface",
+    "MergeOutcome",
+    "merge_reconfigurable_pes",
+]

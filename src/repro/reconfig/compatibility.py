@@ -1,0 +1,220 @@
+"""Identification of non-overlapping task graphs (Section 4.1).
+
+Two task graphs are *compatible* when their execution windows never
+overlap in time, so they may time-share a programmable device through
+dynamic reconfiguration.  Compatibility may be declared a priori via
+the specification's compatibility vectors; when it is not, the
+co-synthesis system detects non-overlap automatically from task/edge
+start and stop times after scheduling (the detection step of the
+Figure 3 procedure).
+
+Periodic correctness: graph A repeats every ``Pa`` and graph B every
+``Pb``.  Their copies' windows overlap somewhere in the hyperperiod iff
+their windows overlap modulo ``gcd(Pa, Pb)`` -- the classic residue
+argument -- so we reduce both window sets onto the gcd ring (quantized
+to microsecond ticks) and test circular interval intersection.  That
+is exact for the representative copies and inherits the association
+array's approximation for the rest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import SpecificationError
+from repro.graph.spec import SystemSpec
+from repro.units import US, quantize
+
+#: A half-open time interval in seconds.
+Window = Tuple[float, float]
+
+
+def occupancy_windows(schedule, graph_name: str) -> List[Window]:
+    """Execution windows of one graph's representative (copy 0)
+    instances: merged [start, finish) intervals of its tasks and
+    outgoing edge transfers.
+
+    Windows are expressed relative to the copy's arrival so they can
+    be replicated across periods.
+    """
+    from repro.sched.scheduler import Schedule  # local: avoid cycle
+
+    assert isinstance(schedule, Schedule)
+    raw: List[Window] = []
+    arrival: Optional[float] = None
+    for key, placed in schedule.tasks.items():
+        g, copy, _ = key
+        if g != graph_name or copy != 0:
+            continue
+        raw.append((placed.start, placed.finish))
+    for key, placed in schedule.edges.items():
+        g, copy, _, _ = key
+        if g != graph_name or copy != 0:
+            continue
+        if placed.finish > placed.start:
+            raw.append((placed.start, placed.finish))
+    if not raw:
+        return []
+    return _merge_windows(raw)
+
+
+def _merge_windows(windows: List[Window]) -> List[Window]:
+    """Union of intervals, sorted and coalesced."""
+    merged: List[Window] = []
+    for start, end in sorted(windows):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def windows_overlap_periodic(
+    windows_a: List[Window],
+    period_a: float,
+    windows_b: List[Window],
+    period_b: float,
+    tick: float = US,
+) -> bool:
+    """True when any periodic repetition of the two window sets
+    overlaps.
+
+    Windows are absolute (include the first copy's phase); repetitions
+    are at multiples of each period.  Empty window sets never overlap.
+    """
+    if not windows_a or not windows_b:
+        return False
+    pa = quantize(period_a, tick)
+    pb = quantize(period_b, tick)
+    ring = math.gcd(pa, pb)
+
+    def reduce(windows: List[Window]) -> List[Tuple[int, int]]:
+        reduced: List[Tuple[int, int]] = []
+        for start, end in windows:
+            s = int(round(start / tick))
+            e = int(round(end / tick))
+            if e <= s:
+                continue
+            if e - s >= ring:
+                # Window covers the whole ring: always overlaps.
+                reduced.append((0, ring))
+                continue
+            s_mod = s % ring
+            e_mod = s_mod + (e - s)
+            if e_mod <= ring:
+                reduced.append((s_mod, e_mod))
+            else:
+                reduced.append((s_mod, ring))
+                reduced.append((0, e_mod - ring))
+        return reduced
+
+    ra = reduce(windows_a)
+    rb = reduce(windows_b)
+    for sa, ea in ra:
+        for sb, eb in rb:
+            if sa < eb and sb < ea:
+                return True
+    return False
+
+
+@dataclass
+class CompatibilityAnalysis:
+    """Resolved pairwise compatibility of a system's task graphs.
+
+    Built either from the specification's explicit vectors or detected
+    from a schedule.  ``compatible(a, b)`` answers the Section 4.1
+    question: may graphs ``a`` and ``b`` share a PPE through dynamic
+    reconfiguration?
+    """
+
+    spec: SystemSpec
+    pairs: FrozenSet[FrozenSet[str]] = frozenset()
+    source: str = "explicit"
+
+    @classmethod
+    def from_spec(cls, spec: SystemSpec) -> "CompatibilityAnalysis":
+        """Use the specification's explicit compatibility vectors.
+
+        Raises when the spec has none (callers should then schedule
+        first and use :meth:`from_schedule`).
+        """
+        if not spec.has_explicit_compatibility:
+            raise SpecificationError(
+                "system %r has no explicit compatibility vectors; "
+                "detect from a schedule instead" % (spec.name,)
+            )
+        pairs = set()
+        names = spec.graph_names()
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if spec.compatible(a, b):
+                    pairs.add(frozenset((a, b)))
+        return cls(spec=spec, pairs=frozenset(pairs), source="explicit")
+
+    @classmethod
+    def from_schedule(
+        cls, spec: SystemSpec, schedule, tick: float = US
+    ) -> "CompatibilityAnalysis":
+        """Detect non-overlapping graph pairs from start/stop times
+        following scheduling (Figure 3's automatic path)."""
+        windows = {
+            name: occupancy_windows(schedule, name) for name in spec.graph_names()
+        }
+        pairs = set()
+        names = spec.graph_names()
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if not windows_overlap_periodic(
+                    windows[a],
+                    spec.graph(a).period,
+                    windows[b],
+                    spec.graph(b).period,
+                    tick=tick,
+                ):
+                    pairs.add(frozenset((a, b)))
+        return cls(spec=spec, pairs=frozenset(pairs), source="schedule")
+
+    @classmethod
+    def resolve(
+        cls, spec: SystemSpec, schedule=None, tick: float = US
+    ) -> "CompatibilityAnalysis":
+        """Explicit vectors when present, else detection from the
+        schedule (which must then be provided)."""
+        if spec.has_explicit_compatibility:
+            return cls.from_spec(spec)
+        if schedule is None:
+            raise SpecificationError(
+                "no explicit compatibility and no schedule to detect from"
+            )
+        return cls.from_schedule(spec, schedule, tick=tick)
+
+    # ------------------------------------------------------------------
+    def compatible(self, a: str, b: str) -> bool:
+        """May graphs ``a`` and ``b`` time-share a PPE?"""
+        if a == b:
+            return False
+        return frozenset((a, b)) in self.pairs
+
+    def all_compatible(self, group_a, group_b) -> bool:
+        """Every cross pair between two graph groups is compatible.
+
+        Graphs appearing in both groups make the groups incompatible
+        (a graph always overlaps itself).
+        """
+        for a in group_a:
+            for b in group_b:
+                if not self.compatible(a, b):
+                    return False
+        return True
+
+    def compatibility_vector(self, name: str) -> Dict[str, int]:
+        """The paper's Delta vector: 0 = compatible, 1 = not."""
+        return {
+            other: 0 if self.compatible(name, other) else 1
+            for other in self.spec.graph_names()
+            if other != name
+        }

@@ -1,0 +1,344 @@
+"""Reconfiguration controller interface synthesis (Section 4.4).
+
+FPGAs are programmed through a serial or 8-bit-parallel interface in
+master mode (from a stand-alone PROM) or slave mode (from a CPU);
+CPLDs program through their boundary-scan test port, which behaves
+like a slave serial interface here.  Clock rates span 1-10 MHz.
+Devices may be *chained* to share one PROM and one programming port,
+reducing cost -- but a chain streams every member's image in one pass,
+so chaining is only offered to devices that never reconfigure at run
+time (single-mode devices booting at power-up).
+
+For each architecture the synthesizer builds a *reconfiguration option
+array* per device -- every (interface kind x clock) option annotated
+with boot time and dollar cost, ordered by increasing cost -- and
+selects the cheapest option whose boot time meets the system's
+a-priori boot-time requirement (multi-mode devices) or the power-up
+budget (single-mode devices and chains).  Boot time is recomputed from
+the resources (PFUs) that actually require reconfiguration, as the
+paper prescribes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import AllocationError, SynthesisError
+from repro.arch.architecture import Architecture
+from repro.arch.pe_instance import PEInstance
+from repro.resources.pe import PpeType
+from repro.units import KB
+
+
+class InterfaceKind(enum.Enum):
+    """How a device's configuration stream is delivered.
+
+    FPGAs program through serial or 8-bit-parallel interfaces in
+    master (stand-alone PROM) or slave (CPU-driven) mode; CPLDs
+    program through their standard boundary-scan test port (JTAG),
+    which behaves like a slow CPU-driven serial interface but costs
+    almost nothing -- the test port exists anyway (Section 4.4).
+    """
+
+    SERIAL_MASTER = "serial-master"
+    PARALLEL_MASTER = "parallel-master"
+    SERIAL_SLAVE = "serial-slave"
+    PARALLEL_SLAVE = "parallel-slave"
+    JTAG = "jtag"
+
+    @property
+    def width_bits(self) -> int:
+        """Bits delivered per programming clock."""
+        if self in (InterfaceKind.PARALLEL_MASTER, InterfaceKind.PARALLEL_SLAVE):
+            return 8
+        return 1
+
+    @property
+    def is_master(self) -> bool:
+        """Master interfaces boot from a stand-alone PROM."""
+        return self in (InterfaceKind.SERIAL_MASTER, InterfaceKind.PARALLEL_MASTER)
+
+    @property
+    def is_jtag(self) -> bool:
+        """The boundary-scan test port (CPLDs only)."""
+        return self is InterfaceKind.JTAG
+
+
+#: Clock rates the paper cites for current (1997) technology.
+PROGRAMMING_CLOCKS_HZ = (1e6, 2e6, 4e6, 8e6, 10e6)
+
+#: PROM pricing: base part plus per-128KB increments; faster and wider
+#: PROMs cost more (multipliers).
+_PROM_BASE_COST = 2.0
+_PROM_PER_128KB = 3.0
+_PROM_SPEED_SURCHARGE_PER_MHZ = 0.35
+_PARALLEL_WIDTH_MULTIPLIER = 1.8
+#: Slave interfaces need a processor port plus image storage in DRAM
+#: (priced at the catalog's top-bank $/byte).
+_SLAVE_PORT_COST = 4.0
+_SLAVE_DRAM_COST_PER_BYTE = 125.0 / (64 * 1024 * KB)
+#: Wiring cost per device added to a shared chain.
+_CHAIN_WIRING_COST = 0.5
+#: Tapping the existing boundary-scan chain (CPLD programming).
+_JTAG_TAP_COST = 0.8
+#: JTAG TCK rates are modest; cap at 5 MHz.
+_JTAG_MAX_HZ = 5e6
+
+
+@dataclass(frozen=True)
+class ProgrammingOption:
+    """One entry of a device's reconfiguration option array."""
+
+    kind: InterfaceKind
+    clock_hz: float
+
+    @property
+    def name(self) -> str:
+        return "%s@%.0fMHz" % (self.kind.value, self.clock_hz / 1e6)
+
+    def boot_time(self, config_bits: int) -> float:
+        """Time to stream ``config_bits`` through this interface."""
+        if config_bits < 0:
+            raise AllocationError("config_bits must be non-negative")
+        return config_bits / (self.clock_hz * self.kind.width_bits)
+
+    def cost(self, storage_bytes: int) -> float:
+        """Dollar cost of the interface incl. image storage."""
+        if storage_bytes < 0:
+            raise AllocationError("storage must be non-negative")
+        if self.kind.is_master:
+            prom = _PROM_BASE_COST + _PROM_PER_128KB * (
+                -(-storage_bytes // (128 * KB))
+            )
+            prom += _PROM_SPEED_SURCHARGE_PER_MHZ * (self.clock_hz / 1e6)
+            if self.kind.width_bits == 8:
+                prom *= _PARALLEL_WIDTH_MULTIPLIER
+            return prom
+        if self.kind.is_jtag:
+            # The boundary-scan chain exists for testing anyway; only
+            # image storage in DRAM is charged.
+            return _JTAG_TAP_COST + storage_bytes * _SLAVE_DRAM_COST_PER_BYTE
+        cost = _SLAVE_PORT_COST + storage_bytes * _SLAVE_DRAM_COST_PER_BYTE
+        if self.kind.width_bits == 8:
+            cost *= 1.4  # wider CPU port wiring
+        return cost
+
+
+def default_option_array() -> List[ProgrammingOption]:
+    """Every (kind x clock) option, ordered by the *typical* cost of a
+    256 KB image, cheapest first -- the paper's ordering rule.  JTAG
+    entries are capped at realistic TCK rates."""
+    options = []
+    for kind in InterfaceKind:
+        for clock in PROGRAMMING_CLOCKS_HZ:
+            if kind.is_jtag and clock > _JTAG_MAX_HZ:
+                continue
+            options.append(ProgrammingOption(kind=kind, clock_hz=clock))
+    options.sort(key=lambda o: (o.cost(256 * KB), o.name))
+    return options
+
+
+def _usable_by(option: ProgrammingOption, pe: PEInstance, has_processor: bool) -> bool:
+    """Whether a device may use a programming option.
+
+    JTAG is the CPLD path (their standard test port); FPGAs use the
+    serial/parallel master/slave interfaces.  Slave and JTAG modes
+    need a CPU in the architecture to drive the stream.
+    """
+    from repro.resources.pe import PEKind
+
+    is_cpld = pe.pe_type.kind is PEKind.CPLD
+    if option.kind.is_jtag:
+        return is_cpld and has_processor
+    if is_cpld:
+        return False
+    if not option.kind.is_master and not has_processor:
+        return False
+    return True
+
+
+@dataclass
+class DeviceInterface:
+    """The chosen programming arrangement for one PPE instance."""
+
+    pe_id: str
+    option: ProgrammingOption
+    storage_bytes: int
+    chained_with: Tuple[str, ...] = ()
+    cost_share: float = 0.0
+    runtime_boot_times: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class InterfacePlan:
+    """The synthesized reconfiguration controller interface."""
+
+    devices: Dict[str, DeviceInterface] = field(default_factory=dict)
+    total_cost: float = 0.0
+
+    def boot_time_fn(self) -> Callable[[PEInstance, int], float]:
+        """A (PE instance, mode) -> boot-time callable for the
+        scheduler, reflecting the chosen interfaces."""
+
+        def boot_time(pe: PEInstance, mode_index: int) -> float:
+            device = self.devices.get(pe.id)
+            if device is None:
+                return 0.0
+            return device.runtime_boot_times.get(mode_index, 0.0)
+
+        return boot_time
+
+
+def _mode_config_bits(pe: PEInstance) -> List[int]:
+    """Configuration-stream bits per mode of a programmable instance."""
+    assert isinstance(pe.pe_type, PpeType)
+    return [
+        pe.pe_type.config_bits_for(pe.pfus_used(mode.index)) for mode in pe.modes
+    ]
+
+
+def _storage_bytes(pe: PEInstance) -> int:
+    """PROM/DRAM bytes needed to hold every mode's image.
+
+    Full-reconfiguration devices store one full image per mode;
+    partially reconfigurable devices store per-mode partial images.
+    """
+    assert isinstance(pe.pe_type, PpeType)
+    if pe.pe_type.partial_reconfig:
+        bits = sum(_mode_config_bits(pe))
+    else:
+        bits = pe.pe_type.config_bits * pe.n_modes
+    return (bits + 7) // 8
+
+
+def synthesize_interface(
+    arch: Architecture,
+    boot_time_requirement: float,
+    has_processor: Optional[bool] = None,
+    options: Optional[List[ProgrammingOption]] = None,
+) -> InterfacePlan:
+    """Choose the cheapest programming interfaces for every PPE.
+
+    Parameters
+    ----------
+    arch:
+        The architecture after cluster allocation.
+    boot_time_requirement:
+        The system's a-priori bound on run-time reconfiguration time
+        (Section 4.4); applies to every mode switch of every
+        multi-mode device.
+    has_processor:
+        Whether a CPU exists to drive slave-mode interfaces; derived
+        from the architecture when None.
+    options:
+        Option array override (ablation hook); default
+        :func:`default_option_array`.
+
+    Returns the plan and stores its total cost on
+    ``arch.interface_cost``.  Raises :class:`SynthesisError` when some
+    multi-mode device cannot meet the boot-time requirement with any
+    option (the caller should then reject the merge/allocation that
+    created the offending mode).
+    """
+    if boot_time_requirement <= 0:
+        raise AllocationError("boot-time requirement must be positive")
+    if options is None:
+        options = default_option_array()
+    if has_processor is None:
+        has_processor = any(p.is_processor for p in arch.pes.values())
+
+    from repro.resources.pe import PEKind
+
+    plan = InterfacePlan()
+    single_mode_fpgas: List[PEInstance] = []
+    for pe in arch.programmable_pes():
+        if pe.n_modes <= 1:
+            if pe.pe_type.kind is PEKind.CPLD:
+                # Flash-based CPLDs keep their configuration across
+                # power cycles; a single-mode part is programmed once
+                # in the factory through its test port and needs no
+                # run-time interface at all.
+                plan.devices[pe.id] = DeviceInterface(
+                    pe_id=pe.id,
+                    option=ProgrammingOption(InterfaceKind.JTAG, 1e6),
+                    storage_bytes=0,
+                    cost_share=0.0,
+                    runtime_boot_times={0: 0.0},
+                )
+            else:
+                single_mode_fpgas.append(pe)
+            continue
+        device = _choose_for_multimode(
+            pe, boot_time_requirement, has_processor, options
+        )
+        plan.devices[pe.id] = device
+        plan.total_cost += device.cost_share
+
+    if single_mode_fpgas:
+        _plan_powerup_chain(plan, single_mode_fpgas, has_processor, options)
+
+    arch.interface_cost = plan.total_cost
+    return plan
+
+
+def _choose_for_multimode(
+    pe: PEInstance,
+    boot_time_requirement: float,
+    has_processor: bool,
+    options: List[ProgrammingOption],
+) -> DeviceInterface:
+    """Cheapest option whose worst-mode boot time meets the bound."""
+    mode_bits = _mode_config_bits(pe)
+    storage = _storage_bytes(pe)
+    for option in options:
+        if not _usable_by(option, pe, has_processor):
+            continue
+        boots = {i: option.boot_time(bits) for i, bits in enumerate(mode_bits)}
+        if max(boots.values()) <= boot_time_requirement:
+            return DeviceInterface(
+                pe_id=pe.id,
+                option=option,
+                storage_bytes=storage,
+                cost_share=option.cost(storage),
+                runtime_boot_times=boots,
+            )
+    raise SynthesisError(
+        "no programming interface gets %r (%d modes, %d bits worst mode) "
+        "under the %.3fs boot-time requirement"
+        % (pe.id, pe.n_modes, max(mode_bits), boot_time_requirement)
+    )
+
+
+def _plan_powerup_chain(
+    plan: InterfacePlan,
+    devices: List[PEInstance],
+    has_processor: bool,
+    options: List[ProgrammingOption],
+) -> None:
+    """Share one power-up interface across all single-mode devices.
+
+    Chained devices stream their images back-to-back from one PROM at
+    power-up; there is no run-time boot-time constraint, so the
+    cheapest master option wins (slave needs the CPU alive before the
+    chain loads, which boards avoid for power-up logic).
+    """
+    masters = [o for o in options if o.kind.is_master]
+    if not masters:  # pragma: no cover - default array always has masters
+        masters = options
+    option = masters[0]
+    storage = sum(_storage_bytes(pe) for pe in devices)
+    chain_ids = tuple(sorted(pe.id for pe in devices))
+    chain_cost = option.cost(storage) + _CHAIN_WIRING_COST * len(devices)
+    share = chain_cost / len(devices)
+    for pe in devices:
+        plan.devices[pe.id] = DeviceInterface(
+            pe_id=pe.id,
+            option=option,
+            storage_bytes=_storage_bytes(pe),
+            chained_with=chain_ids,
+            cost_share=share,
+            runtime_boot_times={0: 0.0},
+        )
+    plan.total_cost += chain_cost

@@ -1,0 +1,58 @@
+"""Reconfiguration (boot) time accounting -- the ``reboot_task``.
+
+Section 4.3: each programmable device is characterized by a
+``reboot_task`` added at the beginning of each mode; its duration is
+determined by the type (serial or parallel) and speed of the
+programming interface, and the boot time is included in finish-time
+estimation so deadlines account for reconfiguration.
+
+Before the reconfiguration controller interface has been synthesized,
+the scheduler uses :func:`default_boot_time`: a mid-range serial
+interface at :data:`DEFAULT_PROGRAMMING_HZ`.  Interface synthesis later
+replaces this with the chosen option's boot time and the schedule is
+re-verified.
+"""
+
+from __future__ import annotations
+
+from repro.arch.pe_instance import PEInstance
+from repro.resources.pe import PpeType
+
+#: Default programming clock used before interface synthesis: 4 MHz
+#: serial (the paper quotes 1-10 MHz for current technology).
+DEFAULT_PROGRAMMING_HZ = 4_000_000.0
+
+#: Default interface width in bits (serial).
+DEFAULT_PROGRAMMING_WIDTH = 1
+
+
+def boot_time_for_bits(
+    config_bits: int,
+    clock_hz: float = DEFAULT_PROGRAMMING_HZ,
+    width_bits: int = DEFAULT_PROGRAMMING_WIDTH,
+) -> float:
+    """Time to stream ``config_bits`` through a programming interface."""
+    if config_bits < 0:
+        raise ValueError("config_bits must be non-negative")
+    if clock_hz <= 0 or width_bits <= 0:
+        raise ValueError("clock and width must be positive")
+    return config_bits / (clock_hz * width_bits)
+
+
+def default_boot_time(pe: PEInstance, mode_index: int) -> float:
+    """Boot time for switching ``pe`` into ``mode_index`` under the
+    default (pre-interface-synthesis) assumptions.
+
+    Non-programmable PEs never reboot.  Partially reconfigurable
+    devices stream only the PFUs the target mode uses; full-
+    reconfiguration devices stream the whole image.  A device with a
+    single mode never reconfigures at run time (it boots once at
+    power-up), so its boot time is charged as zero here.
+    """
+    if not isinstance(pe.pe_type, PpeType):
+        return 0.0
+    if pe.n_modes <= 1:
+        return 0.0
+    pfus = pe.pfus_used(mode_index)
+    bits = pe.pe_type.config_bits_for(pfus)
+    return boot_time_for_bits(bits)

@@ -1,0 +1,31 @@
+"""Resource library: processing elements and communication links.
+
+The PE library holds general-purpose processors, ASICs, and
+programmable PEs (FPGAs/CPLDs); the link library holds point-to-point,
+bus and LAN link types (Section 2.2).  :mod:`repro.resources.catalog`
+rebuilds the 1997-era commercial catalog the paper evaluates with.
+"""
+
+from repro.resources.pe import (
+    AsicType,
+    MemoryBank,
+    PEKind,
+    PEType,
+    PpeType,
+    ProcessorType,
+)
+from repro.resources.link import LinkType
+from repro.resources.library import ResourceLibrary
+from repro.resources.catalog import default_library
+
+__all__ = [
+    "AsicType",
+    "MemoryBank",
+    "PEKind",
+    "PEType",
+    "PpeType",
+    "ProcessorType",
+    "LinkType",
+    "ResourceLibrary",
+    "default_library",
+]

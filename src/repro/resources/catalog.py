@@ -1,0 +1,243 @@
+"""The default 1997-era resource catalog.
+
+Section 7 of the paper lists the PE library used for the experiments:
+Motorola 68360/68040/68060/PowerQUICC processors (each with and without
+a 256 KB second-level cache), sixteen ASICs, XILINX 3195A / 4025 / 6700
+series FPGAs, ATMEL AT6000-series FPGAs, XILINX XC9500 and XC7300
+CPLDs, ORCA 2T15 and 2T40 FPGAs, four DRAM bank options up to 64 MB
+(60 ns parts), and a link library with 680X0 and PowerQUICC buses, a
+10 Mb/s LAN, and a 31 Mb/s serial link.
+
+The original dollar costs are proprietary (15 k/year volume pricing).
+This module reconstructs the catalog with the same part names and
+capacity figures from period datasheets and *plausible relative* costs;
+only relative cost/speed/capacity ratios drive allocation decisions, so
+the reproduction preserves the algorithmic behaviour (see DESIGN.md,
+"Substitutions").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.resources.library import ResourceLibrary
+from repro.resources.link import LinkType
+from repro.resources.pe import (
+    AsicType,
+    MemoryBank,
+    PEKind,
+    PpeType,
+    ProcessorType,
+)
+from repro.units import KB, MB, MS, US
+
+#: The four DRAM bank options the paper evaluates per processor
+#: (60 ns parts, up to 64 MB).
+DRAM_BANKS: Tuple[MemoryBank, ...] = (
+    MemoryBank(size_bytes=16 * MB, cost=40.0),
+    MemoryBank(size_bytes=32 * MB, cost=70.0),
+    MemoryBank(size_bytes=48 * MB, cost=100.0),
+    MemoryBank(size_bytes=64 * MB, cost=125.0),
+)
+
+#: (name, speed, cost, comm_ports, context_switch, preemption_overhead)
+_PROCESSOR_SPECS = (
+    # 25 MHz CPU32+ core with integrated comm controllers.
+    ("MC68360", 1.0, 45.0, 4, 18 * US, 45 * US),
+    # 33 MHz 68040: roughly 2.6x a 68360 on control code.
+    ("MC68040", 2.6, 80.0, 2, 12 * US, 30 * US),
+    # 66 MHz 68060: superscalar, ~5x a 68360.
+    ("MC68060", 5.0, 165.0, 2, 8 * US, 22 * US),
+    # MPC860 PowerQUICC: PowerPC core + CPM, ~3.4x a 68360.
+    ("PowerQUICC", 3.4, 95.0, 4, 10 * US, 26 * US),
+)
+
+#: Speedup factor and added cost for the 256 KB L2 cache variants.
+_CACHE_SPEEDUP = 1.3
+_CACHE_COST = 45.0
+
+#: Sixteen ASICs: (gate capacity, pins, cost).  Gate counts span the
+#: small glue parts through large cell-based designs of the era; cost
+#: grows superlinearly with area (die + package + NRE amortized over
+#: 15 k/year volume).
+_ASIC_SPECS = (
+    (5_000, 84, 14.0),
+    (8_000, 100, 18.0),
+    (12_000, 120, 24.0),
+    (18_000, 144, 32.0),
+    (25_000, 160, 42.0),
+    (33_000, 184, 54.0),
+    (42_000, 208, 68.0),
+    (52_000, 240, 84.0),
+    (64_000, 240, 102.0),
+    (78_000, 280, 124.0),
+    (95_000, 304, 150.0),
+    (115_000, 352, 182.0),
+    (140_000, 388, 222.0),
+    (170_000, 432, 270.0),
+    (210_000, 472, 330.0),
+    (260_000, 503, 405.0),
+)
+
+#: Programmable PEs: (name, kind, pfus, flip_flops, pins,
+#: config_bits_per_pfu, partial_reconfig, cost).
+_PPE_SPECS = (
+    # XILINX XC3000 family flagship: 484 CLBs.
+    ("XC3195A", PEKind.FPGA, 484, 1320, 176, 270, False, 96.0),
+    # XILINX XC4025: 1024 CLBs, 25 k gates class.
+    ("XC4025", PEKind.FPGA, 1024, 2560, 256, 422, False, 210.0),
+    # "6700 series" partially reconfigurable XILINX part (XC6200 class).
+    ("XC6700", PEKind.FPGA, 4096, 4096, 240, 96, True, 165.0),
+    # ATMEL AT6000 series: fine-grained, partially reconfigurable.
+    ("AT6005", PEKind.FPGA, 3136, 3136, 120, 64, True, 72.0),
+    ("AT6010", PEKind.FPGA, 6400, 6400, 160, 64, True, 118.0),
+    # XILINX CPLDs: in-system programmable via the test port.
+    ("XC9536", PEKind.CPLD, 36, 36, 44, 900, False, 9.0),
+    ("XC95108", PEKind.CPLD, 108, 108, 108, 900, False, 22.0),
+    ("XC7336", PEKind.CPLD, 36, 36, 44, 850, False, 8.0),
+    ("XC7372", PEKind.CPLD, 72, 72, 84, 850, False, 15.0),
+    # Lucent ORCA FPGAs.
+    ("ORCA2T15", PEKind.FPGA, 400, 1600, 208, 480, False, 125.0),
+    ("ORCA2T40", PEKind.FPGA, 900, 3600, 304, 480, False, 245.0),
+)
+
+
+def _build_processors() -> List[ProcessorType]:
+    processors = []
+    for name, speed, cost, ports, ctx, preempt in _PROCESSOR_SPECS:
+        processors.append(
+            ProcessorType(
+                name=name,
+                cost=cost,
+                speed=speed,
+                memory_banks=DRAM_BANKS,
+                context_switch_time=ctx,
+                preemption_overhead=preempt,
+                comm_ports=ports,
+                cache_bytes=0,
+            )
+        )
+        processors.append(
+            ProcessorType(
+                name=name + "+L2",
+                cost=cost + _CACHE_COST,
+                speed=speed * _CACHE_SPEEDUP,
+                memory_banks=DRAM_BANKS,
+                context_switch_time=ctx,
+                preemption_overhead=preempt,
+                comm_ports=ports,
+                cache_bytes=256 * KB,
+            )
+        )
+    return processors
+
+
+def _build_asics() -> List[AsicType]:
+    return [
+        AsicType(name="ASIC%02d" % (i + 1), cost=cost, gates=gates, pins=pins)
+        for i, (gates, pins, cost) in enumerate(_ASIC_SPECS)
+    ]
+
+
+def _build_ppes() -> List[PpeType]:
+    return [
+        PpeType(
+            name=name,
+            cost=cost,
+            device_kind=kind,
+            pfus=pfus,
+            flip_flops=ffs,
+            pins=pins,
+            config_bits_per_pfu=cbits,
+            partial_reconfig=partial,
+        )
+        for name, kind, pfus, ffs, pins, cbits, partial, cost in _PPE_SPECS
+    ]
+
+
+def _build_links() -> List[LinkType]:
+    return [
+        # Shared processor buses: fast, few ports, arbitration grows
+        # with the number of masters.
+        LinkType(
+            name="bus680X0",
+            cost=6.0,
+            max_ports=8,
+            access_times=(1 * US, 1 * US, 2 * US, 3 * US, 4 * US, 6 * US, 8 * US, 10 * US),
+            bytes_per_packet=32,
+            packet_tx_time=4 * US,
+            cost_per_port=2.0,
+            assumed_ports=4,
+        ),
+        LinkType(
+            name="busQUICC",
+            cost=8.0,
+            max_ports=8,
+            access_times=(0.5 * US, 0.5 * US, 1 * US, 1.5 * US, 2 * US, 3 * US, 4 * US, 5 * US),
+            bytes_per_packet=64,
+            packet_tx_time=3 * US,
+            cost_per_port=3.0,
+            assumed_ports=4,
+        ),
+        # 10 Mb/s LAN: many ports, long access (CSMA), big packets.
+        LinkType(
+            name="lan10",
+            cost=20.0,
+            max_ports=32,
+            access_times=tuple(50 * US + 12 * US * i for i in range(32)),
+            bytes_per_packet=1500,
+            packet_tx_time=1.2 * MS,
+            cost_per_port=8.0,
+            assumed_ports=8,
+        ),
+        # 31 Mb/s serial link: point-to-point.
+        LinkType(
+            name="serial31",
+            cost=12.0,
+            max_ports=2,
+            access_times=(2 * US, 2 * US),
+            bytes_per_packet=256,
+            packet_tx_time=66 * US,
+            cost_per_port=4.0,
+            assumed_ports=2,
+        ),
+    ]
+
+
+def default_library() -> ResourceLibrary:
+    """Build the default 1997-era resource library of Section 7.
+
+    Returns a fresh :class:`~repro.resources.library.ResourceLibrary`
+    each call, so callers may extend their copy without aliasing.
+    """
+    library = ResourceLibrary()
+    for processor in _build_processors():
+        library.add_pe_type(processor)
+    for asic in _build_asics():
+        library.add_pe_type(asic)
+    for ppe in _build_ppes():
+        library.add_pe_type(ppe)
+    for link in _build_links():
+        library.add_link_type(link)
+    library.validate()
+    return library
+
+
+def processor_names(with_cache_variants: bool = True) -> List[str]:
+    """Names of catalog processors, for workload generators."""
+    names = []
+    for name, *_ in _PROCESSOR_SPECS:
+        names.append(name)
+        if with_cache_variants:
+            names.append(name + "+L2")
+    return names
+
+
+def ppe_names() -> List[str]:
+    """Names of catalog programmable PEs."""
+    return [spec[0] for spec in _PPE_SPECS]
+
+
+def asic_names() -> List[str]:
+    """Names of catalog ASICs."""
+    return ["ASIC%02d" % (i + 1) for i in range(len(_ASIC_SPECS))]

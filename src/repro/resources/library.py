@@ -1,0 +1,128 @@
+"""The resource library: PE library plus link library.
+
+Embedded-system specifications are mapped to elements of a resource
+library (Section 2.2).  :class:`ResourceLibrary` is an immutable-after-
+construction registry with deterministic, cost-ordered accessors used
+by allocation-array construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import ResourceLibraryError
+from repro.resources.link import LinkType
+from repro.resources.pe import AsicType, PEKind, PEType, PpeType, ProcessorType
+
+
+class ResourceLibrary:
+    """Registry of PE types and link types available to co-synthesis."""
+
+    def __init__(
+        self,
+        pe_types: Iterable[PEType] = (),
+        link_types: Iterable[LinkType] = (),
+    ) -> None:
+        self._pe_types: Dict[str, PEType] = {}
+        self._link_types: Dict[str, LinkType] = {}
+        for pe_type in pe_types:
+            self.add_pe_type(pe_type)
+        for link_type in link_types:
+            self.add_link_type(link_type)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_pe_type(self, pe_type: PEType) -> None:
+        """Register a PE type; duplicate names are rejected."""
+        if pe_type.name in self._pe_types:
+            raise ResourceLibraryError("duplicate PE type %r" % (pe_type.name,))
+        self._pe_types[pe_type.name] = pe_type
+
+    def add_link_type(self, link_type: LinkType) -> None:
+        """Register a link type; duplicate names are rejected."""
+        if link_type.name in self._link_types:
+            raise ResourceLibraryError("duplicate link type %r" % (link_type.name,))
+        self._link_types[link_type.name] = link_type
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def has_pe_type(self, name: str) -> bool:
+        """True when a PE type with this name is registered."""
+        return name in self._pe_types
+
+    def pe_type(self, name: str) -> PEType:
+        """Look up a PE type by name."""
+        try:
+            return self._pe_types[name]
+        except KeyError:
+            raise ResourceLibraryError("no PE type %r in library" % (name,)) from None
+
+    def link_type(self, name: str) -> LinkType:
+        """Look up a link type by name."""
+        try:
+            return self._link_types[name]
+        except KeyError:
+            raise ResourceLibraryError(
+                "no link type %r in library" % (name,)
+            ) from None
+
+    @property
+    def pe_types(self) -> Dict[str, PEType]:
+        """All PE types by name (do not mutate)."""
+        return self._pe_types
+
+    @property
+    def link_types(self) -> Dict[str, LinkType]:
+        """All link types by name (do not mutate)."""
+        return self._link_types
+
+    # ------------------------------------------------------------------
+    # classified, deterministic views
+    # ------------------------------------------------------------------
+    def _sorted(self, kinds: Iterable[PEKind]) -> List[PEType]:
+        wanted = set(kinds)
+        members = [p for p in self._pe_types.values() if p.kind in wanted]
+        members.sort(key=lambda p: (p.cost, p.name))
+        return members
+
+    def processors(self) -> List[ProcessorType]:
+        """General-purpose processors, cheapest first."""
+        return self._sorted([PEKind.PROCESSOR])  # type: ignore[return-value]
+
+    def asics(self) -> List[AsicType]:
+        """ASICs, cheapest first."""
+        return self._sorted([PEKind.ASIC])  # type: ignore[return-value]
+
+    def ppes(self) -> List[PpeType]:
+        """Programmable PEs (FPGAs and CPLDs), cheapest first."""
+        return self._sorted([PEKind.FPGA, PEKind.CPLD])  # type: ignore[return-value]
+
+    def all_pe_types_by_cost(self) -> List[PEType]:
+        """Every PE type, cheapest first (deterministic tiebreak)."""
+        return self._sorted(list(PEKind))
+
+    def links_by_cost(self) -> List[LinkType]:
+        """Every link type, cheapest first."""
+        members = list(self._link_types.values())
+        members.sort(key=lambda l: (l.cost, l.name))
+        return members
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Sanity-check the library as a whole.
+
+        Raises :class:`ResourceLibraryError` when the library cannot
+        support co-synthesis at all (no PEs or no links).
+        """
+        if not self._pe_types:
+            raise ResourceLibraryError("resource library has no PE types")
+        if not self._link_types:
+            raise ResourceLibraryError("resource library has no link types")
+
+    def __repr__(self) -> str:
+        return "ResourceLibrary(%d PE types, %d link types)" % (
+            len(self._pe_types),
+            len(self._link_types),
+        )

@@ -1,0 +1,261 @@
+"""Processing-element types.
+
+The PE library consists of general-purpose processors, ASICs and
+programmable PEs (PPEs: FPGAs and CPLDs), each characterized per
+Section 2.2 of the paper:
+
+* FPGA/CPLD -- number of gates/flip-flops/PFUs, boot memory
+  requirement, number of pins;
+* ASIC -- number of gates, number of pins;
+* general-purpose processor -- memory hierarchy information,
+  communication-port characteristics, context-switch time.
+
+All types are immutable value objects; the architecture model
+instantiates them (see :mod:`repro.arch.pe_instance`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ResourceLibraryError
+from repro.units import GATES_PER_PFU
+
+
+class PEKind(enum.Enum):
+    """Broad category of a processing element."""
+
+    PROCESSOR = "processor"
+    ASIC = "asic"
+    FPGA = "fpga"
+    CPLD = "cpld"
+
+    @property
+    def is_programmable(self) -> bool:
+        """True for run-time reprogrammable devices (FPGA/CPLD)."""
+        return self in (PEKind.FPGA, PEKind.CPLD)
+
+    @property
+    def is_hardware(self) -> bool:
+        """True for hardware mappings (ASIC/FPGA/CPLD)."""
+        return self is not PEKind.PROCESSOR
+
+
+@dataclass(frozen=True)
+class MemoryBank:
+    """One DRAM bank option attachable to a general-purpose processor.
+
+    The paper evaluates four DRAM banks providing up to 64 MB per
+    processor; allocation picks the smallest bank covering the mapped
+    tasks' memory vectors and adds its cost to the architecture.
+    """
+
+    size_bytes: int
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ResourceLibraryError("memory bank size must be positive")
+        if self.cost < 0:
+            raise ResourceLibraryError("memory bank cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class PEType:
+    """Common base for all PE types: a name and a dollar cost."""
+
+    name: str
+    cost: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ResourceLibraryError("PE type name must be non-empty")
+        if self.cost < 0:
+            raise ResourceLibraryError(
+                "PE type %r cost must be non-negative" % (self.name,)
+            )
+
+    @property
+    def kind(self) -> PEKind:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def is_programmable(self) -> bool:
+        """True for FPGAs and CPLDs."""
+        return self.kind.is_programmable
+
+    @property
+    def is_hardware(self) -> bool:
+        """True for ASIC/FPGA/CPLD mappings."""
+        return self.kind.is_hardware
+
+
+@dataclass(frozen=True)
+class ProcessorType(PEType):
+    """A general-purpose processor.
+
+    Parameters
+    ----------
+    speed:
+        Relative throughput (1.0 = the slowest catalog part); used by
+        workload generators to derive execution-time vectors, never by
+        the co-synthesis algorithms themselves.
+    memory_banks:
+        DRAM bank options attachable to this processor, smallest first.
+    context_switch_time:
+        Operating-system context-switch time in seconds.
+    preemption_overhead:
+        Total overhead charged per preemption (interrupt entry +
+        context switch + scheduler), in seconds (Section 5).
+    comm_ports:
+        Number of simultaneous link attachments the communication
+        processor supports.
+    cache_bytes:
+        Second-level cache size (0 when the variant has none).
+    """
+
+    speed: float = 1.0
+    memory_banks: Tuple[MemoryBank, ...] = ()
+    context_switch_time: float = 20e-6
+    preemption_overhead: float = 50e-6
+    comm_ports: int = 2
+    cache_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.speed <= 0:
+            raise ResourceLibraryError(
+                "processor %r speed must be positive" % (self.name,)
+            )
+        if self.context_switch_time < 0 or self.preemption_overhead < 0:
+            raise ResourceLibraryError(
+                "processor %r overheads must be non-negative" % (self.name,)
+            )
+        if self.comm_ports < 1:
+            raise ResourceLibraryError(
+                "processor %r needs at least one comm port" % (self.name,)
+            )
+        banks = tuple(sorted(self.memory_banks, key=lambda b: b.size_bytes))
+        object.__setattr__(self, "memory_banks", banks)
+
+    @property
+    def kind(self) -> PEKind:
+        return PEKind.PROCESSOR
+
+    @property
+    def max_memory_bytes(self) -> int:
+        """Largest attachable DRAM bank (memory capacity ceiling)."""
+        if not self.memory_banks:
+            return 0
+        return self.memory_banks[-1].size_bytes
+
+    def smallest_bank_for(self, demand_bytes: int) -> Optional[MemoryBank]:
+        """Cheapest bank covering ``demand_bytes`` or None if demand
+        exceeds every bank."""
+        if demand_bytes <= 0:
+            return None
+        for bank in self.memory_banks:
+            if bank.size_bytes >= demand_bytes:
+                return bank
+        return None
+
+
+@dataclass(frozen=True)
+class AsicType(PEType):
+    """An application-specific IC characterized by gates and pins."""
+
+    gates: int = 0
+    pins: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.gates <= 0:
+            raise ResourceLibraryError("ASIC %r needs positive gates" % (self.name,))
+        if self.pins <= 0:
+            raise ResourceLibraryError("ASIC %r needs positive pins" % (self.name,))
+
+    @property
+    def kind(self) -> PEKind:
+        return PEKind.ASIC
+
+
+@dataclass(frozen=True)
+class PpeType(PEType):
+    """A programmable PE: FPGA or CPLD.
+
+    Parameters
+    ----------
+    device_kind:
+        :data:`PEKind.FPGA` or :data:`PEKind.CPLD`.
+    pfus:
+        Programmable functional units (CLBs/logic cells/macrocells).
+    flip_flops:
+        Register count (informational; capacity checks use PFUs).
+    pins:
+        User I/O pins.
+    config_bits_per_pfu:
+        Configuration-stream bits per PFU; total configuration size
+        drives boot time and boot-memory requirement (Section 4.4).
+    partial_reconfig:
+        True for devices supporting partial reconfiguration (ATMEL
+        AT6000, XILINX XC6200 class): boot time scales with the number
+        of PFUs actually being reconfigured rather than the device
+        size.
+    """
+
+    device_kind: PEKind = PEKind.FPGA
+    pfus: int = 0
+    flip_flops: int = 0
+    pins: int = 0
+    config_bits_per_pfu: int = 360
+    partial_reconfig: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.device_kind.is_programmable:
+            raise ResourceLibraryError(
+                "PPE %r kind must be FPGA or CPLD, got %r"
+                % (self.name, self.device_kind)
+            )
+        if self.pfus <= 0:
+            raise ResourceLibraryError("PPE %r needs positive PFUs" % (self.name,))
+        if self.pins <= 0:
+            raise ResourceLibraryError("PPE %r needs positive pins" % (self.name,))
+        if self.config_bits_per_pfu <= 0:
+            raise ResourceLibraryError(
+                "PPE %r needs positive config bits per PFU" % (self.name,)
+            )
+
+    @property
+    def kind(self) -> PEKind:
+        return self.device_kind
+
+    @property
+    def gates(self) -> int:
+        """Gate-equivalent capacity (PFUs x gates-per-PFU)."""
+        return self.pfus * GATES_PER_PFU
+
+    @property
+    def config_bits(self) -> int:
+        """Bits in one full configuration stream."""
+        return self.pfus * self.config_bits_per_pfu
+
+    @property
+    def boot_memory_bytes(self) -> int:
+        """PROM bytes needed to store one full configuration image."""
+        return (self.config_bits + 7) // 8
+
+    def config_bits_for(self, pfus_used: int) -> int:
+        """Configuration bits that must be loaded to (re)program
+        ``pfus_used`` PFUs.
+
+        Full-reconfiguration devices always stream the whole image;
+        partially reconfigurable devices stream only the used PFUs.
+        """
+        if pfus_used < 0:
+            raise ResourceLibraryError("pfus_used must be non-negative")
+        if self.partial_reconfig:
+            return min(pfus_used, self.pfus) * self.config_bits_per_pfu
+        return self.config_bits

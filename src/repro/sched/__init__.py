@@ -1,0 +1,33 @@
+"""Static scheduling and finish-time estimation (Section 5).
+
+CRUSADE schedules tasks and edges with deadline-based priority levels
+using a combination of preemptive and non-preemptive static scheduling;
+scheduling sits in the inner loop of co-synthesis so every candidate
+allocation is evaluated with an accurate finish-time estimate.
+Programmable PEs add mode windows: tasks of different configuration
+modes cannot overlap and switching charges the device boot time through
+an implicit ``reboot_task`` (Section 4.3).
+"""
+
+from repro.sched.timeline import IntervalTimeline, ModeWindow, PpeModeTimeline
+from repro.sched.scheduler import (
+    ScheduledEdge,
+    ScheduledTask,
+    Schedule,
+    ScheduleRequest,
+    build_schedule,
+)
+from repro.sched.finish_time import DeadlineReport, evaluate_deadlines
+
+__all__ = [
+    "IntervalTimeline",
+    "ModeWindow",
+    "PpeModeTimeline",
+    "ScheduledEdge",
+    "ScheduledTask",
+    "Schedule",
+    "ScheduleRequest",
+    "build_schedule",
+    "DeadlineReport",
+    "evaluate_deadlines",
+]

@@ -1,0 +1,170 @@
+"""Allocation-array construction: option kinds, ordering, mode rules."""
+
+import pytest
+
+from repro import DelayPolicy, SystemSpec, Task, TaskGraph
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import cluster_spec
+from repro.graph.task import MemoryRequirement
+from repro.reconfig.compatibility import CompatibilityAnalysis
+from repro.alloc.array import AllocationKind, build_allocation_array
+from repro.alloc.evaluate import apply_option
+
+
+def hw_graph(name, est=0.0, gates=800, period=1.0, deadline=0.5):
+    g = TaskGraph(name=name, period=period, deadline=deadline, est=est)
+    g.add_task(Task(name=name + ".t", exec_times={"FPGA": 1e-3},
+                    area_gates=gates, pins=10))
+    return g
+
+
+def sw_graph(name):
+    g = TaskGraph(name=name, period=1.0, deadline=0.5)
+    g.add_task(Task(name=name + ".t", exec_times={"CPU": 1e-3},
+                    memory=MemoryRequirement(program=2048)))
+    return g
+
+
+@pytest.fixture
+def compat_pair(small_library):
+    spec = SystemSpec(
+        "s",
+        [hw_graph("ga", est=0.0), hw_graph("gb", est=0.5)],
+        compatibility=[("ga", "gb")],
+    )
+    clustering = cluster_spec(spec, small_library)
+    compat = CompatibilityAnalysis.from_spec(spec)
+    return spec, clustering, compat
+
+
+def options_for(cluster_name, spec, clustering, compat, arch, **kw):
+    return build_allocation_array(
+        clustering.clusters[cluster_name], arch, clustering, spec,
+        DelayPolicy(), compat=compat, **kw
+    )
+
+
+class TestOptionKinds:
+    def test_empty_arch_offers_new_pes_only(self, small_library, compat_pair):
+        spec, clustering, compat = compat_pair
+        arch = Architecture(small_library)
+        options = options_for("ga/c000", spec, clustering, compat, arch)
+        assert options
+        assert all(o.kind is AllocationKind.NEW_PE for o in options)
+
+    def test_new_pe_cost_is_type_cost(self, small_library, compat_pair):
+        spec, clustering, compat = compat_pair
+        arch = Architecture(small_library)
+        options = options_for("ga/c000", spec, clustering, compat, arch)
+        fpga = [o for o in options if o.pe_type_name == "FPGA"][0]
+        assert fpga.est_cost == 100.0
+
+    def test_compatible_cluster_gets_new_mode_not_join(
+        self, small_library, compat_pair
+    ):
+        spec, clustering, compat = compat_pair
+        arch = Architecture(small_library)
+        first = options_for("ga/c000", spec, clustering, compat, arch)[0]
+        apply_option(first, arch, clustering.clusters["ga/c000"], clustering, spec)
+        options = options_for("gb/c000", spec, clustering, compat, arch)
+        kinds = {o.kind for o in options}
+        assert AllocationKind.NEW_MODE in kinds
+        # Joining the compatible resident's mode is not offered: the
+        # new-mode option covers time sharing (Figure 4(d)).
+        assert AllocationKind.EXISTING_MODE not in kinds
+        # And the free new mode sorts before buying a new device.
+        assert options[0].kind is AllocationKind.NEW_MODE
+
+    def test_reconfiguration_disabled_blocks_new_modes(self, small_library):
+        spec = SystemSpec(
+            "s",
+            [hw_graph("ga", est=0.0, gates=500), hw_graph("gb", est=0.5, gates=500)],
+            compatibility=[("ga", "gb")],
+        )
+        clustering = cluster_spec(spec, small_library)
+        arch = Architecture(small_library)
+        compat = CompatibilityAnalysis.from_spec(spec)
+        first = options_for("ga/c000", spec, clustering, compat, arch)[0]
+        apply_option(first, arch, clustering.clusters["ga/c000"], clustering, spec)
+        options = options_for(
+            "gb/c000", spec, clustering, None, arch, allow_new_modes=False
+        )
+        kinds = {o.kind for o in options}
+        assert AllocationKind.NEW_MODE not in kinds
+        # Baseline: incompatible-or-unknown overlap means the silicon
+        # is simply shared in mode 0.
+        assert AllocationKind.EXISTING_MODE in kinds
+
+    def test_overlapping_cluster_joins_mode(self, small_library):
+        # Two overlapping graphs (no compatibility): the second shares
+        # the same FPGA configuration (Figure 4(e)'s C3 case).
+        spec = SystemSpec(
+            "s",
+            [hw_graph("ga", gates=500), hw_graph("gb", gates=500)],
+            compatibility=[],
+        )
+        clustering = cluster_spec(spec, small_library)
+        compat = CompatibilityAnalysis.from_spec(spec)
+        arch = Architecture(small_library)
+        first = options_for("ga/c000", spec, clustering, compat, arch)[0]
+        apply_option(first, arch, clustering.clusters["ga/c000"], clustering, spec)
+        options = options_for("gb/c000", spec, clustering, compat, arch)
+        assert options[0].kind is AllocationKind.EXISTING_MODE
+
+
+class TestReplication:
+    def test_new_mode_replicates_overlapping_resident(self, small_library):
+        # gb compatible with ga; gc overlaps ga but is compatible with
+        # gb... construct: always-on graph plus two window graphs.
+        always = hw_graph("always", period=0.5, deadline=0.25, gates=300)
+        wa = hw_graph("wa", est=0.0, gates=600)
+        wb = hw_graph("wb", est=0.5, gates=600)
+        spec = SystemSpec(
+            "s", [always, wa, wb], compatibility=[("wa", "wb")]
+        )
+        clustering = cluster_spec(spec, small_library)
+        compat = CompatibilityAnalysis.from_spec(spec)
+        arch = Architecture(small_library)
+        # Place always + wa into mode 0 of one FPGA.
+        fpga = arch.new_pe(small_library.pe_type("FPGA"))
+        for name in ("always/c000", "wa/c000"):
+            c = clustering.clusters[name]
+            arch.allocate_cluster(name, fpga.id, 0, gates=c.area_gates, pins=c.pins)
+        options = options_for("wb/c000", spec, clustering, compat, arch)
+        new_modes = [o for o in options if o.kind is AllocationKind.NEW_MODE]
+        assert new_modes
+        # The always-on cluster must ride along into the new mode.
+        assert new_modes[0].replicate == ("always/c000",)
+        apply_option(new_modes[0], arch, clustering.clusters["wb/c000"],
+                     clustering, spec)
+        assert arch.pe(fpga.id).modes_of_cluster("always/c000") == (0, 1)
+
+    def test_replication_respects_capacity(self, small_library):
+        always = hw_graph("always", period=0.5, deadline=0.25, gates=900)
+        wa = hw_graph("wa", est=0.0, gates=600)
+        wb = hw_graph("wb", est=0.5, gates=600)  # 600 + 900 > 1400 cap
+        spec = SystemSpec("s", [always, wa, wb], compatibility=[("wa", "wb")])
+        clustering = cluster_spec(spec, small_library)
+        compat = CompatibilityAnalysis.from_spec(spec)
+        arch = Architecture(small_library)
+        fpga = arch.new_pe(small_library.pe_type("FPGA"))
+        for name in ("always/c000", "wa/c000"):
+            c = clustering.clusters[name]
+            arch.allocate_cluster(name, fpga.id, 0, gates=c.area_gates, pins=c.pins)
+        options = options_for("wb/c000", spec, clustering, compat, arch)
+        assert not [o for o in options if o.kind is AllocationKind.NEW_MODE]
+
+
+class TestOrdering:
+    def test_cheapest_first(self, small_library, compat_pair):
+        spec, clustering, compat = compat_pair
+        arch = Architecture(small_library)
+        options = options_for("ga/c000", spec, clustering, compat, arch)
+        costs = [o.est_cost for o in options]
+        assert costs == sorted(costs)
+
+    def test_describe_is_readable(self, small_library, compat_pair):
+        spec, clustering, compat = compat_pair
+        arch = Architecture(small_library)
+        options = options_for("ga/c000", spec, clustering, compat, arch)
+        assert "new FPGA" in options[0].describe()

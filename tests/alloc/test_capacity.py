@@ -1,0 +1,136 @@
+"""Capacity checks: gates, pins, memory, exclusions, ERUF/EPUF."""
+
+import pytest
+
+from repro import DelayPolicy
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import Cluster, ClusteringResult
+from repro.graph.task import MemoryRequirement
+from repro.alloc.capacity import (
+    exclusion_conflict,
+    fits_in_ppe_mode,
+    fits_new_pe_type,
+    fits_on_asic,
+    fits_on_processor,
+)
+from repro.units import MB
+
+
+def make_cluster(name="c0", graph="g", tasks=("t0",), pe_types=("CPU", "FPGA"),
+                 exclusions=(), gates=0, pins=0, memory=0):
+    return Cluster(
+        name=name,
+        graph=graph,
+        task_names=list(tasks),
+        allowed_pe_types=set(pe_types),
+        exclusions=set(exclusions),
+        area_gates=gates,
+        pins=pins,
+        memory=MemoryRequirement(program=memory),
+    )
+
+
+def make_clustering(*clusters):
+    return ClusteringResult(
+        clusters={c.name: c for c in clusters},
+        task_to_cluster={
+            (c.graph, t): c.name for c in clusters for t in c.task_names
+        },
+    )
+
+
+@pytest.fixture
+def arch(small_library):
+    return Architecture(small_library)
+
+
+class TestExclusions:
+    def test_no_conflict_on_empty_pe(self, arch, small_library):
+        pe = arch.new_pe(small_library.pe_type("CPU"))
+        cluster = make_cluster()
+        assert not exclusion_conflict(cluster, pe, make_clustering(cluster))
+
+    def test_cluster_excluding_resident_task(self, arch, small_library):
+        pe = arch.new_pe(small_library.pe_type("CPU"))
+        resident = make_cluster(name="r", tasks=("victim",))
+        clustering = make_clustering(resident)
+        arch.allocate_cluster("r", pe.id, 0)
+        newcomer = make_cluster(name="n", tasks=("x",), exclusions=("victim",))
+        clustering.clusters["n"] = newcomer
+        assert exclusion_conflict(newcomer, pe, clustering)
+
+    def test_resident_excluding_newcomer_task(self, arch, small_library):
+        pe = arch.new_pe(small_library.pe_type("CPU"))
+        resident = make_cluster(name="r", tasks=("a",), exclusions=("x",))
+        clustering = make_clustering(resident)
+        arch.allocate_cluster("r", pe.id, 0)
+        newcomer = make_cluster(name="n", tasks=("x",))
+        clustering.clusters["n"] = newcomer
+        assert exclusion_conflict(newcomer, pe, clustering)
+
+
+class TestProcessorFit:
+    def test_fits_within_memory(self, arch, small_library):
+        pe = arch.new_pe(small_library.pe_type("CPU"))
+        cluster = make_cluster(memory=1 * MB)
+        assert fits_on_processor(cluster, pe, make_clustering(cluster))
+
+    def test_memory_overflow_rejected(self, arch, small_library):
+        pe = arch.new_pe(small_library.pe_type("CPU"))
+        cluster = make_cluster(memory=100 * MB)  # > largest 64 MB bank
+        assert not fits_on_processor(cluster, pe, make_clustering(cluster))
+
+    def test_wrong_pe_type_rejected(self, arch, small_library):
+        pe = arch.new_pe(small_library.pe_type("CPU"))
+        cluster = make_cluster(pe_types=("FPGA",))
+        assert not fits_on_processor(cluster, pe, make_clustering(cluster))
+
+
+class TestPpeFit:
+    def test_eruf_cap_enforced(self, arch, small_library):
+        pe = arch.new_pe(small_library.pe_type("FPGA"))  # 200 PFUs -> 1400 usable gates
+        policy = DelayPolicy()
+        ok = make_cluster(gates=1400, pins=4)
+        too_big = make_cluster(gates=1401, pins=4)
+        assert fits_in_ppe_mode(ok, pe, 0, make_clustering(ok), policy)
+        assert not fits_in_ppe_mode(too_big, pe, 0, make_clustering(too_big), policy)
+
+    def test_epuf_cap_enforced(self, arch, small_library):
+        pe = arch.new_pe(small_library.pe_type("FPGA"))  # 64 pins -> 51 usable
+        policy = DelayPolicy()
+        ok = make_cluster(gates=10, pins=51)
+        too_many = make_cluster(gates=10, pins=52)
+        assert fits_in_ppe_mode(ok, pe, 0, make_clustering(ok), policy)
+        assert not fits_in_ppe_mode(too_many, pe, 0, make_clustering(too_many), policy)
+
+    def test_existing_usage_counts(self, arch, small_library):
+        pe = arch.new_pe(small_library.pe_type("FPGA"))
+        resident = make_cluster(name="r", gates=1000, pins=4)
+        clustering = make_clustering(resident)
+        arch.allocate_cluster("r", pe.id, 0, gates=1000, pins=4)
+        newcomer = make_cluster(name="n", gates=500, pins=4)
+        clustering.clusters["n"] = newcomer
+        assert not fits_in_ppe_mode(newcomer, pe, 0, clustering, DelayPolicy())
+
+    def test_hypothetical_new_mode_uses_empty_usage(self, arch, small_library):
+        pe = arch.new_pe(small_library.pe_type("FPGA"))
+        resident = make_cluster(name="r", gates=1000, pins=4)
+        clustering = make_clustering(resident)
+        arch.allocate_cluster("r", pe.id, 0, gates=1000, pins=4)
+        newcomer = make_cluster(name="n", gates=1400, pins=4)
+        clustering.clusters["n"] = newcomer
+        assert fits_in_ppe_mode(newcomer, pe, None, clustering, DelayPolicy())
+
+
+class TestNewPeFit:
+    def test_processor(self, small_library):
+        cluster = make_cluster(memory=1 * MB)
+        assert fits_new_pe_type(cluster, small_library.pe_type("CPU"), DelayPolicy())
+
+    def test_ppe_capped(self, small_library):
+        cluster = make_cluster(gates=1401, pins=4)
+        assert not fits_new_pe_type(cluster, small_library.pe_type("FPGA"), DelayPolicy())
+
+    def test_disallowed_type(self, small_library):
+        cluster = make_cluster(pe_types=("CPU",))
+        assert not fits_new_pe_type(cluster, small_library.pe_type("FPGA"), DelayPolicy())

@@ -1,0 +1,54 @@
+"""Mode-join legality on multi-mode devices (the physical rule)."""
+
+import pytest
+
+from repro import DelayPolicy, SystemSpec, Task, TaskGraph
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import cluster_spec
+from repro.reconfig.compatibility import CompatibilityAnalysis
+from repro.alloc.array import AllocationKind, build_allocation_array
+
+
+def hw(name, est, period=1.0, window=0.5, gates=300):
+    g = TaskGraph(name=name, period=period, deadline=window, est=est)
+    g.add_task(Task(name=name + ".t", exec_times={"FPGA": 1e-3},
+                    area_gates=gates, pins=4))
+    return g
+
+
+def test_join_requires_compatibility_with_other_modes(small_library):
+    """A cluster may join mode M only when its graph is compatible
+    with every graph in the device's OTHER modes -- else the device
+    would need two configurations at once."""
+    # Windows: wa [0, .33), wb [.33, .66), wc [0, .33) -- wc overlaps
+    # wa but is compatible with wb.
+    wa = hw("wa", est=0.0, window=1 / 3)
+    wb = hw("wb", est=1 / 3, window=1 / 3)
+    wc = hw("wc", est=0.0, window=1 / 3)
+    spec = SystemSpec(
+        "s", [wa, wb, wc],
+        compatibility=[("wa", "wb"), ("wb", "wc")],
+    )
+    clustering = cluster_spec(spec, small_library)
+    compat = CompatibilityAnalysis.from_spec(spec)
+    arch = Architecture(small_library)
+    fpga = arch.new_pe(small_library.pe_type("FPGA"))
+    fpga.new_mode()
+    ca, cb = clustering.cluster_of("wa", "wa.t"), clustering.cluster_of("wb", "wb.t")
+    arch.allocate_cluster(ca.name, fpga.id, 0, gates=ca.area_gates, pins=ca.pins)
+    arch.allocate_cluster(cb.name, fpga.id, 1, gates=cb.area_gates, pins=cb.pins)
+
+    cc = clustering.cluster_of("wc", "wc.t")
+    options = build_allocation_array(
+        cc, arch, clustering, spec, DelayPolicy(), compat=compat
+    )
+    joins = [o for o in options if o.kind is AllocationKind.EXISTING_MODE]
+    # wc may join wa's mode 0 (compatible with wb in mode 1) but never
+    # wb's mode 1 (incompatible with wa in mode 0).
+    assert joins, "expected a legal join"
+    assert all(o.mode_index == 0 for o in joins)
+    # And no new mode: wc overlaps wa, so a fresh configuration would
+    # need wa's circuit replicated -- offered only if capacity admits.
+    new_modes = [o for o in options if o.kind is AllocationKind.NEW_MODE]
+    for option in new_modes:
+        assert ca.name in option.replicate

@@ -1,0 +1,87 @@
+"""Cost breakdown categories and architecture metric views."""
+
+import pytest
+
+from repro.arch.architecture import Architecture
+from repro.arch.cost import CostBreakdown, cost_breakdown
+from repro.graph.task import MemoryRequirement
+
+
+class TestCostBreakdown:
+    def test_as_dict_includes_total(self):
+        breakdown = CostBreakdown(
+            processors=10.0, asics=5.0, ppes=20.0, memory=2.0,
+            links=3.0, interface=1.0,
+        )
+        payload = breakdown.as_dict()
+        assert payload["total"] == pytest.approx(41.0)
+        assert set(payload) == {
+            "processors", "asics", "ppes", "memory", "links",
+            "interface", "total",
+        }
+
+    def test_catalog_categories(self, library):
+        arch = Architecture(library)
+        arch.new_pe(library.pe_type("MC68040"))
+        arch.new_pe(library.pe_type("ASIC03"))
+        arch.new_pe(library.pe_type("XC4025"))
+        breakdown = cost_breakdown(arch)
+        assert breakdown.processors == library.pe_type("MC68040").cost
+        assert breakdown.asics == library.pe_type("ASIC03").cost
+        assert breakdown.ppes == library.pe_type("XC4025").cost
+        assert breakdown.memory == 0.0
+
+    def test_cplds_count_as_ppes(self, library):
+        arch = Architecture(library)
+        arch.new_pe(library.pe_type("XC9536"))
+        assert cost_breakdown(arch).ppes == library.pe_type("XC9536").cost
+
+
+class TestArchitectureViews:
+    def test_programmable_pes_sorted(self, library):
+        arch = Architecture(library)
+        arch.new_pe(library.pe_type("XC4025"))
+        arch.new_pe(library.pe_type("AT6005"))
+        arch.new_pe(library.pe_type("MC68360"))
+        ids = [p.id for p in arch.programmable_pes()]
+        assert ids == sorted(ids)
+        assert all("MC68360" not in i for i in ids)
+
+    def test_total_modes(self, library):
+        arch = Architecture(library)
+        fpga = arch.new_pe(library.pe_type("XC4025"))
+        fpga.new_mode()
+        arch.new_pe(library.pe_type("AT6005"))
+        assert arch.total_modes() == 3
+
+    def test_summary_format(self, library):
+        arch = Architecture(library)
+        arch.new_pe(library.pe_type("MC68360"))
+        text = arch.summary()
+        assert "1 PEs" in text and "cost $" in text
+
+    def test_processor_memory_bank_escalation(self, library):
+        from repro.units import MB
+
+        arch = Architecture(library)
+        cpu = arch.new_pe(library.pe_type("MC68360"))
+        arch.allocate_cluster(
+            "small", cpu.id, 0, memory=MemoryRequirement(program=1 * MB)
+        )
+        assert cpu.memory_bank().size_bytes == 16 * MB
+        arch.allocate_cluster(
+            "big", cpu.id, 0, memory=MemoryRequirement(data=20 * MB)
+        )
+        assert cpu.memory_bank().size_bytes == 32 * MB
+
+    def test_memory_overflow_raises_on_bank_lookup(self, library):
+        from repro import AllocationError
+        from repro.units import MB
+
+        arch = Architecture(library)
+        cpu = arch.new_pe(library.pe_type("MC68360"))
+        arch.allocate_cluster(
+            "huge", cpu.id, 0, memory=MemoryRequirement(data=100 * MB)
+        )
+        with pytest.raises(AllocationError):
+            cpu.memory_bank()

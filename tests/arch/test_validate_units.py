@@ -1,0 +1,84 @@
+"""Architecture validator: each check fires on its targeted corruption."""
+
+import pytest
+
+from repro import DelayPolicy
+from repro.arch.architecture import Architecture
+from repro.arch.validate import validate_architecture
+from repro.cluster.clustering import Cluster, ClusteringResult
+from repro.graph.task import MemoryRequirement
+
+
+def clustering_with(*clusters):
+    return ClusteringResult(
+        clusters={c.name: c for c in clusters},
+        task_to_cluster={(c.graph, t): c.name
+                         for c in clusters for t in c.task_names},
+    )
+
+
+def make_cluster(name, gates=100, pins=4):
+    return Cluster(name=name, graph="g", task_names=[name + ".t"],
+                   allowed_pe_types={"FPGA"}, area_gates=gates, pins=pins,
+                   memory=MemoryRequirement())
+
+
+@pytest.fixture
+def consistent(small_library):
+    arch = Architecture(small_library)
+    fpga = arch.new_pe(small_library.pe_type("FPGA"))
+    cluster = make_cluster("c0")
+    arch.allocate_cluster("c0", fpga.id, 0, gates=100, pins=4)
+    return arch, clustering_with(cluster), fpga
+
+
+class TestDetections:
+    def test_clean_architecture_passes(self, consistent):
+        arch, clustering, _ = consistent
+        assert validate_architecture(arch, clustering, policy=DelayPolicy()).ok
+
+    def test_allocation_table_mismatch(self, consistent):
+        arch, clustering, fpga = consistent
+        arch.cluster_alloc["c0"] = (fpga.id, 0)
+        fpga.cluster_modes["c0"] = 5  # corrupt the PE side
+        report = validate_architecture(arch, clustering)
+        assert any("disagree" in v for v in report.violations)
+
+    def test_dangling_allocation(self, consistent):
+        arch, clustering, fpga = consistent
+        arch.cluster_alloc["ghost"] = ("NOPE#0", 0)
+        report = validate_architecture(arch, clustering)
+        assert any("missing PE" in v for v in report.violations)
+
+    def test_pe_holding_unlisted_cluster(self, consistent):
+        arch, clustering, fpga = consistent
+        del arch.cluster_alloc["c0"]
+        report = validate_architecture(arch, clustering)
+        assert any("allocation table" in v for v in report.violations)
+
+    def test_gate_counter_mismatch(self, consistent):
+        arch, clustering, fpga = consistent
+        fpga.mode(0).gates_used += 7
+        report = validate_architecture(arch, clustering)
+        assert any("gate counter" in v for v in report.violations)
+
+    def test_capacity_violation(self, consistent, small_library):
+        arch, clustering, fpga = consistent
+        # Inflate the cluster's demand beyond the ERUF cap coherently.
+        clustering.clusters["c0"].area_gates = 5000
+        fpga.mode(0).gates_used = 5000
+        report = validate_architecture(arch, clustering, policy=DelayPolicy())
+        assert any("ERUF" in v for v in report.violations)
+
+    def test_replica_of_unallocated_cluster(self, consistent):
+        arch, clustering, fpga = consistent
+        fpga.replica_modes["ghost"] = {0}
+        report = validate_architecture(arch, clustering)
+        assert any("replicates" in v for v in report.violations)
+
+    def test_link_attaching_missing_pe(self, consistent, small_library):
+        arch, clustering, fpga = consistent
+        link = arch.new_link(small_library.link_type("bus"))
+        link.attached.add("GONE#9")
+        report = validate_architecture(arch, clustering)
+        assert any("missing PE" in v for v in report.violations)

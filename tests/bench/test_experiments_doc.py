@@ -1,0 +1,87 @@
+"""EXPERIMENTS.md refresher."""
+
+import pytest
+
+from repro import SpecificationError
+from repro.bench.experiments_doc import _replace_block_after, refresh_experiments
+
+
+DOC = """# Title
+
+## Table 1 — something
+
+intro text
+
+```
+OLD TABLE
+```
+
+closing text
+
+## Table 2 — other
+
+```
+OLD 2
+```
+"""
+
+
+class TestReplaceBlock:
+    def test_replaces_only_first_block_after_heading(self):
+        out = _replace_block_after(DOC, "## Table 1", "```\nNEW\n```")
+        assert "NEW" in out
+        assert "OLD TABLE" not in out
+        assert "OLD 2" in out
+        assert "closing text" in out
+
+    def test_missing_heading_returns_none(self):
+        assert _replace_block_after(DOC, "## Nope", "x") is None
+
+    def test_missing_fence_returns_none(self):
+        assert _replace_block_after("## Table 1\nno fence", "## Table 1", "x") is None
+
+
+class TestRefresh:
+    def test_refresh_from_results(self, tmp_path):
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text(DOC)
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1.txt").write_text("MEASURED T1\n")
+        status = refresh_experiments(doc, results)
+        assert status["## Table 1"] is True
+        assert status["## Table 2"] is False  # no table2.txt yet
+        text = doc.read_text()
+        assert "MEASURED T1" in text
+        assert "OLD 2" in text  # untouched
+
+    def test_missing_doc_raises(self, tmp_path):
+        with pytest.raises(SpecificationError):
+            refresh_experiments(tmp_path / "nope.md", tmp_path)
+
+    def test_cli_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text(DOC)
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1.txt").write_text("CLI T1\n")
+        code = main([
+            "experiments", "--doc", str(doc), "--results", str(results),
+        ])
+        assert code == 0
+        assert "refreshed" in capsys.readouterr().out
+        assert "CLI T1" in doc.read_text()
+
+    def test_real_document_headings_resolve(self):
+        """The real EXPERIMENTS.md contains every heading the refresher
+        targets, each followed by a fenced block."""
+        import pathlib
+
+        from repro.bench.experiments_doc import _SECTION_SOURCES
+
+        text = pathlib.Path("EXPERIMENTS.md").read_text()
+        for heading in _SECTION_SOURCES:
+            assert heading in text
+            assert _replace_block_after(text, heading, "```\nx\n```") is not None

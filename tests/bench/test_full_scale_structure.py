@@ -1,0 +1,37 @@
+"""Full-scale example *generation* (no synthesis): the paper's task
+counts must be reproduced structurally at scale 1.0."""
+
+import pytest
+
+from repro import validate_spec
+from repro.bench.examples import EXAMPLE_NAMES, build_example, example_profile
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["A1TR", "NGXM"])
+def test_full_scale_task_count_close_to_paper(name, library):
+    spec = build_example(name, scale=1.0, library=library)
+    expected = example_profile(name).total_tasks
+    # Whole-group rounding: within 15 % of the published count.
+    assert abs(spec.total_tasks - expected) / expected < 0.15
+    validate_spec(spec, library)
+
+
+@pytest.mark.slow
+def test_full_scale_compat_structure(library):
+    spec = build_example("B192G", scale=1.0, library=library)
+    # B192G is dominated by 4- and 3-graph compatibility groups.
+    names = spec.graph_names()
+    compatible_degree = {
+        a: sum(1 for b in names if a != b and spec.compatible(a, b))
+        for a in names
+    }
+    assert max(compatible_degree.values()) == 3  # 4-graph groups
+    assert sum(1 for d in compatible_degree.values() if d >= 2) > len(names) / 2
+
+
+def test_every_example_generates_at_bench_scale(library):
+    for name in EXAMPLE_NAMES:
+        spec = build_example(name, scale=0.05, library=library)
+        assert spec.total_tasks >= 100
+        assert spec.has_explicit_compatibility

@@ -1,0 +1,44 @@
+"""Example profile validation."""
+
+import pytest
+
+from repro import SpecificationError
+from repro.bench.examples import ExampleProfile, Section, example_profile
+
+
+class TestSection:
+    @pytest.mark.parametrize("kwargs", [
+        dict(fraction=0.0, group_size=2),
+        dict(fraction=1.5, group_size=2),
+        dict(fraction=0.5, group_size=0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(SpecificationError):
+            Section(**kwargs)
+
+
+class TestExampleProfile:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(SpecificationError):
+            ExampleProfile(
+                name="x", total_tasks=100,
+                sections=(Section(0.5, 2), Section(0.4, 1)),
+                seed=1,
+            )
+
+    def test_paper_profiles_are_valid(self):
+        # Construction of every named profile already validated at
+        # import; spot-check key shape properties.
+        ngxm = example_profile("NGXM")
+        assert sum(s.fraction for s in ngxm.sections) == pytest.approx(1.0)
+        # The biggest savers are group-4 heavy.
+        assert ngxm.sections[0].group_size == 4
+        assert ngxm.sections[0].fraction >= 0.4
+        a1tr = example_profile("A1TR")
+        assert any(s.group_size == 1 for s in a1tr.sections)
+
+    def test_profiles_ordered_by_task_count(self):
+        from repro.bench.examples import EXAMPLE_NAMES
+
+        counts = [example_profile(n).total_tasks for n in EXAMPLE_NAMES]
+        assert counts == sorted(counts)

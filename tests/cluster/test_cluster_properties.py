@@ -1,0 +1,63 @@
+"""Property battery for clustering invariants on generated workloads."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import GeneratorConfig, default_library, generate_spec
+from repro.cluster.clustering import cluster_spec
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=50_000),
+    tasks=st.integers(min_value=2, max_value=20),
+    max_size=st.integers(min_value=1, max_value=8),
+)
+def test_clustering_invariants(seed, tasks, max_size):
+    """For any generated system:
+
+    * every task lands in exactly one cluster;
+    * clusters never span graphs;
+    * cluster members form a connected path (each absorbed task is a
+      successor of an earlier member);
+    * aggregated resources equal the member sums;
+    * the PE-type intersection is honoured and never empty;
+    * exclusion vectors are never violated within a cluster;
+    * the size cap holds.
+    """
+    library = default_library()
+    spec = generate_spec(GeneratorConfig(
+        seed=seed, n_graphs=2, tasks_per_graph=tasks, compat_group_size=1,
+    ))
+    result = cluster_spec(spec, library, max_cluster_size=max_size)
+
+    seen = {}
+    for cluster in result.clusters.values():
+        graph = spec.graph(cluster.graph)
+        assert 1 <= cluster.size <= max_size
+        assert cluster.allowed_pe_types, cluster.name
+        gates = pins = memory = 0
+        for task_name in cluster.task_names:
+            assert task_name not in seen, "task clustered twice"
+            seen[task_name] = cluster.name
+            task = graph.task(task_name)
+            gates += task.area_gates
+            pins += task.pins
+            memory += task.memory.total
+            for pe_type in cluster.allowed_pe_types:
+                assert task.can_run_on(pe_type)
+            # No member excludes another member.
+            assert not (task.exclusions & set(cluster.task_names))
+        assert gates == cluster.area_gates
+        assert pins == cluster.pins
+        assert memory == cluster.memory.total
+        # Path-connectedness: after the seed, every member is a direct
+        # successor of the previous one (critical-path growth).
+        for earlier, later in zip(cluster.task_names, cluster.task_names[1:]):
+            assert later in graph.successors(earlier)
+
+    total_tasks = sum(len(spec.graph(n)) for n in spec.graph_names())
+    assert len(seen) == total_tasks

@@ -1,0 +1,160 @@
+"""Critical-path task clustering."""
+
+import pytest
+
+from repro import SpecificationError, SystemSpec, Task, TaskGraph
+from repro.cluster.clustering import (
+    cluster_graph,
+    cluster_spec,
+    trivial_clustering,
+)
+from repro.cluster.priority import PriorityContext
+from repro.graph.task import MemoryRequirement
+
+
+def sw_task(name, wcet=1e-3, exclusions=()):
+    return Task(
+        name=name,
+        exec_times={"CPU": wcet},
+        memory=MemoryRequirement(program=1024),
+        exclusions=frozenset(exclusions),
+    )
+
+
+def chain_spec(n=5):
+    g = TaskGraph(name="g", period=0.1, deadline=0.05)
+    names = ["t%d" % i for i in range(n)]
+    for name in names:
+        g.add_task(sw_task(name))
+    for a, b in zip(names, names[1:]):
+        g.add_edge(a, b, bytes_=256)
+    return SystemSpec("s", [g])
+
+
+class TestClusterGraph:
+    def test_every_task_clustered_once(self, small_library):
+        spec = chain_spec(7)
+        result = cluster_spec(spec, small_library)
+        seen = [t for c in result.clusters.values() for t in c.task_names]
+        assert sorted(seen) == sorted(spec.graph("g").tasks)
+
+    def test_chain_collapses_into_one_cluster(self, small_library):
+        spec = chain_spec(5)
+        result = cluster_spec(spec, small_library)
+        assert result.n_clusters == 1
+        cluster = next(iter(result.clusters.values()))
+        # Absorbed along the path in order.
+        assert cluster.task_names == ["t0", "t1", "t2", "t3", "t4"]
+
+    def test_max_cluster_size_respected(self, small_library):
+        spec = chain_spec(10)
+        result = cluster_spec(spec, small_library, max_cluster_size=4)
+        for cluster in result.clusters.values():
+            assert cluster.size <= 4
+
+    def test_exclusions_split_clusters(self, small_library):
+        g = TaskGraph(name="g", period=0.1, deadline=0.05)
+        g.add_task(sw_task("a"))
+        g.add_task(sw_task("b", exclusions=("a",)))
+        g.add_edge("a", "b", bytes_=64)
+        spec = SystemSpec("s", [g])
+        result = cluster_spec(spec, small_library)
+        assert result.n_clusters == 2
+
+    def test_incompatible_pe_types_split_clusters(self, small_library):
+        g = TaskGraph(name="g", period=0.1, deadline=0.05)
+        g.add_task(sw_task("sw"))
+        g.add_task(Task(name="hw", exec_times={"FPGA": 1e-4}, area_gates=100, pins=4))
+        g.add_edge("sw", "hw", bytes_=64)
+        spec = SystemSpec("s", [g])
+        result = cluster_spec(spec, small_library)
+        assert result.n_clusters == 2
+
+    def test_aggregates_resources(self, small_library):
+        g = TaskGraph(name="g", period=0.1, deadline=0.05)
+        g.add_task(Task(name="x", exec_times={"FPGA": 1e-4}, area_gates=100, pins=4))
+        g.add_task(Task(name="y", exec_times={"FPGA": 1e-4}, area_gates=150, pins=6))
+        g.add_edge("x", "y", bytes_=16)
+        spec = SystemSpec("s", [g])
+        result = cluster_spec(spec, small_library)
+        cluster = next(iter(result.clusters.values()))
+        assert cluster.area_gates == 250
+        assert cluster.pins == 10
+
+    def test_hardware_capacity_cap_limits_growth(self, small_library):
+        # FPGA usable gates = 200 PFUs * 10 * 0.7 = 1400; two 1000-gate
+        # tasks cannot share a cluster.
+        g = TaskGraph(name="g", period=0.1, deadline=0.05)
+        g.add_task(Task(name="x", exec_times={"FPGA": 1e-4}, area_gates=1000, pins=4))
+        g.add_task(Task(name="y", exec_times={"FPGA": 1e-4}, area_gates=1000, pins=4))
+        g.add_edge("x", "y", bytes_=16)
+        spec = SystemSpec("s", [g])
+        result = cluster_spec(spec, small_library)
+        assert result.n_clusters == 2
+
+    def test_growth_scores_override(self, small_library):
+        # A fork where priority favours one branch but growth scores
+        # steer toward the other.
+        g = TaskGraph(name="g", period=0.1, deadline=0.05)
+        g.add_task(sw_task("root"))
+        g.add_task(sw_task("hi", wcet=5e-3))
+        g.add_task(sw_task("lo", wcet=1e-3))
+        g.add_edge("root", "hi", bytes_=64)
+        g.add_edge("root", "lo", bytes_=64)
+        context = PriorityContext(
+            exec_time=lambda gr, t: t.max_exec_time, comm_time=lambda gr, e: 1e-4
+        )
+        default = cluster_graph(g, small_library, context, max_cluster_size=2)
+        assert "hi" in default[0].task_names
+        steered = cluster_graph(
+            g,
+            small_library,
+            context,
+            max_cluster_size=2,
+            growth_scores={"lo": 100.0, "hi": 0.0},
+        )
+        assert "lo" in steered[0].task_names
+
+
+class TestClusteringResult:
+    def test_ordered_by_priority(self, small_library, synthetic_spec):
+        result = cluster_spec(synthetic_spec, small_library_or(small_library))
+        ordered = result.ordered_by_priority()
+        prios = [c.priority for c in ordered]
+        assert prios == sorted(prios, reverse=True)
+
+    def test_cluster_of_lookup(self, small_library):
+        spec = chain_spec(3)
+        result = cluster_spec(spec, small_library)
+        cluster = result.cluster_of("g", "t1")
+        assert "t1" in cluster.task_names
+        with pytest.raises(SpecificationError):
+            result.cluster_of("g", "ghost")
+
+    def test_clusters_of_graph(self, small_library):
+        spec = chain_spec(3)
+        result = cluster_spec(spec, small_library)
+        assert [c.graph for c in result.clusters_of_graph("g")] == ["g"]
+
+
+def small_library_or(lib):
+    """Use the default library when the synthetic spec needs catalog
+    PE names; fall back helper for readability."""
+    from repro import default_library
+
+    return default_library()
+
+
+class TestTrivialClustering:
+    def test_one_cluster_per_task(self, small_library):
+        spec = chain_spec(6)
+        result = trivial_clustering(spec, small_library)
+        assert result.n_clusters == 6
+        for cluster in result.clusters.values():
+            assert cluster.size == 1
+
+    def test_priorities_still_assigned(self, small_library):
+        spec = chain_spec(3)
+        result = trivial_clustering(spec, small_library)
+        ordered = result.ordered_by_priority()
+        assert ordered[0].task_names == ["t0"]

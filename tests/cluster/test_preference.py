@@ -1,0 +1,59 @@
+"""Preference vectors steering clustering and allocation ordering."""
+
+import pytest
+
+from repro import DelayPolicy, SystemSpec, Task, TaskGraph
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import cluster_spec
+from repro.alloc.array import AllocationKind, build_allocation_array
+
+
+def preference_spec(weights):
+    g = TaskGraph(name="g", period=0.1, deadline=0.05)
+    g.add_task(Task(
+        name="t",
+        exec_times={"CPU": 1e-3, "FPGA": 1e-3},
+        preference=weights,
+        memory=__import__("repro.graph.task", fromlist=["MemoryRequirement"])
+        .MemoryRequirement(program=64),
+        area_gates=100,
+        pins=4,
+    ))
+    return SystemSpec("s", [g])
+
+
+class TestClusterPreference:
+    def test_preference_weight_product(self, small_library):
+        spec = preference_spec({"FPGA": 0.5})
+        clustering = cluster_spec(spec, small_library)
+        cluster = clustering.cluster_of("g", "t")
+        graph = spec.graph("g")
+        assert cluster.preference_weight("FPGA", graph) == pytest.approx(0.5)
+        assert cluster.preference_weight("CPU", graph) == pytest.approx(1.0)
+
+    def test_zero_preference_excludes_type(self, small_library):
+        spec = preference_spec({"FPGA": 0.0})
+        clustering = cluster_spec(spec, small_library)
+        cluster = clustering.cluster_of("g", "t")
+        assert "FPGA" not in cluster.allowed_pe_types
+        assert "CPU" in cluster.allowed_pe_types
+
+
+class TestAllocationPreferenceOrdering:
+    def test_higher_preference_wins_at_equal_cost(self, small_library):
+        # Existing CPU and FPGA, both free to join; the FPGA is
+        # preferred by weight so it sorts first at identical cost.
+        spec = preference_spec({"FPGA": 1.0, "CPU": 0.2})
+        clustering = cluster_spec(spec, small_library)
+        cluster = clustering.cluster_of("g", "t")
+        arch = Architecture(small_library)
+        arch.new_pe(small_library.pe_type("CPU"))
+        arch.new_pe(small_library.pe_type("FPGA"))
+        options = build_allocation_array(
+            cluster, arch, clustering, spec, DelayPolicy()
+        )
+        existing = [
+            o for o in options
+            if o.kind in (AllocationKind.EXISTING_PE, AllocationKind.EXISTING_MODE)
+        ]
+        assert existing[0].pe_id.startswith("FPGA")

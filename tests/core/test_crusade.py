@@ -1,0 +1,123 @@
+"""End-to-end CRUSADE driver tests (the Figure 5 flow)."""
+
+import pytest
+
+from repro import (
+    CrusadeConfig,
+    GeneratorConfig,
+    SystemSpec,
+    Task,
+    TaskGraph,
+    crusade,
+    generate_spec,
+    render_architecture,
+)
+from repro.graph.task import MemoryRequirement
+
+
+class TestBasicSynthesis:
+    def test_single_software_graph(self, small_library, tiny_spec, fast_config):
+        result = crusade(tiny_spec, library=small_library, config=fast_config)
+        assert result.feasible
+        assert result.n_pes >= 1
+        assert result.report.all_met
+        # Every cluster allocated.
+        for name in result.clustering.clusters:
+            assert result.arch.is_allocated(name)
+
+    def test_deterministic(self, small_library, tiny_spec, fast_config):
+        a = crusade(tiny_spec, library=small_library, config=fast_config)
+        b = crusade(tiny_spec, library=small_library, config=fast_config)
+        assert a.cost == b.cost
+        assert a.n_pes == b.n_pes
+        assert sorted(a.arch.pes) == sorted(b.arch.pes)
+
+    def test_infeasible_reported_not_raised(self, small_library, fast_config):
+        g = TaskGraph(name="impossible", period=0.1, deadline=1e-6)
+        g.add_task(Task(name="t", exec_times={"CPU": 1e-3},
+                        memory=MemoryRequirement(program=64)))
+        spec = SystemSpec("s", [g])
+        result = crusade(spec, library=small_library, config=fast_config)
+        assert not result.feasible
+        assert result.report.n_missed > 0
+
+    def test_synthetic_system(self, fast_config, synthetic_spec):
+        result = crusade(synthetic_spec, config=fast_config)
+        assert result.feasible, result.report.lateness
+        assert result.cpu_seconds > 0
+        assert result.interface is not None
+
+    def test_result_table_row(self, small_library, tiny_spec, fast_config):
+        row = crusade(tiny_spec, library=small_library, config=fast_config).table_row()
+        assert row["example"] == "tiny"
+        assert row["tasks"] == 3
+        assert row["feasible"] is True
+
+    def test_render_architecture(self, small_library, tiny_spec, fast_config):
+        result = crusade(tiny_spec, library=small_library, config=fast_config)
+        text = render_architecture(result)
+        assert "Processing elements" in text
+        assert "Cost breakdown" in text
+
+
+class TestReconfigurationBehaviour:
+    def test_reconfig_never_costs_more_than_baseline(self, fast_config):
+        spec = generate_spec(GeneratorConfig(
+            seed=21, n_graphs=4, tasks_per_graph=12, compat_group_size=2,
+            utilization=0.2, hw_only_fraction=0.4, mixed_fraction=0.15,
+        ))
+        baseline = crusade(spec, config=CrusadeConfig(
+            reconfiguration=False, max_explicit_copies=2))
+        reconfig = crusade(spec, config=CrusadeConfig(
+            reconfiguration=True, max_explicit_copies=2), baseline=baseline)
+        assert baseline.feasible and reconfig.feasible
+        # Route (b) guarantees the guard: never worse than baseline.
+        assert reconfig.cost <= baseline.cost + 1e-9
+
+    def test_hw_pair_shares_one_fpga(self, small_library, hw_pair_spec, fast_config):
+        result = crusade(hw_pair_spec, library=small_library, config=fast_config)
+        assert result.feasible
+        ppes = result.arch.programmable_pes()
+        assert len(ppes) == 1
+        assert ppes[0].n_modes == 2
+        assert result.reconfigurations >= 1
+
+    def test_baseline_hw_pair_needs_one_device_still(
+        self, small_library, hw_pair_spec
+    ):
+        # Both tiny circuits fit one mode, so even the baseline shares
+        # the FPGA -- in a single configuration.
+        result = crusade(
+            hw_pair_spec,
+            library=small_library,
+            config=CrusadeConfig(reconfiguration=False, max_explicit_copies=2),
+        )
+        assert result.feasible
+        ppes = result.arch.programmable_pes()
+        assert len(ppes) == 1
+        assert ppes[0].n_modes == 1
+
+    def test_boot_time_respected_by_interface(self, small_library, hw_pair_spec,
+                                              fast_config):
+        result = crusade(hw_pair_spec, library=small_library, config=fast_config)
+        assert result.interface is not None
+        for device in result.interface.devices.values():
+            worst = max(device.runtime_boot_times.values() or [0.0])
+            assert worst <= hw_pair_spec.boot_time_requirement + 1e-12
+
+
+class TestConfigKnobs:
+    def test_clustering_off(self, small_library, tiny_spec):
+        config = CrusadeConfig(clustering=False, max_explicit_copies=2)
+        result = crusade(tiny_spec, library=small_library, config=config)
+        assert result.feasible
+        # One cluster per task.
+        assert result.clustering.n_clusters == 3
+
+    def test_validation_warnings_propagate(self, small_library, fast_config):
+        g = TaskGraph(name="w", period=0.1, deadline=0.2)  # deadline > period
+        g.add_task(Task(name="t", exec_times={"CPU": 1e-4},
+                        memory=MemoryRequirement(program=64)))
+        spec = SystemSpec("s", [g])
+        result = crusade(spec, library=small_library, config=fast_config)
+        assert any("deadline" in w for w in result.warnings)

@@ -1,0 +1,83 @@
+"""End-to-end CRUSADE-FT driver tests (Section 6)."""
+
+import pytest
+
+from repro import (
+    CrusadeConfig,
+    FtConfig,
+    GeneratorConfig,
+    crusade,
+    crusade_ft,
+    generate_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def ft_spec():
+    return generate_spec(GeneratorConfig(
+        seed=31, n_graphs=4, tasks_per_graph=8, compat_group_size=2,
+        utilization=0.18, hw_only_fraction=0.35, mixed_fraction=0.15,
+    ))
+
+
+@pytest.fixture(scope="module")
+def ft_result(ft_spec):
+    return crusade_ft(
+        ft_spec, config=CrusadeConfig(max_explicit_copies=2)
+    )
+
+
+class TestCrusadeFt:
+    def test_feasible(self, ft_result):
+        assert ft_result.feasible
+        assert ft_result.base.report.all_met
+
+    def test_transformation_grew_the_spec(self, ft_spec, ft_result):
+        assert ft_result.spec.total_tasks > ft_spec.total_tasks
+        assert ft_result.transform.n_assertions + ft_result.transform.n_duplicates > 0
+
+    def test_cost_includes_spares(self, ft_result):
+        assert ft_result.cost == pytest.approx(
+            ft_result.base.cost + ft_result.spares.spare_cost
+        )
+        assert ft_result.n_pes == (
+            ft_result.base.n_pes + ft_result.spares.total_spares()
+        )
+
+    def test_availability_requirements_met(self, ft_result):
+        assert ft_result.spares.met
+        for name, minutes in ft_result.spec.unavailability.items():
+            assert ft_result.spares.downtime_minutes(name) <= minutes + 1e-9
+
+    def test_ft_costs_more_than_plain(self, ft_spec, ft_result):
+        plain = crusade(ft_spec, config=CrusadeConfig(max_explicit_copies=2))
+        assert ft_result.cost > plain.cost
+
+    def test_table_row(self, ft_result):
+        row = ft_result.table_row()
+        assert row["feasible"] is True
+        assert row["cost"] > 0
+
+    def test_ft_reconfig_saves_over_ft_baseline(self, ft_spec):
+        baseline = crusade_ft(
+            ft_spec,
+            config=CrusadeConfig(reconfiguration=False, max_explicit_copies=2),
+        )
+        reconfig = crusade_ft(
+            ft_spec,
+            config=CrusadeConfig(reconfiguration=True, max_explicit_copies=2),
+            baseline=baseline,
+        )
+        assert baseline.feasible and reconfig.feasible
+        assert reconfig.base.cost <= baseline.base.cost + 1e-9
+
+    def test_required_coverage_flows_through(self, ft_spec):
+        strict = crusade_ft(
+            ft_spec,
+            config=CrusadeConfig(max_explicit_copies=2),
+            ft_config=FtConfig(required_coverage=0.999),
+        )
+        # Coverage 0.999 defeats the generator's 0.95 assertions, so
+        # everything falls back to duplicate-and-compare.
+        assert strict.transform.n_assertions == 0
+        assert strict.transform.n_duplicates > 0

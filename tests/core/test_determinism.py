@@ -1,0 +1,52 @@
+"""Determinism: co-synthesis is a pure function of its inputs.
+
+The paper's heuristic must be reproducible for its tables to mean
+anything; here two independent runs on the same specification must
+produce byte-identical result exports (architecture, schedule,
+interfaces -- everything).
+"""
+
+import json
+
+import pytest
+
+from repro import CrusadeConfig, GeneratorConfig, crusade, crusade_ft, generate_spec
+from repro.io.result_json import result_to_dict
+
+
+def run_once(seed, reconfig=True):
+    spec = generate_spec(GeneratorConfig(
+        seed=seed, n_graphs=3, tasks_per_graph=8, compat_group_size=2,
+        utilization=0.2, hw_only_fraction=0.35, mixed_fraction=0.15,
+    ))
+    config = CrusadeConfig(reconfiguration=reconfig, max_explicit_copies=2)
+    result = crusade(spec, config=config)
+    payload = result_to_dict(result)
+    payload.pop("cpu_seconds", None)  # the only legitimately varying field
+    return payload
+
+
+@pytest.mark.parametrize("seed", [3, 19])
+def test_reconfig_synthesis_bit_identical(seed):
+    a = run_once(seed)
+    b = run_once(seed)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_baseline_synthesis_bit_identical():
+    a = run_once(5, reconfig=False)
+    b = run_once(5, reconfig=False)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_ft_headline_numbers_reproducible():
+    spec = generate_spec(GeneratorConfig(
+        seed=9, n_graphs=3, tasks_per_graph=7, compat_group_size=2,
+        utilization=0.2,
+    ))
+    config = CrusadeConfig(max_explicit_copies=2)
+    a = crusade_ft(spec, config=config)
+    b = crusade_ft(spec, config=config)
+    assert a.cost == b.cost
+    assert a.n_pes == b.n_pes
+    assert a.spares.total_spares() == b.spares.total_spares()

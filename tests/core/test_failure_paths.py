@@ -1,0 +1,83 @@
+"""Failure injection: how synthesis behaves on impossible inputs."""
+
+import pytest
+
+from repro import (
+    CrusadeConfig,
+    SynthesisError,
+    SystemSpec,
+    Task,
+    TaskGraph,
+    crusade,
+)
+from repro.graph.task import MemoryRequirement
+from repro.resources import LinkType, MemoryBank, PEKind, PpeType, ProcessorType
+from repro.resources.library import ResourceLibrary
+from repro.units import MB
+
+
+def tiny_library():
+    lib = ResourceLibrary()
+    lib.add_pe_type(ProcessorType(
+        name="CPU", cost=10.0, memory_banks=(MemoryBank(1 * MB, 5.0),),
+    ))
+    lib.add_pe_type(PpeType(
+        name="FPGA", cost=20.0, device_kind=PEKind.FPGA, pfus=50,
+        flip_flops=50, pins=20,
+    ))
+    lib.add_link_type(LinkType(
+        name="bus", cost=1.0, max_ports=4,
+        access_times=(1e-6,) * 4, bytes_per_packet=32, packet_tx_time=1e-6,
+    ))
+    return lib
+
+
+class TestImpossibleInputs:
+    def test_oversized_hardware_task_raises(self):
+        # 10 000 gates cannot fit the 50-PFU (350-usable-gate) FPGA.
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(Task(name="huge", exec_times={"FPGA": 1e-3},
+                        area_gates=10_000, pins=4))
+        spec = SystemSpec("s", [g])
+        with pytest.raises(SynthesisError):
+            crusade(spec, library=tiny_library(),
+                    config=CrusadeConfig(max_explicit_copies=2))
+
+    def test_oversized_memory_task_raises(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(Task(name="fat", exec_times={"CPU": 1e-3},
+                        memory=MemoryRequirement(data=8 * MB)))
+        spec = SystemSpec("s", [g])
+        with pytest.raises(SynthesisError):
+            crusade(spec, library=tiny_library(),
+                    config=CrusadeConfig(max_explicit_copies=2))
+
+    def test_impossible_deadline_flagged_not_raised(self):
+        g = TaskGraph(name="g", period=1.0, deadline=1e-9)
+        g.add_task(Task(name="t", exec_times={"CPU": 1e-3},
+                        memory=MemoryRequirement(program=64)))
+        spec = SystemSpec("s", [g])
+        result = crusade(spec, library=tiny_library(),
+                         config=CrusadeConfig(max_explicit_copies=2))
+        assert not result.feasible
+        assert result.report.n_missed > 0
+        # The least-infeasible architecture is still fully allocated.
+        for cluster in result.clustering.clusters:
+            assert result.arch.is_allocated(cluster)
+
+    def test_infeasible_result_still_validates(self):
+        from repro.arch.validate import validate_architecture
+        from repro.graph.association import AssociationArray
+        from repro.sched.validate import validate_schedule
+
+        g = TaskGraph(name="g", period=1.0, deadline=1e-9)
+        g.add_task(Task(name="t", exec_times={"CPU": 1e-3},
+                        memory=MemoryRequirement(program=64)))
+        spec = SystemSpec("s", [g])
+        config = CrusadeConfig(max_explicit_copies=2)
+        result = crusade(spec, library=tiny_library(), config=config)
+        assoc = AssociationArray(spec, max_explicit_copies=2)
+        assert validate_schedule(
+            result.schedule, spec, assoc, result.clustering, result.arch
+        ).ok
+        assert validate_architecture(result.arch, result.clustering).ok

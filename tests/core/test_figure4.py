@@ -1,0 +1,88 @@
+"""The Figure 4 allocation walk-through.
+
+Four clusters: C0 is software (CPU+ROM), C1-C3 need an FPGA.  C1 and
+C2 are non-overlapping (compatible); C3 overlaps C1.  The paper's
+outcome: C0 on a processor; C1 into FPGA_1^1 (instance 1, mode 1); C2
+into a new mode FPGA_2^1 of the *same* instance; C3 joins C1's mode
+because its execution overlaps C1's.  We reproduce the final
+architecture shape of Figure 4(e).
+"""
+
+import pytest
+
+from repro import CrusadeConfig, SystemSpec, Task, TaskGraph, crusade
+from repro.graph.task import MemoryRequirement
+
+
+@pytest.fixture
+def figure4_spec():
+    # C0: control software, runs all the time.
+    g0 = TaskGraph(name="C0", period=0.5, deadline=0.25)
+    g0.add_task(Task(name="C0.t", exec_times={"CPU": 2e-3},
+                     memory=MemoryRequirement(program=8192)))
+    # C1: hardware, first half of the 1 s frame.
+    g1 = TaskGraph(name="C1", period=1.0, deadline=0.5, est=0.0)
+    g1.add_task(Task(name="C1.t", exec_times={"FPGA": 1e-3},
+                     area_gates=700, pins=12))
+    # C2: hardware, second half -- compatible with C1.
+    g2 = TaskGraph(name="C2", period=1.0, deadline=0.5, est=0.5)
+    g2.add_task(Task(name="C2.t", exec_times={"FPGA": 1e-3},
+                     area_gates=700, pins=12))
+    # C3: hardware, overlaps C1's window.
+    g3 = TaskGraph(name="C3", period=1.0, deadline=0.5, est=0.0)
+    g3.add_task(Task(name="C3.t", exec_times={"FPGA": 1e-3},
+                     area_gates=600, pins=12))
+    return SystemSpec(
+        "figure4",
+        [g0, g1, g2, g3],
+        compatibility=[("C1", "C2"), ("C2", "C3")],
+        boot_time_requirement=0.2,
+    )
+
+
+def test_figure4_architecture_shape(small_library, figure4_spec):
+    result = crusade(
+        figure4_spec,
+        library=small_library,
+        config=CrusadeConfig(max_explicit_copies=2),
+    )
+    assert result.feasible
+
+    # C0 sits on a processor with its memory.
+    c0_pe, _ = result.arch.placement_of("C0/c000")
+    assert result.arch.pe(c0_pe).is_processor
+
+    # All three hardware clusters share ONE FPGA instance...
+    placements = {
+        name: result.arch.placement_of(name + "/c000") for name in ("C1", "C2", "C3")
+    }
+    fpga_ids = {pe for pe, _ in placements.values()}
+    assert len(fpga_ids) == 1
+    fpga = result.arch.pe(fpga_ids.pop())
+    assert fpga.is_programmable
+
+    # ...with exactly two modes: C1 and C3 together (overlapping), C2
+    # in its own configuration (Figure 4(e)).
+    assert fpga.n_modes == 2
+    assert placements["C1"][1] == placements["C3"][1]
+    assert placements["C2"][1] != placements["C1"][1]
+
+
+def test_figure4_baseline_needs_more_silicon(small_library, figure4_spec):
+    baseline = crusade(
+        figure4_spec,
+        library=small_library,
+        config=CrusadeConfig(reconfiguration=False, max_explicit_copies=2),
+    )
+    reconfig = crusade(
+        figure4_spec,
+        library=small_library,
+        config=CrusadeConfig(max_explicit_copies=2),
+        baseline=baseline,
+    )
+    assert baseline.feasible and reconfig.feasible
+    # C1+C2+C3 = 2000 gates > 1400 usable: the baseline buys a second
+    # FPGA; reconfiguration time-shares one.
+    assert len(baseline.arch.programmable_pes()) == 2
+    assert len(reconfig.arch.programmable_pes()) == 1
+    assert reconfig.cost < baseline.cost

@@ -1,0 +1,40 @@
+"""render_architecture detail coverage: replicas, chains, interfaces."""
+
+import pytest
+
+from repro import CrusadeConfig, crusade, render_architecture
+from repro.bench.figure2 import figure2_library, figure2_spec
+
+
+@pytest.fixture(scope="module")
+def figure2_result():
+    return crusade(
+        figure2_spec(), library=figure2_library(),
+        config=CrusadeConfig(max_explicit_copies=4),
+    )
+
+
+class TestRenderDetails:
+    def test_modes_listed_with_residents(self, figure2_result):
+        text = render_architecture(figure2_result)
+        assert "mode 0" in text and "mode 1" in text
+        # T1 appears in both mode lines (replicated).
+        mode_lines = [l for l in text.splitlines() if "mode " in l]
+        assert sum("T1/c000" in l for l in mode_lines) == 2
+
+    def test_interface_section_present(self, figure2_result):
+        text = render_architecture(figure2_result)
+        assert "Programming interfaces" in text
+        assert "worst boot" in text
+
+    def test_empty_links_rendered(self, figure2_result):
+        text = render_architecture(figure2_result)
+        assert "Links:" in text
+        assert "(none)" in text
+
+    def test_cost_breakdown_totals(self, figure2_result):
+        text = render_architecture(figure2_result)
+        assert "total" in text
+        # The rendered total matches the result's cost.
+        total_line = [l for l in text.splitlines() if "total" in l][0]
+        assert "%.0f" % figure2_result.cost in total_line

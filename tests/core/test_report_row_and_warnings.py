@@ -1,0 +1,46 @@
+"""CoSynthesisResult row semantics on FT results and merge bookkeeping."""
+
+import pytest
+
+from repro import CrusadeConfig, GeneratorConfig, crusade_ft, generate_spec
+
+
+@pytest.fixture(scope="module")
+def ft_pair():
+    spec = generate_spec(GeneratorConfig(
+        seed=61, n_graphs=4, tasks_per_graph=7, compat_group_size=2,
+        utilization=0.18, hw_only_fraction=0.35, mixed_fraction=0.15,
+    ))
+    baseline = crusade_ft(spec, config=CrusadeConfig(
+        reconfiguration=False, max_explicit_copies=2))
+    reconfig = crusade_ft(spec, config=CrusadeConfig(
+        reconfiguration=True, max_explicit_copies=2), baseline=baseline)
+    return baseline, reconfig
+
+
+class TestFtRows:
+    def test_row_counts_include_spares(self, ft_pair):
+        baseline, _ = ft_pair
+        row = baseline.table_row()
+        assert row["pes"] == baseline.base.n_pes + baseline.spares.total_spares()
+        assert row["cost"] == pytest.approx(
+            round(baseline.base.cost + baseline.spares.spare_cost)
+        )
+
+    def test_ft_spec_is_the_transformed_one(self, ft_pair):
+        baseline, _ = ft_pair
+        assert baseline.spec.name.endswith("+ft")
+        assert baseline.spec is baseline.base.spec
+
+    def test_reconfig_never_loses_under_ft(self, ft_pair):
+        baseline, reconfig = ft_pair
+        assert baseline.feasible and reconfig.feasible
+        assert reconfig.base.cost <= baseline.base.cost + 1e-9
+
+    def test_transform_shared_shape(self, ft_pair):
+        baseline, reconfig = ft_pair
+        # Same deterministic transform on both runs.
+        assert (baseline.transform.n_assertions
+                == reconfig.transform.n_assertions)
+        assert (baseline.transform.n_duplicates
+                == reconfig.transform.n_duplicates)

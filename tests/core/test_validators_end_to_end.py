@@ -1,0 +1,124 @@
+"""Property battery: every synthesized system passes the independent
+schedule and architecture validators.
+
+These are the strongest tests in the suite: they re-derive the
+invariants from scratch (release times, precedence, resource
+exclusivity, mode-window consistency, capacity caps, allocation-table
+cross-references) and run them against CRUSADE's actual output on a
+population of generated workloads.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import CrusadeConfig, GeneratorConfig, crusade, generate_spec
+from repro.arch.validate import validate_architecture
+from repro.graph.association import AssociationArray
+from repro.sched.validate import validate_schedule
+
+
+def synthesize(seed, n_graphs=3, tasks=8, group=2, reconfig=True):
+    spec = generate_spec(GeneratorConfig(
+        seed=seed, n_graphs=n_graphs, tasks_per_graph=tasks,
+        compat_group_size=group, utilization=0.2,
+        hw_only_fraction=0.35, mixed_fraction=0.15,
+    ))
+    config = CrusadeConfig(reconfiguration=reconfig, max_explicit_copies=2)
+    result = crusade(spec, config=config)
+    return spec, config, result
+
+
+def assert_valid(spec, config, result):
+    assoc = AssociationArray(spec, max_explicit_copies=config.max_explicit_copies)
+    schedule_report = validate_schedule(
+        result.schedule, spec, assoc, result.clustering, result.arch
+    )
+    assert schedule_report.ok, schedule_report.violations[:5]
+    arch_report = validate_architecture(
+        result.arch, result.clustering, spec=spec, policy=config.delay_policy
+    )
+    assert arch_report.ok, arch_report.violations[:5]
+
+
+class TestValidatorsOnSynthesis:
+    @pytest.mark.parametrize("seed", [1, 7, 13])
+    def test_reconfig_synthesis_is_valid(self, seed):
+        spec, config, result = synthesize(seed)
+        assert result.feasible
+        assert_valid(spec, config, result)
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_baseline_synthesis_is_valid(self, seed):
+        spec, config, result = synthesize(seed, reconfig=False)
+        assert result.feasible
+        assert_valid(spec, config, result)
+
+    def test_figure2_is_valid(self):
+        from repro.bench.figure2 import figure2_library, figure2_spec
+
+        spec = figure2_spec()
+        config = CrusadeConfig(max_explicit_copies=4)
+        result = crusade(spec, library=figure2_library(), config=config)
+        assert result.feasible
+        assert_valid(spec, config, result)
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        group=st.integers(min_value=1, max_value=3),
+    )
+    def test_random_workloads_produce_valid_output(self, seed, group):
+        """Even when the heuristic cannot meet every deadline, the
+        schedule and architecture it returns must be internally
+        consistent."""
+        spec, config, result = synthesize(
+            seed, n_graphs=3, tasks=6, group=group
+        )
+        assert_valid(spec, config, result)
+
+
+class TestValidatorsCatchCorruption:
+    """The validators must actually detect broken systems."""
+
+    def test_detects_missing_link(self, ):
+        spec, config, result = synthesize(3)
+        # Remove every link: any cross-PE edge becomes a violation.
+        if not result.arch.links:
+            pytest.skip("single-PE architecture")
+        result.arch.links.clear()
+        report = validate_architecture(
+            result.arch, result.clustering, spec=spec, policy=config.delay_policy
+        )
+        cross_pe = {
+            result.arch.placement_of(c)[0]
+            for c in result.arch.cluster_alloc
+        }
+        if len(cross_pe) > 1:
+            assert not report.ok
+
+    def test_detects_counter_corruption(self):
+        spec, config, result = synthesize(3)
+        ppes = result.arch.programmable_pes()
+        if not ppes:
+            pytest.skip("no programmable PEs")
+        ppes[0].mode(0).gates_used += 1
+        report = validate_architecture(result.arch, result.clustering)
+        assert not report.ok
+
+    def test_detects_tampered_schedule(self):
+        spec, config, result = synthesize(3)
+        assoc = AssociationArray(
+            spec, max_explicit_copies=config.max_explicit_copies
+        )
+        # Move one task before its copy's arrival.
+        key = max(result.schedule.tasks, key=lambda k: result.schedule.tasks[k].start)
+        placed = result.schedule.tasks[key]
+        placed.start = -1.0
+        report = validate_schedule(
+            result.schedule, spec, assoc, result.clustering, result.arch
+        )
+        assert not report.ok

@@ -1,0 +1,69 @@
+"""Table-1 circuit catalog extras and EPUF behaviour."""
+
+import pytest
+
+from repro.delay.circuits import (
+    TABLE1_CIRCUITS,
+    UNROUTABLE_AT_FULL,
+    all_table1_circuits,
+    table1_circuit,
+)
+from repro.delay.pnr import Device, delay_increase, place_and_route
+from repro.errors import RoutingError
+
+
+class TestCatalogExtras:
+    def test_all_circuits_have_distinct_seeds(self):
+        seeds = [table1_circuit(n).seed for n in TABLE1_CIRCUITS]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_dict_preserves_row_order(self):
+        assert list(all_table1_circuits()) == TABLE1_CIRCUITS
+
+    def test_unroutable_set_is_subset(self):
+        assert set(UNROUTABLE_AT_FULL) <= set(TABLE1_CIRCUITS)
+
+
+class TestEpufColumn:
+    """The paper's experiments varied EPUF 70-100 % too."""
+
+    def test_epuf_within_cap_is_safe(self):
+        # At the paper's operating point (ERUF .70 / EPUF .80) every
+        # circuit routes with zero delay increase.
+        for name in TABLE1_CIRCUITS:
+            assert delay_increase(table1_circuit(name), 0.70, epuf=0.80) == 0.0
+
+    def test_high_epuf_hurts_at_high_eruf(self):
+        circuit = table1_circuit("fcsdp")
+        low = place_and_route(circuit, 0.90, epuf=0.70).max_congestion
+        high = place_and_route(circuit, 0.90, epuf=1.00).max_congestion
+        assert high > low
+
+    def test_low_epuf_never_worse(self):
+        circuit = table1_circuit("xtrs2")
+        for eruf in (0.80, 0.90):
+            relaxed = delay_increase(circuit, eruf, epuf=0.60)
+            pressed = delay_increase(circuit, eruf, epuf=1.00)
+            assert pressed >= relaxed - 1e-9
+
+
+class TestDeviceKnobs:
+    def test_more_tracks_reduce_congestion(self):
+        circuit = table1_circuit("rnvk")
+        sparse = place_and_route(circuit, 0.9, device=Device(tracks_per_cell=8.0))
+        assert sparse.max_congestion < place_and_route(circuit, 0.9).max_congestion
+
+    def test_overflow_limit_controls_routability(self):
+        circuit = table1_circuit("r2d2p")
+        with pytest.raises(RoutingError):
+            place_and_route(circuit, 1.0)
+        generous = Device(overflow_limit=5.0)
+        assert place_and_route(circuit, 1.0, device=generous).routable
+
+    def test_invalid_device(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            Device(tracks_per_cell=0)
+        with pytest.raises(SpecificationError):
+            Device(congestion_knee=0.9, overflow_limit=0.8)

@@ -1,0 +1,161 @@
+"""Place-and-route simulator: the Table 1 substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import RoutingError, SpecificationError
+from repro.delay.circuits import (
+    TABLE1_CIRCUITS,
+    UNROUTABLE_AT_FULL,
+    all_table1_circuits,
+    table1_circuit,
+)
+from repro.delay.pnr import Circuit, Device, delay_increase, place_and_route
+
+SWEEP = (0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00)
+
+
+def small_circuit(**overrides):
+    fields = dict(name="c", n_pfus=24, pins=16, seed=3, net_density=0.4, depth=6)
+    fields.update(overrides)
+    return Circuit(**fields)
+
+
+class TestCircuit:
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_pfus=1), dict(pins=0), dict(net_density=-0.1), dict(depth=0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(SpecificationError):
+            small_circuit(**kwargs)
+
+    def test_netlist_deterministic(self):
+        assert small_circuit().nets() == small_circuit().nets()
+
+    def test_netlist_spans_all_cells(self):
+        c = small_circuit()
+        touched = {t for net in c.nets() for t in net}
+        assert touched == set(range(c.n_pfus))
+
+    def test_density_adds_nets(self):
+        sparse = small_circuit(net_density=0.0)
+        dense = small_circuit(net_density=1.0)
+        assert len(dense.nets()) > len(sparse.nets())
+
+
+class TestPlaceAndRoute:
+    def test_basic_run(self):
+        result = place_and_route(small_circuit(), 0.70)
+        assert result.routable
+        assert result.delay_ns > 0
+        assert 0 < result.max_congestion < 1
+
+    def test_deterministic(self):
+        a = place_and_route(small_circuit(), 0.8)
+        b = place_and_route(small_circuit(), 0.8)
+        assert a.delay_ns == b.delay_ns
+        assert a.max_congestion == b.max_congestion
+
+    @pytest.mark.parametrize("eruf", [0.0, -0.5, 1.5])
+    def test_invalid_eruf(self, eruf):
+        with pytest.raises(SpecificationError):
+            place_and_route(small_circuit(), eruf)
+
+    def test_delay_monotone_in_eruf(self):
+        delays = [place_and_route(small_circuit(), e).delay_ns for e in SWEEP]
+        assert all(b >= a - 1e-9 for a, b in zip(delays, delays[1:]))
+
+    def test_congestion_monotone_in_eruf(self):
+        occ = [place_and_route(small_circuit(), e).max_congestion for e in SWEEP]
+        assert all(b >= a - 1e-9 for a, b in zip(occ, occ[1:]))
+
+    def test_pin_pressure_increases_congestion(self):
+        low = place_and_route(small_circuit(), 0.9, epuf=0.60)
+        high = place_and_route(small_circuit(), 0.9, epuf=1.00)
+        assert high.max_congestion > low.max_congestion
+
+    def test_scatter_zero_at_reference(self):
+        assert Device().scatter_sigma(0.70) == 0.0
+        assert Device().scatter_sigma(0.50) == 0.0
+        assert Device().scatter_sigma(0.75) > 0.0
+
+
+class TestDelayIncrease:
+    def test_zero_at_reference(self):
+        assert delay_increase(small_circuit(), 0.70) == 0.0
+
+    def test_positive_above_reference(self):
+        assert delay_increase(small_circuit(), 0.95) > 0.0
+
+    def test_clamped_below_reference(self):
+        assert delay_increase(small_circuit(), 0.65) >= 0.0
+
+
+class TestTable1Circuits:
+    def test_names_and_count(self):
+        assert len(TABLE1_CIRCUITS) == 10
+        assert TABLE1_CIRCUITS[0] == "cvs1"
+
+    def test_pfu_counts_match_paper(self):
+        expected = {
+            "cvs1": 18, "cvs2": 20, "xtrs1": 36, "xtrs2": 40, "rnvk": 48,
+            "fcsdp": 35, "r2d2p": 46, "cv46": 74, "wamxp": 84, "pewxfm": 47,
+        }
+        for name, pfus in expected.items():
+            assert table1_circuit(name).n_pfus == pfus
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SpecificationError):
+            table1_circuit("nope")
+
+    def test_all_zero_at_eruf_70(self):
+        for circuit in all_table1_circuits().values():
+            assert delay_increase(circuit, 0.70) == 0.0
+
+    def test_all_routable_at_095(self):
+        for circuit in all_table1_circuits().values():
+            place_and_route(circuit, 0.95)  # must not raise
+
+    def test_exactly_three_unroutable_at_full(self):
+        unroutable = []
+        for name, circuit in all_table1_circuits().items():
+            try:
+                place_and_route(circuit, 1.00)
+            except RoutingError:
+                unroutable.append(name)
+        assert tuple(unroutable) == UNROUTABLE_AT_FULL
+
+    def test_monotone_increase_for_every_circuit(self):
+        for circuit in all_table1_circuits().values():
+            previous = -1.0
+            for eruf in SWEEP:
+                try:
+                    value = delay_increase(circuit, eruf)
+                except RoutingError:
+                    break
+                assert value >= previous - 1e-9
+                previous = value
+
+    def test_large_increase_at_top_end(self):
+        # The paper's routable circuits show 48-156 % at full
+        # utilization; ours must at least be substantial (> 40 %).
+        for name, circuit in all_table1_circuits().items():
+            if name in UNROUTABLE_AT_FULL:
+                continue
+            assert delay_increase(circuit, 1.00) > 40.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_pfus=st.integers(min_value=8, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+    density=st.floats(min_value=0.0, max_value=0.6),
+)
+def test_any_circuit_routes_at_reference(n_pfus, seed, density):
+    """At the paper's 70 % cap, the fabric routes everything the
+    generator can produce in this density range."""
+    circuit = Circuit(
+        name="h", n_pfus=n_pfus, pins=8, seed=seed, net_density=density, depth=5
+    )
+    result = place_and_route(circuit, 0.70)
+    assert result.routable

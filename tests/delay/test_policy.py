@@ -1,0 +1,61 @@
+"""ERUF/EPUF delay-management policy."""
+
+import pytest
+
+from repro import DelayPolicy, SpecificationError
+from repro.resources.pe import AsicType, PEKind, PpeType, ProcessorType
+from repro.units import GATES_PER_PFU
+
+
+def fpga(pfus=100, pins=50):
+    return PpeType(
+        name="F", cost=1.0, device_kind=PEKind.FPGA, pfus=pfus,
+        flip_flops=pfus, pins=pins,
+    )
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        policy = DelayPolicy()
+        assert policy.eruf == 0.70
+        assert policy.epuf == 0.80
+
+    @pytest.mark.parametrize("kwargs", [dict(eruf=0.0), dict(eruf=1.1), dict(epuf=0.0)])
+    def test_invalid(self, kwargs):
+        with pytest.raises(SpecificationError):
+            DelayPolicy(**kwargs)
+
+
+class TestCaps:
+    def test_usable_pfus(self):
+        assert DelayPolicy().usable_pfus(fpga(pfus=100)) == 70
+
+    def test_usable_gates_ppe(self):
+        assert DelayPolicy().usable_gates(fpga(pfus=100)) == 70 * GATES_PER_PFU
+
+    def test_usable_pins_ppe(self):
+        assert DelayPolicy().usable_pins(fpga(pins=50)) == 40
+
+    def test_asic_uncapped_by_default(self):
+        asic = AsicType(name="A", cost=1.0, gates=1000, pins=100)
+        policy = DelayPolicy()
+        assert policy.usable_gates(asic) == 1000
+        assert policy.usable_pins(asic) == 100
+
+    def test_asic_capped_when_enabled(self):
+        asic = AsicType(name="A", cost=1.0, gates=1000, pins=100)
+        policy = DelayPolicy(apply_to_asics=True)
+        assert policy.usable_gates(asic) == 700
+        assert policy.usable_pins(asic) == 80
+
+    def test_admits(self):
+        policy = DelayPolicy()
+        device = fpga(pfus=100, pins=50)
+        assert policy.admits(device, 700, 40)
+        assert not policy.admits(device, 701, 40)
+        assert not policy.admits(device, 700, 41)
+
+    def test_processor_has_no_gates(self):
+        p = ProcessorType(name="P", cost=1.0)
+        with pytest.raises(SpecificationError):
+            DelayPolicy().usable_gates(p)

@@ -1,0 +1,145 @@
+"""Markov availability analysis and spare allocation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DependabilityError, SystemSpec, Task, TaskGraph
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import trivial_clustering
+from repro.ft.availability import (
+    ServiceModule,
+    minutes_per_year,
+    module_unavailability,
+    steady_state_unavailability,
+    system_unavailability,
+)
+from repro.ft.recovery import allocate_spares, service_modules_of
+from repro.graph.task import MemoryRequirement
+
+
+class TestMarkovModel:
+    def test_zero_failure_rate_is_perfect(self):
+        assert steady_state_unavailability(2, 1, 0.0, 0.5) == 0.0
+
+    def test_spares_improve_availability(self):
+        lam, mu = 1e-4, 0.5
+        u0 = steady_state_unavailability(4, 0, lam, mu)
+        u1 = steady_state_unavailability(4, 1, lam, mu)
+        u2 = steady_state_unavailability(4, 2, lam, mu)
+        assert u0 > u1 > u2 > 0.0
+
+    def test_faster_repair_improves_availability(self):
+        lam = 1e-4
+        slow = steady_state_unavailability(2, 1, lam, 0.1)
+        fast = steady_state_unavailability(2, 1, lam, 1.0)
+        assert fast < slow
+
+    def test_single_unit_no_spare_closed_form(self):
+        # Classic two-state chain: U = lambda / (lambda + mu).
+        lam, mu = 1e-3, 0.5
+        expected = lam / (lam + mu)
+        assert steady_state_unavailability(1, 0, lam, mu) == pytest.approx(expected)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(DependabilityError):
+            steady_state_unavailability(0, 0, 1e-4, 0.5)
+        with pytest.raises(DependabilityError):
+            steady_state_unavailability(1, 0, 1e-4, 0.0)
+
+    @settings(max_examples=30)
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        s=st.integers(min_value=0, max_value=4),
+        fit=st.floats(min_value=1.0, max_value=10_000.0),
+    )
+    def test_unavailability_is_a_probability(self, n, s, fit):
+        module = ServiceModule("m", n_active=n, spares=s, fit_per_unit=fit)
+        u = module_unavailability(module)
+        assert 0.0 <= u < 1.0
+
+    def test_system_series_composition(self):
+        m1 = ServiceModule("a", 1, 0, 500.0)
+        m2 = ServiceModule("b", 1, 0, 500.0)
+        u1 = module_unavailability(m1)
+        combined = system_unavailability([m1, m2])
+        assert combined == pytest.approx(1 - (1 - u1) ** 2)
+        assert combined > u1
+
+    def test_minutes_per_year(self):
+        assert minutes_per_year(0.0) == 0.0
+        assert minutes_per_year(1.0) == pytest.approx(365.25 * 24 * 60)
+
+
+def build_allocated_arch(small_library, n_graphs=2):
+    graphs = []
+    for i in range(n_graphs):
+        g = TaskGraph(name="g%d" % i, period=1.0, deadline=0.5)
+        g.add_task(Task(name="g%d.t" % i, exec_times={"CPU": 1e-3},
+                        memory=MemoryRequirement(program=64)))
+        graphs.append(g)
+    spec = SystemSpec(
+        "s", graphs,
+        unavailability={g.name: 4.0 for g in graphs},
+    )
+    clustering = trivial_clustering(spec, small_library)
+    arch = Architecture(small_library)
+    pe = arch.new_pe(small_library.pe_type("CPU"))
+    for cluster in clustering.clusters.values():
+        arch.allocate_cluster(cluster.name, pe.id, 0, memory=cluster.memory)
+    return spec, clustering, arch
+
+
+class TestServiceModules:
+    def test_grouped_by_pe_type(self, small_library):
+        spec, clustering, arch = build_allocated_arch(small_library)
+        arch.new_pe(small_library.pe_type("CPU"))
+        arch.new_pe(small_library.pe_type("FPGA"))
+        modules = service_modules_of(arch)
+        assert set(modules) == {"CPU", "FPGA"}
+        assert modules["CPU"].n_active == 2
+        assert modules["FPGA"].n_active == 1
+
+    def test_mttr_passed_through(self, small_library):
+        spec, clustering, arch = build_allocated_arch(small_library)
+        modules = service_modules_of(arch, mttr_hours=5.0)
+        assert modules["CPU"].mttr_hours == 5.0
+
+
+class TestSpareAllocation:
+    def test_meets_requirements(self, small_library):
+        spec, clustering, arch = build_allocated_arch(small_library)
+        allocation = allocate_spares(arch, clustering, spec)
+        assert allocation.met
+        for name in spec.graph_names():
+            assert allocation.downtime_minutes(name) <= spec.unavailability[name]
+
+    def test_spares_added_for_tight_requirement(self, small_library):
+        spec, clustering, arch = build_allocated_arch(small_library)
+        tight = SystemSpec(
+            "s2",
+            [spec.graph(n) for n in spec.graph_names()],
+            unavailability={n: 0.05 for n in spec.graph_names()},
+        )
+        allocation = allocate_spares(arch, clustering, tight)
+        assert allocation.total_spares() >= 1
+        assert allocation.spare_cost >= small_library.pe_type("CPU").cost
+
+    def test_spare_budget_exhaustion_reported(self, small_library):
+        spec, clustering, arch = build_allocated_arch(small_library)
+        impossible = SystemSpec(
+            "s3",
+            [spec.graph(n) for n in spec.graph_names()],
+            # Below the spare-less unavailability (~0.5 min/year for a
+            # 500-FIT part with 2 h MTTR), but spares are forbidden.
+            unavailability={n: 0.05 for n in spec.graph_names()},
+        )
+        allocation = allocate_spares(arch, clustering, impossible, max_spares=0)
+        assert not allocation.met
+        assert allocation.total_spares() == 0
+
+    def test_no_requirements_no_spares(self, small_library):
+        spec, clustering, arch = build_allocated_arch(small_library)
+        free = SystemSpec("s4", [spec.graph(n) for n in spec.graph_names()])
+        allocation = allocate_spares(arch, clustering, free)
+        assert allocation.met
+        assert allocation.total_spares() == 0

@@ -1,0 +1,90 @@
+"""Fault-tolerance levels and FT-steered clustering (Section 6)."""
+
+import pytest
+
+from repro import SystemSpec, Task, TaskGraph
+from repro.graph.task import AssertionSpec, MemoryRequirement
+from repro.ft.clustering import fault_tolerance_levels, ft_cluster_spec
+
+
+def task(name, wcet=1e-3, transparent=False, assertions=()):
+    return Task(
+        name=name,
+        exec_times={"CPU": wcet},
+        memory=MemoryRequirement(program=64),
+        error_transparent=transparent,
+        assertions=tuple(assertions),
+    )
+
+
+class TestFaultToleranceLevels:
+    def test_transparent_task_carries_no_local_overhead(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(task("a", transparent=True))
+        levels = fault_tolerance_levels(g)
+        assert levels["a"] == 0.0
+
+    def test_duplicate_and_compare_costs_the_task_again(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(task("a", wcet=2e-3))
+        levels = fault_tolerance_levels(g)
+        assert levels["a"] == pytest.approx(2e-3)
+
+    def test_assertion_cheaper_than_duplication(self):
+        cheap = AssertionSpec(name="p", coverage=0.95,
+                              exec_times={"CPU": 1e-4})
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(task("asserted", wcet=2e-3, assertions=(cheap,)))
+        g.add_task(task("duplicated", wcet=2e-3))
+        levels = fault_tolerance_levels(g)
+        assert levels["asserted"] == pytest.approx(1e-4)
+        assert levels["duplicated"] > levels["asserted"]
+
+    def test_levels_accumulate_downstream(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(task("a", wcet=1e-3))
+        g.add_task(task("b", wcet=2e-3))
+        g.add_edge("a", "b")
+        levels = fault_tolerance_levels(g)
+        assert levels["a"] == pytest.approx(1e-3 + 2e-3)
+
+    def test_branch_takes_max(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(task("root", wcet=1e-3))
+        g.add_task(task("light", wcet=1e-4))
+        g.add_task(task("heavy", wcet=5e-3))
+        g.add_edge("root", "light")
+        g.add_edge("root", "heavy")
+        levels = fault_tolerance_levels(g)
+        assert levels["root"] == pytest.approx(1e-3 + 5e-3)
+
+
+class TestFtClusterSpec:
+    def test_growth_follows_ft_levels(self, small_library):
+        # Fork where priority (deadline path) favours "fast" but the
+        # FT level favours "costly" (no assertion -> duplicate).
+        cheap = AssertionSpec(name="p", coverage=0.95, exec_times={"CPU": 1e-5})
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(task("root"))
+        g.add_task(task("fast", wcet=3e-3, assertions=(cheap,)))
+        g.add_task(task("costly", wcet=2e-3))
+        g.add_edge("root", "fast", bytes_=64)
+        g.add_edge("root", "costly", bytes_=64)
+        spec = SystemSpec("s", [g])
+        result = ft_cluster_spec(spec, small_library, max_cluster_size=2)
+        root_cluster = result.cluster_of("g", "root")
+        # FT levels: fast ~1e-5, costly ~2e-3 -> costly joins root.
+        assert "costly" in root_cluster.task_names
+
+    def test_every_task_clustered(self, small_library, synthetic_spec):
+        from repro import default_library
+
+        lib = default_library()
+        result = ft_cluster_spec(synthetic_spec, lib)
+        clustered = {t for c in result.clusters.values() for t in c.task_names}
+        expected = {
+            t
+            for n in synthetic_spec.graph_names()
+            for t in synthetic_spec.graph(n).tasks
+        }
+        assert clustered == expected

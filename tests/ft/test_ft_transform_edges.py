@@ -1,0 +1,73 @@
+"""FT transformation: structural edge cases."""
+
+import pytest
+
+from repro import SystemSpec, Task, TaskGraph
+from repro.graph.task import AssertionSpec, MemoryRequirement
+from repro.ft.assertions import transform_graph_for_ft
+from repro.ft.transparency import check_points
+
+
+def mk_task(name, transparent=False, assertions=()):
+    return Task(name=name, exec_times={"CPU": 1e-3},
+                memory=MemoryRequirement(program=32),
+                error_transparent=transparent,
+                assertions=tuple(assertions))
+
+
+class TestDiamondTransparency:
+    def test_transparent_diamond_defers_to_single_sink(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        for n in ("a", "b", "c", "d"):
+            g.add_task(mk_task(n, transparent=True))
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        assert check_points(g) == ["d"]
+
+    def test_one_opaque_branch_forces_its_check(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(mk_task("a", transparent=True))
+        g.add_task(mk_task("b", transparent=False))  # opaque branch
+        g.add_task(mk_task("c", transparent=True))
+        g.add_task(mk_task("d", transparent=True))
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        assert check_points(g) == ["b", "d"]
+
+
+class TestTransformBookkeeping:
+    def test_original_tasks_and_edges_preserved(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(mk_task("a"))
+        g.add_task(mk_task("b"))
+        g.add_edge("a", "b", bytes_=128)
+        out, *_ = transform_graph_for_ft(g, 0.9)
+        assert "a" in out.tasks and "b" in out.tasks
+        assert out.edge("a", "b").bytes_ == 128
+        assert out.period == g.period
+        assert out.deadline == g.deadline
+
+    def test_check_task_hardware_footprint_scales(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(Task(
+            name="hw", exec_times={"FPGA": 1e-4}, area_gates=2000, pins=16,
+            assertions=(AssertionSpec(name="crc", coverage=0.95,
+                                      exec_times={"FPGA": 1e-5}),),
+        ))
+        out, assertions, _, _ = transform_graph_for_ft(g, 0.9)
+        _, check_name = assertions[0]
+        check = out.task(check_name)
+        assert 0 < check.area_gates < 2000
+        assert 0 < check.pins <= 16
+
+    def test_transform_is_idempotent_on_counts(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(mk_task("a"))
+        out1, *_ = transform_graph_for_ft(g, 0.9)
+        out2, *_ = transform_graph_for_ft(g, 0.9)
+        assert set(out1.tasks) == set(out2.tasks)
+        assert set(out1.edges) == set(out2.edges)

@@ -1,0 +1,155 @@
+"""Error transparency and the fault-detection transformation."""
+
+import pytest
+
+from repro import SystemSpec, Task, TaskGraph
+from repro.graph.task import AssertionSpec, MemoryRequirement
+from repro.ft.assertions import (
+    ASSERT_SUFFIX,
+    CMP_SUFFIX,
+    DUP_SUFFIX,
+    transform_graph_for_ft,
+    transform_spec_for_ft,
+)
+from repro.ft.transparency import check_points, transparent_chain_savings
+
+
+def task(name, transparent=False, assertions=()):
+    return Task(
+        name=name,
+        exec_times={"CPU": 1e-3},
+        memory=MemoryRequirement(program=64),
+        error_transparent=transparent,
+        assertions=tuple(assertions),
+    )
+
+
+def chain(names, transparent_map=None, assertion_map=None):
+    transparent_map = transparent_map or {}
+    assertion_map = assertion_map or {}
+    g = TaskGraph(name="g", period=1.0, deadline=0.5)
+    for n in names:
+        g.add_task(task(
+            n,
+            transparent=transparent_map.get(n, False),
+            assertions=assertion_map.get(n, ()),
+        ))
+    for a, b in zip(names, names[1:]):
+        g.add_edge(a, b, bytes_=32)
+    return g
+
+
+class TestCheckPoints:
+    def test_opaque_chain_checks_everything(self):
+        g = chain(["a", "b", "c"])
+        assert check_points(g) == ["a", "b", "c"]
+
+    def test_transparent_chain_checks_only_sink(self):
+        g = chain(["a", "b", "c"], transparent_map={"a": True, "b": True, "c": True})
+        assert check_points(g) == ["c"]
+        assert transparent_chain_savings(g) == 2
+
+    def test_sink_always_checked_even_if_transparent(self):
+        g = chain(["a"], transparent_map={"a": True})
+        assert check_points(g) == ["a"]
+
+    def test_mixed_chain(self):
+        # a transparent -> b opaque -> c: a defers to b, b checked,
+        # c (sink) checked.
+        g = chain(["a", "b", "c"], transparent_map={"a": True})
+        assert check_points(g) == ["b", "c"]
+
+
+class TestTransformGraph:
+    def test_assertion_added_when_available(self):
+        spec = AssertionSpec(name="parity", coverage=0.95,
+                             exec_times={"CPU": 1e-4}, comm_bytes=16)
+        g = chain(["a"], assertion_map={"a": (spec,)})
+        out, assertions, dups, saved = transform_graph_for_ft(g, 0.9)
+        assert len(assertions) == 1
+        checked, check = assertions[0]
+        assert checked == "a"
+        assert ASSERT_SUFFIX in check
+        assert check in out.tasks
+        assert (checked, check) in out.edges
+        assert not dups
+
+    def test_duplicate_and_compare_fallback(self):
+        g = chain(["a"])
+        out, assertions, dups, saved = transform_graph_for_ft(g, 0.9)
+        assert not assertions
+        assert dups == [("a", "a" + DUP_SUFFIX)]
+        assert "a" + DUP_SUFFIX in out.tasks
+        assert "a" + CMP_SUFFIX in out.tasks
+        # Compare collates both versions.
+        assert ("a", "a" + CMP_SUFFIX) in out.edges
+        assert ("a" + DUP_SUFFIX, "a" + CMP_SUFFIX) in out.edges
+
+    def test_duplicate_excludes_original(self):
+        g = chain(["a"])
+        out, *_ = transform_graph_for_ft(g, 0.9)
+        dup = out.task("a" + DUP_SUFFIX)
+        assert "a" in dup.exclusions
+
+    def test_duplicate_inherits_predecessors(self):
+        g = chain(["p", "a"], transparent_map={"p": True})
+        out, assertions, dups, saved = transform_graph_for_ft(g, 0.9)
+        # p defers; a duplicated; the duplicate re-reads p's output.
+        assert ("p", "a" + DUP_SUFFIX) in out.edges
+
+    def test_insufficient_coverage_falls_back_to_duplication(self):
+        weak = AssertionSpec(name="w", coverage=0.5, exec_times={"CPU": 1e-4})
+        g = chain(["a"], assertion_map={"a": (weak,)})
+        out, assertions, dups, saved = transform_graph_for_ft(g, 0.99)
+        assert not assertions
+        assert dups
+
+    def test_assertions_combine_for_coverage(self):
+        a1 = AssertionSpec(name="a1", coverage=0.8, exec_times={"CPU": 1e-4})
+        a2 = AssertionSpec(name="a2", coverage=0.8, exec_times={"CPU": 1e-4})
+        g = chain(["a"], assertion_map={"a": (a1, a2)})
+        # Combined: 1 - 0.2*0.2 = 0.96 >= 0.95.
+        out, assertions, dups, saved = transform_graph_for_ft(g, 0.95)
+        assert len(assertions) == 2
+        assert not dups
+
+    def test_transparency_reduces_added_tasks(self):
+        opaque = chain(["a", "b", "c", "d"])
+        transparent = chain(
+            ["a", "b", "c", "d"],
+            transparent_map={n: True for n in "abc"},
+        )
+        out_o, *_ = transform_graph_for_ft(opaque, 0.9)
+        out_t, *_ = transform_graph_for_ft(transparent, 0.9)
+        assert len(out_t) < len(out_o)
+
+    def test_check_tasks_are_sinks_and_inherit_deadline(self):
+        g = chain(["a"])
+        out, *_ = transform_graph_for_ft(g, 0.9)
+        cmp_name = "a" + CMP_SUFFIX
+        assert cmp_name in out.sinks()
+        assert out.effective_deadline(cmp_name) == out.deadline
+
+
+class TestTransformSpec:
+    def test_spec_level_bookkeeping(self):
+        g1 = chain(["a", "b"])
+        g2 = TaskGraph(name="h", period=1.0, deadline=0.5)
+        g2.add_task(task("x", transparent=True))
+        g2.add_task(task("y"))
+        g2.add_edge("x", "y", bytes_=8)
+        spec = SystemSpec("s", [g1, g2], unavailability={"g": 4.0})
+        transform = transform_spec_for_ft(spec, 0.9)
+        assert transform.spec.name == "s+ft"
+        assert transform.n_duplicates == 3  # a, b, y (x defers)
+        assert transform.checks_saved_by_transparency == 1
+        assert transform.spec.unavailability == {"g": 4.0}
+        assert transform.spec.total_tasks > spec.total_tasks
+
+    def test_explicit_compatibility_preserved(self):
+        g1 = chain(["a"])
+        g2 = TaskGraph(name="h", period=1.0, deadline=0.5, est=0.5)
+        g2.add_task(task("x"))
+        spec = SystemSpec("s", [g1, g2], compatibility=[("g", "h")])
+        transform = transform_spec_for_ft(spec, 0.9)
+        assert transform.spec.compatible("g", "h") is True

@@ -1,0 +1,50 @@
+"""Communication-vector semantics across the link library.
+
+Section 2.2: the communication vector of an edge is its transfer time
+on every link type, computed a priori with an assumed port count and
+recomputed after allocation with the actual one.  The vector lives on
+the link types; these tests pin the contract the scheduler relies on.
+"""
+
+import pytest
+
+from repro import default_library
+from repro.graph.edge import Edge
+
+
+@pytest.fixture(scope="module")
+def links():
+    return {l.name: l for l in default_library().links_by_cost()}
+
+
+class TestCommunicationVector:
+    def test_vector_over_all_links(self, links):
+        edge = Edge(src="a", dst="b", bytes_=512)
+        vector = {name: link.comm_time(edge.bytes_) for name, link in links.items()}
+        assert set(vector) == {"bus680X0", "busQUICC", "lan10", "serial31"}
+        assert all(v > 0 for v in vector.values())
+
+    def test_buses_beat_lan_for_small_messages(self, links):
+        # A 64-byte message: one bus packet versus a LAN frame.
+        assert links["bus680X0"].comm_time(64) < links["lan10"].comm_time(64)
+
+    def test_lan_trades_speed_for_reach(self, links):
+        # A parallel backplane bus outruns the 10 Mb/s LAN per byte,
+        # but the LAN connects four times as many PEs -- the trade the
+        # link library exists to expose.
+        bulk = 64 * 1024
+        assert links["bus680X0"].comm_time(bulk) < links["lan10"].comm_time(bulk)
+        assert links["lan10"].max_ports > links["bus680X0"].max_ports
+
+    def test_recomputation_with_actual_ports(self, links):
+        bus = links["bus680X0"]
+        before = bus.comm_time(256)          # assumed ports (4)
+        after = bus.comm_time(256, ports=8)  # fully loaded bus
+        lighter = bus.comm_time(256, ports=2)
+        assert lighter <= before <= after
+
+    def test_serial_link_is_point_to_point(self, links):
+        serial = links["serial31"]
+        assert serial.max_ports == 2
+        # Port count beyond 2 clamps: the access time cannot grow.
+        assert serial.comm_time(256, ports=2) == serial.comm_time(256, ports=5)

@@ -1,0 +1,141 @@
+"""Synthetic workload generator: determinism, structure, compatibility."""
+
+import random
+
+import pytest
+
+from repro import GeneratorConfig, SpecificationError, generate_spec, validate_spec
+from repro.graph.generator import generate_graph
+from repro.resources.catalog import default_library
+
+
+def small_config(**overrides):
+    fields = dict(seed=5, n_graphs=4, tasks_per_graph=8, compat_group_size=2)
+    fields.update(overrides)
+    return GeneratorConfig(**fields)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_graphs=0),
+        dict(tasks_per_graph=0),
+        dict(total_tasks=1, n_graphs=2),
+        dict(periods=()),
+        dict(deadline_slack=0.0),
+        dict(hw_only_fraction=0.7, mixed_fraction=0.5),
+        dict(compat_group_size=0),
+        dict(utilization=0.0),
+    ])
+    def test_rejects(self, kwargs):
+        with pytest.raises(SpecificationError):
+            small_config(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_spec(self):
+        a = generate_spec(small_config())
+        b = generate_spec(small_config())
+        assert a.graph_names() == b.graph_names()
+        for name in a.graph_names():
+            ga, gb = a.graph(name), b.graph(name)
+            assert ga.period == gb.period
+            assert list(ga.tasks) == list(gb.tasks)
+            assert list(ga.edges) == list(gb.edges)
+            for t in ga.tasks:
+                assert ga.task(t).exec_times == gb.task(t).exec_times
+
+    def test_different_seed_differs(self):
+        a = generate_spec(small_config(seed=5))
+        b = generate_spec(small_config(seed=6))
+        periods_a = [a.graph(n).period for n in a.graph_names()]
+        periods_b = [b.graph(n).period for n in b.graph_names()]
+        tasks_a = {t for n in a.graph_names() for t in a.graph(n).tasks}
+        tasks_b = {t for n in b.graph_names() for t in b.graph(n).tasks}
+        assert periods_a != periods_b or tasks_a != tasks_b
+
+
+class TestStructure:
+    def test_validates_against_default_library(self):
+        spec = generate_spec(small_config())
+        validate_spec(spec, default_library())
+
+    def test_total_tasks_exact(self):
+        spec = generate_spec(small_config(total_tasks=37))
+        assert spec.total_tasks == 37
+
+    def test_n_graphs(self):
+        spec = generate_spec(small_config(n_graphs=5))
+        assert len(spec.graphs) == 5
+
+    def test_graphs_are_connected_dags(self):
+        spec = generate_spec(small_config(tasks_per_graph=15))
+        for name in spec.graph_names():
+            g = spec.graph(name)
+            assert g.is_acyclic()
+            non_sources = [t for t in g.tasks if g.predecessors(t)]
+            sources = g.sources()
+            assert len(sources) >= 1
+            assert len(non_sources) + len(sources) == len(g)
+
+    def test_compat_groups_declared(self):
+        spec = generate_spec(small_config(n_graphs=4, compat_group_size=2))
+        names = spec.graph_names()
+        assert spec.has_explicit_compatibility
+        # Groups of two: (g00, g01) and (g02, g03).
+        assert spec.compatible(names[0], names[1]) is True
+        assert spec.compatible(names[0], names[2]) is False
+
+    def test_group_members_have_disjoint_windows(self):
+        spec = generate_spec(small_config(n_graphs=2, compat_group_size=2))
+        a, b = [spec.graph(n) for n in spec.graph_names()]
+        assert a.period == b.period
+        # Staggered ESTs, window-sized deadlines.
+        first, second = sorted((a, b), key=lambda g: g.est)
+        assert first.est + first.deadline <= second.est + 1e-9
+        assert second.est + second.deadline <= first.period + 1e-9
+
+    def test_group_size_one_declares_everything_incompatible(self):
+        # The generator knows the windows overlap, so it relays an
+        # explicit all-incompatible vector rather than leaving the
+        # co-synthesis system to detect it.
+        spec = generate_spec(small_config(compat_group_size=1))
+        assert spec.has_explicit_compatibility
+        names = spec.graph_names()
+        assert spec.compatible(names[0], names[1]) is False
+
+    def test_compat_groups_use_slow_periods(self):
+        config = small_config(n_graphs=2, compat_group_size=2)
+        spec = generate_spec(config)
+        for name in spec.graph_names():
+            assert spec.graph(name).period in config.compat_periods
+
+    def test_hw_only_tasks_have_area_no_memory(self):
+        spec = generate_spec(small_config(tasks_per_graph=30, hw_only_fraction=0.6))
+        hw_only = [
+            t
+            for n in spec.graph_names()
+            for t in spec.graph(n).tasks.values()
+            if t.hardware_only
+        ]
+        assert hw_only, "expected some hardware-only tasks"
+        for task in hw_only:
+            assert task.area_gates > 0
+            assert task.memory.total == 0
+
+    def test_unavailability_assigned_to_every_graph(self):
+        spec = generate_spec(small_config())
+        assert set(spec.unavailability) == set(spec.graph_names())
+
+
+class TestGenerateGraph:
+    def test_window_fraction_shrinks_deadline(self):
+        lib = default_library()
+        rng = random.Random(0)
+        config = small_config()
+        g = generate_graph("w", 6, 1.0, config, rng, lib, window_fraction=0.25)
+        assert g.deadline == pytest.approx(0.25 * config.deadline_slack)
+
+    def test_est_passed_through(self):
+        lib = default_library()
+        g = generate_graph("e", 4, 1.0, small_config(), random.Random(0), lib, est=0.4)
+        assert g.est == 0.4

@@ -1,0 +1,63 @@
+"""Generator internals: sizing, layering, byte caps."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GeneratorConfig
+from repro.graph.generator import _graph_sizes, _layering
+
+
+class TestGraphSizes:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_graphs=st.integers(min_value=1, max_value=12),
+        total=st.integers(min_value=12, max_value=400),
+    )
+    def test_total_tasks_hit_exactly(self, seed, n_graphs, total):
+        config = GeneratorConfig(
+            seed=seed, n_graphs=n_graphs, tasks_per_graph=10, total_tasks=total
+        )
+        sizes = _graph_sizes(config, random.Random(seed))
+        assert sum(sizes) == total
+        assert len(sizes) == n_graphs
+        assert all(s >= 1 for s in sizes)
+
+    def test_without_total_sizes_jitter_around_mean(self):
+        config = GeneratorConfig(seed=4, n_graphs=50, tasks_per_graph=20)
+        sizes = _graph_sizes(config, random.Random(4))
+        assert all(10 <= s <= 30 for s in sizes)
+        mean = sum(sizes) / len(sizes)
+        assert 16 <= mean <= 24
+
+
+class TestLayering:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_layers_partition_tasks(self, n, seed):
+        config = GeneratorConfig(seed=seed)
+        layers = _layering(n, config, random.Random(seed))
+        assert sum(layers) == n
+        assert all(width >= 1 for width in layers)
+
+
+class TestByteCaps:
+    def test_fast_periods_get_small_payloads(self, library):
+        from repro.graph.generator import generate_graph
+
+        config = GeneratorConfig(seed=3)
+        fast = generate_graph(
+            "fast", 20, 400e-6, config, random.Random(3), library
+        )
+        slow = generate_graph(
+            "slow", 20, 1.6384, config, random.Random(3), library
+        )
+        fast_max = max(e.bytes_ for e in fast.iter_edges())
+        slow_max = max(e.bytes_ for e in slow.iter_edges())
+        assert fast_max <= 32
+        assert slow_max > 256

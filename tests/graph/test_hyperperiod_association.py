@@ -1,0 +1,109 @@
+"""Hyperperiod computation and the association array."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import SpecificationError, SystemSpec, Task, TaskGraph, hyperperiod_of
+from repro.graph.association import AssociationArray
+from repro.graph.hyperperiod import copies_in_hyperperiod
+from repro.units import US
+
+
+def graph(name, period, est=0.0):
+    g = TaskGraph(name=name, period=period, est=est)
+    g.add_task(Task(name=name + ".t", exec_times={"CPU": 1e-4}))
+    return g
+
+
+class TestHyperperiod:
+    def test_of_period_list(self):
+        assert hyperperiod_of([0.002, 0.003]) == pytest.approx(0.006)
+
+    def test_of_spec(self):
+        spec = SystemSpec("s", [graph("a", 0.004), graph("b", 0.006)])
+        assert hyperperiod_of(spec) == pytest.approx(0.012)
+
+    def test_identical_periods(self):
+        assert hyperperiod_of([0.005, 0.005]) == pytest.approx(0.005)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            hyperperiod_of([])
+
+    def test_copies_in_hyperperiod(self):
+        assert copies_in_hyperperiod(0.002, 0.012) == 6
+        assert copies_in_hyperperiod(0.012, 0.012) == 1
+
+    def test_copies_requires_divisibility(self):
+        with pytest.raises(SpecificationError):
+            copies_in_hyperperiod(0.005, 0.012)
+
+    @given(st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=4))
+    def test_hyperperiod_is_multiple_of_each_period(self, multipliers):
+        periods = [m * 100 * US for m in multipliers]
+        h = hyperperiod_of(periods)
+        for p in periods:
+            ratio = h / p
+            assert abs(ratio - round(ratio)) < 1e-6
+
+
+class TestAssociationArray:
+    def make_spec(self):
+        return SystemSpec("s", [graph("fast", 0.001), graph("slow", 0.008)])
+
+    def test_copy_counts(self):
+        assoc = AssociationArray(self.make_spec(), max_explicit_copies=None)
+        assert assoc.n_copies("fast") == 8
+        assert assoc.n_copies("slow") == 1
+        assert assoc.total_copies() == 9
+
+    def test_explicit_cap(self):
+        assoc = AssociationArray(self.make_spec(), max_explicit_copies=3)
+        assert assoc.n_explicit("fast") == 3
+        assert assoc.n_explicit("slow") == 1
+        assert len(assoc.associated_copies("fast")) == 5
+
+    def test_arrivals_and_deadlines(self):
+        assoc = AssociationArray(self.make_spec(), max_explicit_copies=None)
+        copies = assoc.copies("fast")
+        for k, copy in enumerate(copies):
+            assert copy.arrival == pytest.approx(k * 0.001)
+            assert copy.deadline == pytest.approx(k * 0.001 + 0.001)
+
+    def test_est_offsets_arrivals(self):
+        spec = SystemSpec("s", [graph("a", 0.004, est=0.001)])
+        assoc = AssociationArray(spec)
+        assert assoc.copies("a")[0].arrival == pytest.approx(0.001)
+
+    def test_representative_and_shift(self):
+        assoc = AssociationArray(self.make_spec(), max_explicit_copies=2)
+        associated = assoc.associated_copies("fast")[0]  # copy 2
+        rep = assoc.representative_of(associated)
+        assert rep.explicit
+        assert rep.copy == associated.copy % 2
+        shift = assoc.shift_of(associated)
+        assert shift == pytest.approx(associated.arrival - rep.arrival)
+
+    def test_explicit_copy_is_its_own_representative(self):
+        assoc = AssociationArray(self.make_spec(), max_explicit_copies=2)
+        first = assoc.explicit_copies("fast")[0]
+        assert assoc.representative_of(first) is first
+        assert assoc.shift_of(first) == 0.0
+
+    def test_compression_ratio(self):
+        assoc = AssociationArray(self.make_spec(), max_explicit_copies=1)
+        assert assoc.compression_ratio() == pytest.approx(9 / 2)
+
+    def test_iteration_order_deterministic(self):
+        assoc = AssociationArray(self.make_spec(), max_explicit_copies=2)
+        keys = [c.key for c in assoc.iter_all()]
+        assert keys == sorted(keys)
+
+    def test_rejects_zero_cap(self):
+        with pytest.raises(SpecificationError):
+            AssociationArray(self.make_spec(), max_explicit_copies=0)
+
+    def test_unknown_graph(self):
+        assoc = AssociationArray(self.make_spec())
+        with pytest.raises(SpecificationError):
+            assoc.copies("zz")

@@ -1,0 +1,52 @@
+"""Period harmonics: hyperperiods stay bounded by construction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GeneratorConfig, generate_spec, hyperperiod_of
+from repro.graph.association import AssociationArray
+
+
+class TestDefaultPeriodSets:
+    def test_fast_periods_are_harmonic(self):
+        config = GeneratorConfig()
+        base = config.periods[0]
+        for period in config.periods:
+            ratio = period / base
+            assert abs(ratio - round(ratio)) < 1e-9
+
+    def test_compat_periods_extend_the_same_family(self):
+        config = GeneratorConfig()
+        base = config.periods[0]
+        for period in config.compat_periods:
+            ratio = period / base
+            assert abs(ratio - round(ratio)) < 1e-6
+
+    def test_hyperperiod_equals_longest_period(self):
+        # With one harmonic family, the hyperperiod is just the
+        # largest period present -- the generator's key property.
+        config = GeneratorConfig(seed=1, n_graphs=6, compat_group_size=2)
+        spec = generate_spec(config)
+        periods = [spec.graph(n).period for n in spec.graph_names()]
+        assert hyperperiod_of(spec) == pytest.approx(max(periods))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_graphs=st.integers(min_value=1, max_value=8),
+    group=st.integers(min_value=1, max_value=4),
+)
+def test_association_compression_is_bounded(seed, n_graphs, group):
+    """However the generator mixes rates, the explicit copy count the
+    scheduler sees stays small even when the hyperperiod holds
+    thousands of copies."""
+    spec = generate_spec(GeneratorConfig(
+        seed=seed, n_graphs=n_graphs, tasks_per_graph=3,
+        compat_group_size=group,
+    ))
+    assoc = AssociationArray(spec, max_explicit_copies=4)
+    assert assoc.total_explicit() <= 4 * len(spec.graphs)
+    for name in spec.graph_names():
+        assert assoc.n_explicit(name) >= 1
+        assert assoc.n_copies(name) >= assoc.n_explicit(name)

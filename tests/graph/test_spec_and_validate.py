@@ -1,0 +1,138 @@
+"""SystemSpec semantics and specification validation."""
+
+import pytest
+
+from repro import SpecificationError, SystemSpec, Task, TaskGraph
+from repro.graph.validate import validate_graph, validate_spec
+
+
+def graph(name, period=1.0, est=0.0, pe="MC68360"):
+    g = TaskGraph(name=name, period=period, est=est)
+    g.add_task(Task(name=name + ".t", exec_times={pe: 1e-3}))
+    return g
+
+
+class TestSystemSpec:
+    def test_basic(self):
+        spec = SystemSpec("s", [graph("a"), graph("b")])
+        assert spec.graph_names() == ["a", "b"]
+        assert spec.total_tasks == 2
+
+    def test_duplicate_graph_rejected(self):
+        with pytest.raises(SpecificationError):
+            SystemSpec("s", [graph("a"), graph("a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            SystemSpec("s", [])
+
+    def test_unknown_graph_lookup(self):
+        spec = SystemSpec("s", [graph("a")])
+        with pytest.raises(SpecificationError):
+            spec.graph("zz")
+
+    def test_boot_time_requirement_positive(self):
+        with pytest.raises(SpecificationError):
+            SystemSpec("s", [graph("a")], boot_time_requirement=0.0)
+
+
+class TestCompatibility:
+    def test_none_means_auto_detect(self):
+        spec = SystemSpec("s", [graph("a"), graph("b")])
+        assert not spec.has_explicit_compatibility
+        assert spec.compatible("a", "b") is None
+
+    def test_explicit_pairs(self):
+        spec = SystemSpec(
+            "s", [graph("a"), graph("b"), graph("c")], compatibility=[("a", "b")]
+        )
+        assert spec.compatible("a", "b") is True
+        assert spec.compatible("b", "a") is True
+        assert spec.compatible("a", "c") is False
+
+    def test_self_compatibility_always_false(self):
+        spec = SystemSpec("s", [graph("a"), graph("b")], compatibility=[("a", "b")])
+        assert spec.compatible("a", "a") is False
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(SpecificationError):
+            SystemSpec("s", [graph("a")], compatibility=[("a", "a")])
+
+    def test_unknown_graph_in_pair_rejected(self):
+        with pytest.raises(SpecificationError):
+            SystemSpec("s", [graph("a")], compatibility=[("a", "zz")])
+
+    def test_compatibility_vector_delta_encoding(self):
+        spec = SystemSpec(
+            "s", [graph("a"), graph("b"), graph("c")], compatibility=[("a", "b")]
+        )
+        # Delta: 0 = compatible, 1 = incompatible (paper Section 4.1).
+        assert spec.compatibility_vector("a") == {"b": 0, "c": 1}
+
+    def test_vector_requires_explicit(self):
+        spec = SystemSpec("s", [graph("a"), graph("b")])
+        with pytest.raises(SpecificationError):
+            spec.compatibility_vector("a")
+
+
+class TestUnavailability:
+    def test_recorded(self):
+        spec = SystemSpec("s", [graph("a")], unavailability={"a": 12.0})
+        assert spec.unavailability["a"] == 12.0
+
+    def test_unknown_graph_rejected(self):
+        with pytest.raises(SpecificationError):
+            SystemSpec("s", [graph("a")], unavailability={"zz": 4.0})
+
+    def test_negative_rejected(self):
+        with pytest.raises(SpecificationError):
+            SystemSpec("s", [graph("a")], unavailability={"a": -1.0})
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, library):
+        warnings = validate_graph(graph("a"), library)
+        assert warnings == []
+
+    def test_cycle_detected(self):
+        g = TaskGraph(name="g", period=1.0)
+        g.add_task(Task(name="a", exec_times={"X": 1e-3}))
+        g.add_task(Task(name="b", exec_times={"X": 1e-3}))
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(SpecificationError):
+            validate_graph(g)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SpecificationError):
+            validate_graph(TaskGraph(name="g", period=1.0))
+
+    def test_unknown_pe_type_rejected(self, library):
+        g = TaskGraph(name="g", period=1.0)
+        g.add_task(Task(name="a", exec_times={"NOPE": 1e-3}))
+        with pytest.raises(SpecificationError):
+            validate_graph(g, library)
+
+    def test_deadline_beyond_period_warns(self, library):
+        g = TaskGraph(name="g", period=1.0, deadline=1.5)
+        g.add_task(Task(name="a", exec_times={"MC68360": 1e-3}))
+        warnings = validate_graph(g, library)
+        assert any("deadline" in w for w in warnings)
+
+    def test_cross_graph_exclusion_must_exist(self, library):
+        g = TaskGraph(name="g", period=1.0)
+        g.add_task(
+            Task(name="a", exec_times={"MC68360": 1e-3}, exclusions=frozenset({"ghost"}))
+        )
+        spec = SystemSpec("s", [g])
+        with pytest.raises(SpecificationError):
+            validate_spec(spec, library)
+
+    def test_cross_graph_exclusion_ok_when_exists(self, library):
+        g1 = TaskGraph(name="g1", period=1.0)
+        g1.add_task(
+            Task(name="a", exec_times={"MC68360": 1e-3}, exclusions=frozenset({"g2.t"}))
+        )
+        g2 = graph("g2")
+        spec = SystemSpec("s", [g1, g2])
+        validate_spec(spec, library)  # no raise

@@ -1,0 +1,42 @@
+"""Property test: arbitrary generated specifications JSON-round-trip."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import GeneratorConfig, generate_spec
+from repro.io.spec_json import spec_from_dict, spec_to_dict
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    n_graphs=st.integers(min_value=1, max_value=5),
+    tasks=st.integers(min_value=1, max_value=12),
+    group=st.integers(min_value=1, max_value=3),
+)
+def test_generated_specs_roundtrip(seed, n_graphs, tasks, group):
+    spec = generate_spec(GeneratorConfig(
+        seed=seed, n_graphs=n_graphs, tasks_per_graph=tasks,
+        compat_group_size=group,
+    ))
+    clone = spec_from_dict(spec_to_dict(spec))
+    assert clone.graph_names() == spec.graph_names()
+    assert clone.total_tasks == spec.total_tasks
+    # Structure and rates match graph by graph, task by task.
+    for name in spec.graph_names():
+        original, loaded = spec.graph(name), clone.graph(name)
+        assert loaded.period == original.period
+        assert loaded.deadline == original.deadline
+        assert loaded.topological_order() == original.topological_order()
+        for key, edge in original.edges.items():
+            assert loaded.edge(*key).bytes_ == edge.bytes_
+        for task_name, task in original.tasks.items():
+            twin = loaded.task(task_name)
+            assert dict(twin.exec_times) == dict(task.exec_times)
+            assert twin.area_gates == task.area_gates
+            assert twin.pins == task.pins
+    # Round-tripping twice is a fixed point.
+    assert spec_to_dict(clone) == spec_to_dict(spec)

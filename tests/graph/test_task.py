@@ -1,0 +1,135 @@
+"""Task model: execution/preference/exclusion/memory vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import SpecificationError, Task
+from repro.graph.task import AssertionSpec, MemoryRequirement
+
+
+def make_task(**overrides):
+    fields = dict(name="t", exec_times={"CPU": 1e-3, "FPGA": 1e-4})
+    fields.update(overrides)
+    return Task(**fields)
+
+
+class TestMemoryRequirement:
+    def test_total(self):
+        mem = MemoryRequirement(program=100, data=50, stack=25)
+        assert mem.total == 175
+
+    def test_addition(self):
+        a = MemoryRequirement(1, 2, 3)
+        b = MemoryRequirement(10, 20, 30)
+        assert (a + b) == MemoryRequirement(11, 22, 33)
+
+    def test_rejects_negative(self):
+        with pytest.raises(SpecificationError):
+            MemoryRequirement(program=-1)
+
+    def test_default_is_empty(self):
+        assert MemoryRequirement().total == 0
+
+
+class TestAssertionSpec:
+    def test_valid(self):
+        spec = AssertionSpec(name="parity", coverage=0.9)
+        assert spec.coverage == 0.9
+
+    @pytest.mark.parametrize("coverage", [0.0, -0.1, 1.5])
+    def test_rejects_bad_coverage(self, coverage):
+        with pytest.raises(SpecificationError):
+            AssertionSpec(name="x", coverage=coverage)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(SpecificationError):
+            AssertionSpec(name="x", coverage=0.5, comm_bytes=-1)
+
+
+class TestTaskValidation:
+    def test_requires_name(self):
+        with pytest.raises(SpecificationError):
+            make_task(name="")
+
+    def test_requires_exec_times(self):
+        with pytest.raises(SpecificationError):
+            make_task(exec_times={})
+
+    def test_rejects_non_positive_wcet(self):
+        with pytest.raises(SpecificationError):
+            make_task(exec_times={"CPU": 0.0})
+
+    def test_rejects_bad_preference(self):
+        with pytest.raises(SpecificationError):
+            make_task(preference={"CPU": 1.5})
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(SpecificationError):
+            make_task(area_gates=-5)
+
+    def test_rejects_self_exclusion(self):
+        with pytest.raises(SpecificationError):
+            make_task(exclusions=frozenset({"t"}))
+
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(SpecificationError):
+            make_task(deadline=0.0)
+
+
+class TestTaskMapping:
+    def test_can_run_on_listed_pe(self):
+        task = make_task()
+        assert task.can_run_on("CPU")
+        assert task.can_run_on("FPGA")
+        assert not task.can_run_on("ASIC01")
+
+    def test_none_wcet_forbids(self):
+        task = make_task(exec_times={"CPU": 1e-3, "FPGA": None})
+        assert not task.can_run_on("FPGA")
+
+    def test_zero_preference_forbids(self):
+        task = make_task(preference={"FPGA": 0.0})
+        assert not task.can_run_on("FPGA")
+        assert task.can_run_on("CPU")
+
+    def test_wcet_on(self):
+        task = make_task()
+        assert task.wcet_on("CPU") == 1e-3
+
+    def test_wcet_on_forbidden_raises(self):
+        task = make_task(preference={"FPGA": 0.0})
+        with pytest.raises(SpecificationError):
+            task.wcet_on("FPGA")
+
+    def test_max_and_min_exec_time(self):
+        task = make_task()
+        assert task.max_exec_time == 1e-3
+        assert task.min_exec_time == 1e-4
+
+    def test_extrema_skip_forbidden(self):
+        task = make_task(preference={"CPU": 0.0})
+        assert task.max_exec_time == 1e-4
+        assert task.min_exec_time == 1e-4
+
+    def test_allowed_pe_types_sorted_by_preference(self):
+        task = make_task(preference={"CPU": 0.5, "FPGA": 0.9})
+        assert task.allowed_pe_types() == ("FPGA", "CPU")
+
+    def test_hardware_only_heuristic(self):
+        hw = make_task(exec_times={"FPGA": 1e-4}, area_gates=500)
+        assert hw.hardware_only
+        sw = make_task(memory=MemoryRequirement(program=1024))
+        assert not sw.hardware_only
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["CPU", "FPGA", "ASIC01", "DSP"]),
+        st.floats(min_value=1e-9, max_value=10.0),
+        min_size=1,
+    )
+)
+def test_extrema_bound_every_allowed_wcet(exec_times):
+    task = Task(name="t", exec_times=exec_times)
+    for pe in exec_times:
+        assert task.min_exec_time <= task.wcet_on(pe) <= task.max_exec_time

@@ -1,0 +1,141 @@
+"""TaskGraph structure, traversal, and deadline semantics."""
+
+import pytest
+
+from repro import SpecificationError, Task, TaskGraph
+from repro.graph.edge import Edge
+
+
+def simple_task(name, deadline=None):
+    return Task(name=name, exec_times={"CPU": 1e-3}, deadline=deadline)
+
+
+def diamond():
+    g = TaskGraph(name="d", period=0.01)
+    for n in ("a", "b", "c", "d"):
+        g.add_task(simple_task(n))
+    g.add_edge("a", "b", bytes_=10)
+    g.add_edge("a", "c", bytes_=10)
+    g.add_edge("b", "d", bytes_=10)
+    g.add_edge("c", "d", bytes_=10)
+    return g
+
+
+class TestConstruction:
+    def test_defaults(self):
+        g = TaskGraph(name="g", period=0.5)
+        assert g.deadline == 0.5  # defaults to the period
+        assert g.est == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(name="", period=1.0),
+        dict(name="g", period=0.0),
+        dict(name="g", period=1.0, deadline=0.0),
+        dict(name="g", period=1.0, est=-1.0),
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(SpecificationError):
+            TaskGraph(**kwargs)
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph(name="g", period=1.0)
+        g.add_task(simple_task("a"))
+        with pytest.raises(SpecificationError):
+            g.add_task(simple_task("a"))
+
+    def test_edge_endpoints_must_exist(self):
+        g = TaskGraph(name="g", period=1.0)
+        g.add_task(simple_task("a"))
+        with pytest.raises(SpecificationError):
+            g.add_edge("a", "missing")
+
+    def test_duplicate_edge_rejected(self):
+        g = diamond()
+        with pytest.raises(SpecificationError):
+            g.add_edge("a", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SpecificationError):
+            Edge(src="a", dst="a")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(SpecificationError):
+            Edge(src="a", dst="b", bytes_=-1)
+
+
+class TestTraversal:
+    def test_sources_and_sinks(self):
+        g = diamond()
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["d"]
+
+    def test_topological_order_is_valid_and_deterministic(self):
+        g = diamond()
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+        assert order == g.topological_order()
+
+    def test_predecessors_successors(self):
+        g = diamond()
+        assert g.predecessors("d") == ["b", "c"]
+        assert g.successors("a") == ["b", "c"]
+
+    def test_acyclicity(self):
+        g = diamond()
+        assert g.is_acyclic()
+
+    def test_contains_and_len(self):
+        g = diamond()
+        assert "a" in g
+        assert "z" not in g
+        assert len(g) == 4
+
+    def test_unknown_lookups_raise(self):
+        g = diamond()
+        with pytest.raises(SpecificationError):
+            g.task("zz")
+        with pytest.raises(SpecificationError):
+            g.edge("a", "d")
+
+
+class TestDeadlines:
+    def test_sink_inherits_graph_deadline(self):
+        g = diamond()
+        assert g.effective_deadline("d") == g.deadline
+
+    def test_non_sink_has_no_deadline_by_default(self):
+        g = diamond()
+        assert g.effective_deadline("b") is None
+
+    def test_task_deadline_wins(self):
+        g = TaskGraph(name="g", period=1.0, deadline=0.9)
+        g.add_task(simple_task("a", deadline=0.3))
+        g.add_task(simple_task("b"))
+        g.add_edge("a", "b")
+        assert g.effective_deadline("a") == 0.3
+        assert g.effective_deadline("b") == 0.9
+
+    def test_deadline_tasks(self):
+        g = diamond()
+        assert g.deadline_tasks() == ["d"]
+
+
+class TestHelpers:
+    def test_total_area(self):
+        g = TaskGraph(name="g", period=1.0)
+        g.add_task(Task(name="x", exec_times={"F": 1e-4}, area_gates=100))
+        g.add_task(Task(name="y", exec_times={"F": 1e-4}, area_gates=200))
+        assert g.total_area_gates() == 300
+
+    def test_iter_edges_sorted(self):
+        g = diamond()
+        keys = [e.key for e in g.iter_edges()]
+        assert keys == sorted(keys)
+
+    def test_replace_task(self):
+        g = diamond()
+        g.replace_task(Task(name="a", exec_times={"CPU": 5e-3}))
+        assert g.task("a").wcet_on("CPU") == 5e-3
+        with pytest.raises(SpecificationError):
+            g.replace_task(simple_task("nope"))

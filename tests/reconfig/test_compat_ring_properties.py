@@ -1,0 +1,64 @@
+"""Property test: periodic window overlap is symmetric and consistent
+with brute-force expansion over the hyperperiod."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reconfig.compatibility import windows_overlap_periodic
+from repro.units import US
+
+
+def brute_force_overlap(wa, pa, wb, pb, horizon):
+    """Expand both periodic window sets explicitly and intersect."""
+    def expand(windows, period):
+        out = []
+        k = 0
+        while k * period < horizon:
+            for s, e in windows:
+                out.append((s + k * period, e + k * period))
+            k += 1
+        return out
+
+    for sa, ea in expand(wa, pa):
+        for sb, eb in expand(wb, pb):
+            if sa < eb - 1e-12 and sb < ea - 1e-12:
+                return True
+    return False
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    start_a=st.integers(min_value=0, max_value=40),
+    len_a=st.integers(min_value=1, max_value=20),
+    start_b=st.integers(min_value=0, max_value=40),
+    len_b=st.integers(min_value=1, max_value=20),
+    pa_factor=st.sampled_from([2, 3, 4, 6]),
+    pb_factor=st.sampled_from([2, 3, 4, 6]),
+)
+def test_matches_brute_force(start_a, len_a, start_b, len_b, pa_factor, pb_factor):
+    # Work on a 1 ms grid; periods 50-60 units keep windows inside.
+    unit = 1e-3
+    pa = pa_factor * 30 * unit
+    pb = pb_factor * 30 * unit
+    wa = [(start_a * unit, (start_a + len_a) * unit)]
+    wb = [(start_b * unit, (start_b + len_b) * unit)]
+    horizon = math.lcm(pa_factor, pb_factor) * 30 * unit * 2
+    expected = brute_force_overlap(wa, pa, wb, pb, horizon)
+    got = windows_overlap_periodic(wa, pa, wb, pb, tick=unit / 10)
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    start_a=st.floats(min_value=0, max_value=0.5),
+    start_b=st.floats(min_value=0, max_value=0.5),
+    length=st.floats(min_value=0.01, max_value=0.3),
+)
+def test_symmetric(start_a, start_b, length):
+    wa = [(start_a, start_a + length)]
+    wb = [(start_b, start_b + length)]
+    ab = windows_overlap_periodic(wa, 1.0, wb, 1.0)
+    ba = windows_overlap_periodic(wb, 1.0, wa, 1.0)
+    assert ab == ba

@@ -1,0 +1,121 @@
+"""Compatibility analysis: explicit vectors and schedule detection."""
+
+import pytest
+
+from repro import SpecificationError, SystemSpec, Task, TaskGraph
+from repro.reconfig.compatibility import (
+    CompatibilityAnalysis,
+    windows_overlap_periodic,
+)
+
+
+def graph(name, period=1.0, est=0.0, deadline=None):
+    g = TaskGraph(name=name, period=period, deadline=deadline or period / 2, est=est)
+    g.add_task(Task(name=name + ".t", exec_times={"CPU": 1e-3}))
+    return g
+
+
+class TestPeriodicOverlap:
+    def test_disjoint_same_period(self):
+        a = [(0.0, 0.4)]
+        b = [(0.5, 0.9)]
+        assert not windows_overlap_periodic(a, 1.0, b, 1.0)
+
+    def test_overlapping_same_period(self):
+        assert windows_overlap_periodic([(0.0, 0.6)], 1.0, [(0.5, 0.9)], 1.0)
+
+    def test_different_periods_collide_via_repetition(self):
+        # a occupies [0, 0.1) every 0.5; b occupies [0.25, 0.35) every
+        # 0.75.  gcd = 0.25: a mod = [0, 0.1); b mod = [0, 0.1) -> hit.
+        assert windows_overlap_periodic([(0.0, 0.1)], 0.5, [(0.25, 0.35)], 0.75)
+
+    def test_different_periods_disjoint_residues(self):
+        # a: [0, 0.1) mod 0.25 -> [0, 0.1); b: [0.6, 0.7) mod 0.25 ->
+        # [0.1, 0.2): disjoint on the gcd ring.
+        assert not windows_overlap_periodic([(0.0, 0.1)], 0.5, [(0.6, 0.7)], 0.25)
+
+    def test_window_covering_ring_always_overlaps(self):
+        assert windows_overlap_periodic([(0.0, 0.5)], 0.5, [(0.7, 0.8)], 1.0)
+
+    def test_wraparound_windows(self):
+        # a wraps the ring boundary.
+        assert windows_overlap_periodic([(0.9, 1.1)], 1.0, [(0.05, 0.08)], 1.0)
+        assert not windows_overlap_periodic([(0.9, 1.1)], 1.0, [(0.2, 0.3)], 1.0)
+
+    def test_empty_windows_never_overlap(self):
+        assert not windows_overlap_periodic([], 1.0, [(0.0, 1.0)], 1.0)
+
+
+class TestExplicitAnalysis:
+    def test_from_spec(self):
+        spec = SystemSpec(
+            "s", [graph("a"), graph("b"), graph("c")], compatibility=[("a", "b")]
+        )
+        analysis = CompatibilityAnalysis.from_spec(spec)
+        assert analysis.compatible("a", "b")
+        assert not analysis.compatible("a", "c")
+        assert not analysis.compatible("a", "a")
+        assert analysis.source == "explicit"
+
+    def test_from_spec_requires_vectors(self):
+        spec = SystemSpec("s", [graph("a"), graph("b")])
+        with pytest.raises(SpecificationError):
+            CompatibilityAnalysis.from_spec(spec)
+
+    def test_all_compatible_groups(self):
+        spec = SystemSpec(
+            "s",
+            [graph(n) for n in "abcd"],
+            compatibility=[("a", "c"), ("a", "d"), ("b", "c"), ("b", "d")],
+        )
+        analysis = CompatibilityAnalysis.from_spec(spec)
+        assert analysis.all_compatible({"a", "b"}, {"c", "d"})
+        assert not analysis.all_compatible({"a"}, {"b"})
+        assert not analysis.all_compatible({"a"}, {"a", "c"})  # self
+
+    def test_vector_rendering(self):
+        spec = SystemSpec(
+            "s", [graph("a"), graph("b"), graph("c")], compatibility=[("a", "b")]
+        )
+        analysis = CompatibilityAnalysis.from_spec(spec)
+        assert analysis.compatibility_vector("a") == {"b": 0, "c": 1}
+
+
+class TestScheduleDetection:
+    def build_and_schedule(self, spec, small_library, placements):
+        from tests.sched.test_scheduler import schedule_spec
+
+        return schedule_spec(spec, small_library, placements)
+
+    def test_detects_disjoint_windows(self, small_library):
+        spec = SystemSpec(
+            "s", [graph("a", est=0.0), graph("b", est=0.5)]
+        )
+        schedule, *_ = self.build_and_schedule(spec, small_library, {
+            "a/s0000": ("CPU#0", 0), "b/s0001" if False else "b/s0000": ("CPU#1", 0),
+        })
+        analysis = CompatibilityAnalysis.from_schedule(spec, schedule)
+        assert analysis.compatible("a", "b")
+        assert analysis.source == "schedule"
+
+    def test_detects_overlap(self, small_library):
+        spec = SystemSpec(
+            "s", [graph("a", est=0.0), graph("b", est=0.0)]
+        )
+        schedule, *_ = self.build_and_schedule(spec, small_library, {
+            "a/s0000": ("CPU#0", 0), "b/s0000": ("CPU#1", 0),
+        })
+        analysis = CompatibilityAnalysis.from_schedule(spec, schedule)
+        assert not analysis.compatible("a", "b")
+
+    def test_resolve_prefers_explicit(self, small_library):
+        spec = SystemSpec(
+            "s", [graph("a"), graph("b")], compatibility=[("a", "b")]
+        )
+        analysis = CompatibilityAnalysis.resolve(spec, schedule=None)
+        assert analysis.source == "explicit"
+
+    def test_resolve_without_anything_raises(self):
+        spec = SystemSpec("s", [graph("a"), graph("b")])
+        with pytest.raises(SpecificationError):
+            CompatibilityAnalysis.resolve(spec, schedule=None)

@@ -1,0 +1,114 @@
+"""Reconfiguration controller interface synthesis (Section 4.4)."""
+
+import pytest
+
+from repro import SynthesisError
+from repro.arch.architecture import Architecture
+from repro.reconfig.interface import (
+    InterfaceKind,
+    ProgrammingOption,
+    default_option_array,
+    synthesize_interface,
+)
+from repro.units import KB
+
+
+@pytest.fixture
+def arch(small_library):
+    return Architecture(small_library)
+
+
+class TestProgrammingOption:
+    def test_boot_time_scales_with_width_and_clock(self):
+        serial = ProgrammingOption(InterfaceKind.SERIAL_MASTER, 1e6)
+        parallel = ProgrammingOption(InterfaceKind.PARALLEL_MASTER, 1e6)
+        fast = ProgrammingOption(InterfaceKind.SERIAL_MASTER, 10e6)
+        bits = 1_000_000
+        assert serial.boot_time(bits) == pytest.approx(1.0)
+        assert parallel.boot_time(bits) == pytest.approx(1.0 / 8)
+        assert fast.boot_time(bits) == pytest.approx(0.1)
+
+    def test_master_cost_grows_with_storage(self):
+        option = ProgrammingOption(InterfaceKind.SERIAL_MASTER, 1e6)
+        assert option.cost(512 * KB) > option.cost(64 * KB)
+
+    def test_faster_master_costs_more(self):
+        slow = ProgrammingOption(InterfaceKind.SERIAL_MASTER, 1e6)
+        fast = ProgrammingOption(InterfaceKind.SERIAL_MASTER, 10e6)
+        assert fast.cost(128 * KB) > slow.cost(128 * KB)
+
+    def test_parallel_master_costs_more(self):
+        serial = ProgrammingOption(InterfaceKind.SERIAL_MASTER, 4e6)
+        parallel = ProgrammingOption(InterfaceKind.PARALLEL_MASTER, 4e6)
+        assert parallel.cost(128 * KB) > serial.cost(128 * KB)
+
+    def test_option_array_ordered_by_cost(self):
+        options = default_option_array()
+        costs = [o.cost(256 * KB) for o in options]
+        assert costs == sorted(costs)
+        # 4 FPGA kinds x 5 clocks + JTAG capped at 5 MHz (3 clocks).
+        assert len(options) == 23
+
+
+class TestSynthesis:
+    def add_fpga(self, arch, small_library, modes=1, gates_per_mode=500):
+        pe = arch.new_pe(small_library.pe_type("FPGA"))
+        for m in range(1, modes):
+            pe.new_mode()
+        for m in range(modes):
+            arch.allocate_cluster(
+                "c%s%d" % (pe.id, m), pe.id, m, gates=gates_per_mode, pins=4
+            )
+        return pe
+
+    def test_single_mode_devices_share_a_powerup_chain(self, arch, small_library):
+        a = self.add_fpga(arch, small_library)
+        b = self.add_fpga(arch, small_library)
+        plan = synthesize_interface(arch, 0.2)
+        da, db = plan.devices[a.id], plan.devices[b.id]
+        assert da.chained_with == db.chained_with == tuple(sorted((a.id, b.id)))
+        assert da.option.kind.is_master
+        # Chained power-up devices never reconfigure at run time.
+        fn = plan.boot_time_fn()
+        assert fn(a, 0) == 0.0
+
+    def test_multimode_device_gets_dedicated_interface(self, arch, small_library):
+        pe = self.add_fpga(arch, small_library, modes=2)
+        plan = synthesize_interface(arch, 0.5)
+        device = plan.devices[pe.id]
+        assert device.chained_with == ()
+        fn = plan.boot_time_fn()
+        assert fn(pe, 0) > 0.0
+        assert fn(pe, 1) > 0.0
+
+    def test_boot_time_requirement_drives_option_up(self, arch, small_library):
+        pe = self.add_fpga(arch, small_library, modes=2, gates_per_mode=900)
+        relaxed = synthesize_interface(arch, 1.0)
+        tight = synthesize_interface(arch, 0.002)
+        worst_relaxed = max(relaxed.devices[pe.id].runtime_boot_times.values())
+        worst_tight = max(tight.devices[pe.id].runtime_boot_times.values())
+        assert worst_tight <= 0.002
+        assert relaxed.devices[pe.id].cost_share <= tight.devices[pe.id].cost_share
+        assert worst_relaxed >= worst_tight
+
+    def test_impossible_requirement_raises(self, arch, small_library):
+        self.add_fpga(arch, small_library, modes=2, gates_per_mode=900)
+        with pytest.raises(SynthesisError):
+            synthesize_interface(arch, 1e-9)
+
+    def test_slave_options_need_a_processor(self, arch, small_library):
+        pe = self.add_fpga(arch, small_library, modes=2)
+        plan = synthesize_interface(arch, 0.5, has_processor=False)
+        assert plan.devices[pe.id].option.kind.is_master
+
+    def test_total_cost_lands_on_architecture(self, arch, small_library):
+        self.add_fpga(arch, small_library, modes=2)
+        plan = synthesize_interface(arch, 0.5)
+        assert arch.interface_cost == pytest.approx(plan.total_cost)
+        assert plan.total_cost > 0
+
+    def test_no_ppes_is_free(self, arch, small_library):
+        arch.new_pe(small_library.pe_type("CPU"))
+        plan = synthesize_interface(arch, 0.2)
+        assert plan.total_cost == 0.0
+        assert not plan.devices

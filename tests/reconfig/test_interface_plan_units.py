@@ -1,0 +1,61 @@
+"""InterfacePlan units: boot-time callable, storage sizing."""
+
+import pytest
+
+from repro.arch.architecture import Architecture
+from repro.reconfig.interface import (
+    InterfacePlan,
+    _storage_bytes,
+    synthesize_interface,
+)
+
+
+class TestBootTimeFn:
+    def test_unknown_pe_boots_free(self, small_library):
+        plan = InterfacePlan()
+        arch = Architecture(small_library)
+        pe = arch.new_pe(small_library.pe_type("FPGA"))
+        assert plan.boot_time_fn()(pe, 0) == 0.0
+
+    def test_unknown_mode_boots_free(self, small_library):
+        arch = Architecture(small_library)
+        pe = arch.new_pe(small_library.pe_type("FPGA"))
+        pe.new_mode()
+        arch.allocate_cluster("c0", pe.id, 0, gates=100, pins=2)
+        arch.allocate_cluster("c1", pe.id, 1, gates=100, pins=2)
+        plan = synthesize_interface(arch, 0.5)
+        fn = plan.boot_time_fn()
+        assert fn(pe, 99) == 0.0  # out-of-range mode: no charge
+
+
+class TestStorageSizing:
+    def test_full_reconfig_stores_full_image_per_mode(self, small_library):
+        arch = Architecture(small_library)
+        pe = arch.new_pe(small_library.pe_type("FPGA"))
+        pe.new_mode()
+        arch.allocate_cluster("c0", pe.id, 0, gates=100, pins=2)
+        arch.allocate_cluster("c1", pe.id, 1, gates=10, pins=2)
+        # Fixture FPGA: 200 PFUs x 100 bits = 20000 bits -> 2500 B/mode.
+        assert _storage_bytes(pe) == 2 * 2500
+
+    def test_partial_reconfig_stores_used_pfus(self, library):
+        arch = Architecture(library)
+        pe = arch.new_pe(library.pe_type("AT6005"))  # partial, 64 b/PFU
+        pe.new_mode()
+        arch.allocate_cluster("c0", pe.id, 0, gates=1000, pins=2)  # 100 PFUs
+        arch.allocate_cluster("c1", pe.id, 1, gates=500, pins=2)   # 50 PFUs
+        expected_bits = (100 + 50) * 64
+        assert _storage_bytes(pe) == (expected_bits + 7) // 8
+
+    def test_interface_cost_scales_with_modes(self, small_library):
+        def build(n_modes):
+            arch = Architecture(small_library)
+            arch.new_pe(small_library.pe_type("CPU"))
+            pe = arch.new_pe(small_library.pe_type("FPGA"))
+            for m in range(1, n_modes):
+                pe.new_mode()
+            for m in range(n_modes):
+                arch.allocate_cluster("c%d" % m, pe.id, m, gates=100, pins=2)
+            return synthesize_interface(arch, 0.5).total_cost
+
+        assert build(3) >= build(2)

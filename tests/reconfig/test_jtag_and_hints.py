@@ -1,0 +1,130 @@
+"""CPLD boundary-scan programming and service-module hints."""
+
+import pytest
+
+from repro import SystemSpec, Task, TaskGraph
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import trivial_clustering
+from repro.graph.task import MemoryRequirement
+from repro.reconfig.interface import (
+    InterfaceKind,
+    default_option_array,
+    synthesize_interface,
+)
+from repro.ft.recovery import allocate_spares, service_modules_of
+from repro.resources import MemoryBank, PEKind, PpeType, ProcessorType, LinkType
+from repro.resources.library import ResourceLibrary
+from repro.units import MB
+
+
+@pytest.fixture
+def cpld_library():
+    lib = ResourceLibrary()
+    lib.add_pe_type(ProcessorType(
+        name="CPU", cost=50.0, memory_banks=(MemoryBank(16 * MB, 20.0),),
+    ))
+    lib.add_pe_type(PpeType(
+        name="CPLD", cost=12.0, device_kind=PEKind.CPLD, pfus=72,
+        flip_flops=72, pins=44, config_bits_per_pfu=850,
+    ))
+    lib.add_pe_type(PpeType(
+        name="FPGA", cost=100.0, device_kind=PEKind.FPGA, pfus=200,
+        flip_flops=200, pins=64, config_bits_per_pfu=100,
+    ))
+    lib.add_link_type(LinkType(
+        name="bus", cost=5.0, max_ports=4,
+        access_times=(1e-6,) * 4, bytes_per_packet=64, packet_tx_time=2e-6,
+    ))
+    return lib
+
+
+class TestJtag:
+    def test_option_array_contains_capped_jtag(self):
+        jtag = [o for o in default_option_array() if o.kind.is_jtag]
+        assert jtag
+        assert all(o.clock_hz <= 5e6 for o in jtag)
+
+    def test_single_mode_cpld_is_free(self, cpld_library):
+        arch = Architecture(cpld_library)
+        arch.new_pe(cpld_library.pe_type("CPU"))
+        cpld = arch.new_pe(cpld_library.pe_type("CPLD"))
+        arch.allocate_cluster("c", cpld.id, 0, gates=100, pins=4)
+        plan = synthesize_interface(arch, 0.2)
+        device = plan.devices[cpld.id]
+        # Flash CPLDs keep their image: no PROM, no run-time interface.
+        assert device.cost_share == 0.0
+        assert plan.boot_time_fn()(cpld, 0) == 0.0
+
+    def test_multimode_cpld_uses_jtag(self, cpld_library):
+        arch = Architecture(cpld_library)
+        arch.new_pe(cpld_library.pe_type("CPU"))
+        cpld = arch.new_pe(cpld_library.pe_type("CPLD"))
+        cpld.new_mode()
+        arch.allocate_cluster("c0", cpld.id, 0, gates=100, pins=4)
+        arch.allocate_cluster("c1", cpld.id, 1, gates=100, pins=4)
+        plan = synthesize_interface(arch, 0.5)
+        assert plan.devices[cpld.id].option.kind is InterfaceKind.JTAG
+
+    def test_fpga_never_uses_jtag(self, cpld_library):
+        arch = Architecture(cpld_library)
+        arch.new_pe(cpld_library.pe_type("CPU"))
+        fpga = arch.new_pe(cpld_library.pe_type("FPGA"))
+        fpga.new_mode()
+        arch.allocate_cluster("c0", fpga.id, 0, gates=100, pins=4)
+        arch.allocate_cluster("c1", fpga.id, 1, gates=100, pins=4)
+        plan = synthesize_interface(arch, 0.5)
+        assert not plan.devices[fpga.id].option.kind.is_jtag
+
+    def test_jtag_cheaper_than_slave_serial(self, cpld_library):
+        from repro.reconfig.interface import ProgrammingOption
+
+        jtag = ProgrammingOption(InterfaceKind.JTAG, 1e6)
+        slave = ProgrammingOption(InterfaceKind.SERIAL_SLAVE, 1e6)
+        assert jtag.cost(4096) < slave.cost(4096)
+
+
+class TestModuleHints:
+    def _allocated(self, cpld_library):
+        g = TaskGraph(name="g", period=1.0, deadline=0.5)
+        g.add_task(Task(name="g.t", exec_times={"CPU": 1e-3},
+                        memory=MemoryRequirement(program=64)))
+        spec = SystemSpec("s", [g], unavailability={"g": 4.0})
+        clustering = trivial_clustering(spec, cpld_library)
+        arch = Architecture(cpld_library)
+        cpu = arch.new_pe(cpld_library.pe_type("CPU"))
+        for cluster in clustering.clusters.values():
+            arch.allocate_cluster(cluster.name, cpu.id, 0, memory=cluster.memory)
+        arch.new_pe(cpld_library.pe_type("CPLD"))
+        arch.new_pe(cpld_library.pe_type("FPGA"))
+        return spec, clustering, arch
+
+    def test_hints_group_types(self, cpld_library):
+        _, _, arch = self._allocated(cpld_library)
+        hints = {"CPLD": "logic-card", "FPGA": "logic-card"}
+        modules = service_modules_of(arch, hints=hints)
+        assert "logic-card" in modules
+        assert modules["logic-card"].n_active == 2
+        assert "CPLD" not in modules
+
+    def test_hinted_module_uses_worst_fit(self, cpld_library):
+        _, _, arch = self._allocated(cpld_library)
+        hints = {"CPLD": "logic-card", "FPGA": "logic-card"}
+        modules = service_modules_of(arch, hints=hints)
+        plain = service_modules_of(arch)
+        assert modules["logic-card"].fit_per_unit == max(
+            plain["CPLD"].fit_per_unit, plain["FPGA"].fit_per_unit
+        )
+
+    def test_spares_with_hints(self, cpld_library):
+        spec, clustering, arch = self._allocated(cpld_library)
+        tight = SystemSpec(
+            "s2", [spec.graph("g")], unavailability={"g": 0.05}
+        )
+        allocation = allocate_spares(
+            arch, clustering, tight, hints={"CPU": "cpu-card"}
+        )
+        assert allocation.met
+        assert allocation.total_spares() >= 1
+        assert "cpu-card" in allocation.modules
+        # The spare unit is priced at the costliest member part.
+        assert allocation.spare_cost >= 50.0

@@ -1,0 +1,69 @@
+"""Merge-array construction: ordering and candidate filtering."""
+
+import pytest
+
+from repro import DelayPolicy, SystemSpec, Task, TaskGraph
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import cluster_spec
+from repro.reconfig.compatibility import CompatibilityAnalysis
+from repro.reconfig.merge import _donor_fits_host, _merge_array
+
+
+def hw(name, est, gates=300):
+    g = TaskGraph(name=name, period=1.0, deadline=0.25, est=est)
+    g.add_task(Task(name=name + ".t", exec_times={"FPGA": 1e-3, "AT6005": 1e-3},
+                    area_gates=gates, pins=4))
+    return g
+
+
+@pytest.fixture
+def four_device_setup(library):
+    """Four pairwise-compatible graphs on four devices of two types."""
+    graphs = [hw("g%d" % i, est=i * 0.25) for i in range(4)]
+    pairs = [(a.name, b.name) for i, a in enumerate(graphs)
+             for b in graphs[i + 1:]]
+    spec = SystemSpec("s", graphs, compatibility=pairs)
+    clustering = cluster_spec(spec, library)
+    compat = CompatibilityAnalysis.from_spec(spec)
+    arch = Architecture(library)
+    types = ["AT6005", "AT6010", "AT6005", "AT6010"]
+    for i, graph in enumerate(graphs):
+        cluster = clustering.cluster_of(graph.name, graph.name + ".t")
+        pe = arch.new_pe(library.pe_type(types[i]))
+        arch.allocate_cluster(cluster.name, pe.id, 0,
+                              gates=cluster.area_gates, pins=cluster.pins)
+    return spec, clustering, compat, arch
+
+
+class TestMergeArray:
+    def test_costliest_donor_first(self, library, four_device_setup):
+        spec, clustering, compat, arch = four_device_setup
+        pairs = _merge_array(arch, clustering, compat, DelayPolicy())
+        assert pairs, "compatible devices must produce candidates"
+        donor_costs = [arch.pe(d).pe_type.cost for _, d in pairs]
+        assert donor_costs == sorted(donor_costs, reverse=True)
+
+    def test_incompatible_graphs_filtered(self, library):
+        ga, gb = hw("ga", 0.0), hw("gb", 0.0)  # overlapping
+        spec = SystemSpec("s", [ga, gb], compatibility=[])
+        clustering = cluster_spec(spec, library)
+        compat = CompatibilityAnalysis.from_spec(spec)
+        arch = Architecture(library)
+        for name in ("ga", "gb"):
+            cluster = clustering.cluster_of(name, name + ".t")
+            pe = arch.new_pe(library.pe_type("AT6005"))
+            arch.allocate_cluster(cluster.name, pe.id, 0,
+                                  gates=cluster.area_gates, pins=cluster.pins)
+        assert _merge_array(arch, clustering, compat, DelayPolicy()) == []
+
+    def test_donor_capacity_filter(self, library):
+        host = Architecture(library).new_pe(library.pe_type("XC9536"))
+        donor = Architecture(library).new_pe(library.pe_type("AT6010"))
+        donor.mode(0).gates_used = 5000  # far beyond a 36-PFU CPLD
+        assert not _donor_fits_host(donor, host, DelayPolicy())
+
+    def test_empty_donors_skipped(self, library, four_device_setup):
+        spec, clustering, compat, arch = four_device_setup
+        empty = arch.new_pe(library.pe_type("AT6005"))
+        pairs = _merge_array(arch, clustering, compat, DelayPolicy())
+        assert all(donor != empty.id for _, donor in pairs)

@@ -1,0 +1,106 @@
+"""Resource library registry and the 1997 default catalog."""
+
+import pytest
+
+from repro import ResourceLibraryError, default_library
+from repro.resources.catalog import (
+    DRAM_BANKS,
+    asic_names,
+    ppe_names,
+    processor_names,
+)
+from repro.resources.library import ResourceLibrary
+from repro.resources.pe import PEKind, PpeType, ProcessorType
+from repro.units import MB
+
+
+class TestLibraryRegistry:
+    def test_duplicate_pe_rejected(self, small_library):
+        with pytest.raises(ResourceLibraryError):
+            small_library.add_pe_type(small_library.pe_type("CPU"))
+
+    def test_duplicate_link_rejected(self, small_library):
+        with pytest.raises(ResourceLibraryError):
+            small_library.add_link_type(small_library.link_type("bus"))
+
+    def test_unknown_lookup(self, small_library):
+        with pytest.raises(ResourceLibraryError):
+            small_library.pe_type("nope")
+        with pytest.raises(ResourceLibraryError):
+            small_library.link_type("nope")
+
+    def test_has_pe_type(self, small_library):
+        assert small_library.has_pe_type("CPU")
+        assert not small_library.has_pe_type("nope")
+
+    def test_empty_library_fails_validation(self):
+        with pytest.raises(ResourceLibraryError):
+            ResourceLibrary().validate()
+
+    def test_cost_ordering(self, library):
+        costs = [p.cost for p in library.all_pe_types_by_cost()]
+        assert costs == sorted(costs)
+        link_costs = [l.cost for l in library.links_by_cost()]
+        assert link_costs == sorted(link_costs)
+
+
+class TestCatalogContents:
+    """Section 7 lists the experimental PE/link library; verify the
+    reconstruction carries every named part."""
+
+    def test_processors_with_cache_variants(self, library):
+        for base in ("MC68360", "MC68040", "MC68060", "PowerQUICC"):
+            assert library.has_pe_type(base)
+            assert library.has_pe_type(base + "+L2")
+
+    def test_cache_variant_is_faster_and_costlier(self, library):
+        plain = library.pe_type("MC68040")
+        cached = library.pe_type("MC68040+L2")
+        assert cached.speed > plain.speed
+        assert cached.cost > plain.cost
+        assert cached.cache_bytes > 0
+
+    def test_sixteen_asics(self, library):
+        assert len(library.asics()) == 16
+        assert asic_names() == [a.name for a in sorted(library.asics(), key=lambda a: a.gates)]
+
+    def test_named_fpgas_and_cplds(self, library):
+        for name in ("XC3195A", "XC4025", "XC6700", "AT6005", "AT6010",
+                     "XC9536", "XC95108", "XC7336", "XC7372",
+                     "ORCA2T15", "ORCA2T40"):
+            assert library.has_pe_type(name), name
+
+    def test_partial_reconfig_devices(self, library):
+        # ATMEL AT6000 series and the XC6200-class part support partial
+        # reconfiguration; mainstream XC3000/4000/ORCA do not.
+        for name in ("AT6005", "AT6010", "XC6700"):
+            assert library.pe_type(name).partial_reconfig
+        for name in ("XC3195A", "XC4025", "ORCA2T15", "ORCA2T40"):
+            assert not library.pe_type(name).partial_reconfig
+
+    def test_cplds_are_cplds(self, library):
+        for name in ("XC9536", "XC95108", "XC7336", "XC7372"):
+            assert library.pe_type(name).kind is PEKind.CPLD
+
+    def test_four_dram_banks_up_to_64mb(self, library):
+        assert len(DRAM_BANKS) == 4
+        assert DRAM_BANKS[-1].size_bytes == 64 * MB
+        for processor in library.processors():
+            assert processor.memory_banks == DRAM_BANKS
+
+    def test_link_library(self, library):
+        for name in ("bus680X0", "busQUICC", "lan10", "serial31"):
+            assert library.link_type(name) is not None
+        assert library.link_type("serial31").max_ports == 2
+        assert library.link_type("lan10").max_ports == 32
+
+    def test_helper_name_lists(self):
+        assert len(processor_names()) == 8
+        assert len(processor_names(with_cache_variants=False)) == 4
+        assert len(ppe_names()) == 11
+
+    def test_fresh_instance_each_call(self):
+        a, b = default_library(), default_library()
+        assert a is not b
+        a.add_pe_type(ProcessorType(name="extra", cost=1.0))
+        assert not b.has_pe_type("extra")

@@ -1,0 +1,92 @@
+"""Link types: communication vectors and access-time semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import ResourceLibraryError
+from repro.resources.link import LinkType
+
+
+def link(**overrides):
+    fields = dict(
+        name="bus",
+        cost=5.0,
+        max_ports=4,
+        access_times=(1e-6, 2e-6, 3e-6, 4e-6),
+        bytes_per_packet=64,
+        packet_tx_time=2e-6,
+        cost_per_port=1.0,
+    )
+    fields.update(overrides)
+    return LinkType(**fields)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(name=""),
+        dict(cost=-1.0),
+        dict(max_ports=1),
+        dict(access_times=(1e-6,)),  # wrong length
+        dict(access_times=(4e-6, 3e-6, 2e-6, 1e-6)),  # decreasing
+        dict(access_times=(-1e-6, 1e-6, 1e-6, 1e-6)),
+        dict(bytes_per_packet=0),
+        dict(packet_tx_time=0.0),
+        dict(assumed_ports=1),
+        dict(assumed_ports=9),
+    ])
+    def test_rejects(self, kwargs):
+        with pytest.raises(ResourceLibraryError):
+            link(**kwargs)
+
+
+class TestCommTime:
+    def test_zero_bytes_is_free(self):
+        assert link().comm_time(0) == 0.0
+
+    def test_single_packet(self):
+        l = link()
+        assert l.comm_time(64, ports=2) == pytest.approx(2e-6 + 2e-6)
+
+    def test_multiple_packets_ceil(self):
+        l = link()
+        assert l.packets_for(65) == 2
+        assert l.comm_time(65, ports=2) == pytest.approx(2e-6 + 2 * 2e-6)
+
+    def test_default_uses_assumed_ports(self):
+        l = link(assumed_ports=3)
+        assert l.comm_time(64) == pytest.approx(l.comm_time(64, ports=3))
+
+    def test_ports_beyond_max_clamp(self):
+        l = link()
+        assert l.access_time(99) == l.access_time(4)
+
+    def test_more_ports_never_faster(self):
+        l = link()
+        assert l.comm_time(64, ports=4) >= l.comm_time(64, ports=2)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ResourceLibraryError):
+            link().packets_for(-1)
+
+
+class TestCost:
+    def test_instance_cost(self):
+        l = link()
+        assert l.instance_cost(3) == pytest.approx(5.0 + 3.0)
+
+    def test_requires_a_port(self):
+        with pytest.raises(ResourceLibraryError):
+            link().instance_cost(0)
+
+    def test_bandwidth(self):
+        l = link()
+        assert l.bandwidth_bytes_per_s == pytest.approx(64 / 2e-6)
+
+
+@given(
+    bytes_=st.integers(min_value=1, max_value=100_000),
+    ports=st.integers(min_value=1, max_value=8),
+)
+def test_comm_time_monotone_in_bytes(bytes_, ports):
+    l = link()
+    assert l.comm_time(bytes_ + 64, ports) >= l.comm_time(bytes_, ports)

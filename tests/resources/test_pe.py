@@ -1,0 +1,143 @@
+"""PE types: processors, ASICs, programmable PEs."""
+
+import pytest
+
+from repro import ResourceLibraryError
+from repro.resources.pe import (
+    AsicType,
+    MemoryBank,
+    PEKind,
+    PpeType,
+    ProcessorType,
+)
+from repro.units import GATES_PER_PFU, MB
+
+
+def processor(**overrides):
+    fields = dict(
+        name="P",
+        cost=50.0,
+        speed=1.0,
+        memory_banks=(MemoryBank(16 * MB, 20.0), MemoryBank(64 * MB, 60.0)),
+    )
+    fields.update(overrides)
+    return ProcessorType(**fields)
+
+
+def fpga(**overrides):
+    fields = dict(
+        name="F",
+        cost=100.0,
+        device_kind=PEKind.FPGA,
+        pfus=100,
+        flip_flops=100,
+        pins=50,
+        config_bits_per_pfu=200,
+    )
+    fields.update(overrides)
+    return PpeType(**fields)
+
+
+class TestPEKind:
+    def test_programmable(self):
+        assert PEKind.FPGA.is_programmable
+        assert PEKind.CPLD.is_programmable
+        assert not PEKind.ASIC.is_programmable
+        assert not PEKind.PROCESSOR.is_programmable
+
+    def test_hardware(self):
+        assert PEKind.ASIC.is_hardware
+        assert PEKind.FPGA.is_hardware
+        assert not PEKind.PROCESSOR.is_hardware
+
+
+class TestMemoryBank:
+    def test_rejects_invalid(self):
+        with pytest.raises(ResourceLibraryError):
+            MemoryBank(size_bytes=0, cost=1.0)
+        with pytest.raises(ResourceLibraryError):
+            MemoryBank(size_bytes=100, cost=-1.0)
+
+
+class TestProcessorType:
+    def test_kind(self):
+        assert processor().kind is PEKind.PROCESSOR
+        assert not processor().is_programmable
+        assert not processor().is_hardware
+
+    def test_banks_sorted(self):
+        p = processor(
+            memory_banks=(MemoryBank(64 * MB, 60.0), MemoryBank(16 * MB, 20.0))
+        )
+        assert [b.size_bytes for b in p.memory_banks] == [16 * MB, 64 * MB]
+
+    def test_max_memory(self):
+        assert processor().max_memory_bytes == 64 * MB
+        assert processor(memory_banks=()).max_memory_bytes == 0
+
+    def test_smallest_bank_for(self):
+        p = processor()
+        assert p.smallest_bank_for(1).size_bytes == 16 * MB
+        assert p.smallest_bank_for(32 * MB).size_bytes == 64 * MB
+        assert p.smallest_bank_for(128 * MB) is None
+        assert p.smallest_bank_for(0) is None
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(speed=0.0),
+        dict(context_switch_time=-1.0),
+        dict(comm_ports=0),
+        dict(cost=-1.0),
+        dict(name=""),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ResourceLibraryError):
+            processor(**kwargs)
+
+
+class TestAsicType:
+    def test_kind(self):
+        a = AsicType(name="A", cost=10.0, gates=1000, pins=64)
+        assert a.kind is PEKind.ASIC
+        assert a.is_hardware and not a.is_programmable
+
+    @pytest.mark.parametrize("kwargs", [dict(gates=0), dict(pins=0)])
+    def test_invalid(self, kwargs):
+        fields = dict(name="A", cost=10.0, gates=1000, pins=64)
+        fields.update(kwargs)
+        with pytest.raises(ResourceLibraryError):
+            AsicType(**fields)
+
+
+class TestPpeType:
+    def test_kind_dispatch(self):
+        assert fpga().kind is PEKind.FPGA
+        cpld = fpga(device_kind=PEKind.CPLD)
+        assert cpld.kind is PEKind.CPLD
+        assert fpga().is_programmable
+
+    def test_rejects_non_programmable_kind(self):
+        with pytest.raises(ResourceLibraryError):
+            fpga(device_kind=PEKind.ASIC)
+
+    def test_gate_capacity(self):
+        assert fpga(pfus=100).gates == 100 * GATES_PER_PFU
+
+    def test_config_bits_and_boot_memory(self):
+        f = fpga(pfus=100, config_bits_per_pfu=200)
+        assert f.config_bits == 20_000
+        assert f.boot_memory_bytes == 2500
+
+    def test_full_reconfig_streams_whole_image(self):
+        f = fpga(partial_reconfig=False)
+        assert f.config_bits_for(10) == f.config_bits
+        assert f.config_bits_for(0) == f.config_bits
+
+    def test_partial_reconfig_scales_with_usage(self):
+        f = fpga(partial_reconfig=True)
+        assert f.config_bits_for(10) == 10 * f.config_bits_per_pfu
+        # Capped at the device size.
+        assert f.config_bits_for(10_000) == f.config_bits
+
+    def test_config_bits_for_rejects_negative(self):
+        with pytest.raises(ResourceLibraryError):
+            fpga().config_bits_for(-1)

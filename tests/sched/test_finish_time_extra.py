@@ -1,0 +1,54 @@
+"""Finish-time report details: badness magnitudes and scoping."""
+
+import pytest
+
+from repro.sched.finish_time import DeadlineReport
+
+
+class TestBadnessOrdering:
+    def test_violation_count_dominates(self):
+        one_miss = DeadlineReport(lateness={("g", 0, "a"): 5.0})
+        two_misses = DeadlineReport(
+            lateness={("g", 0, "a"): 0.1, ("g", 0, "b"): 0.1}
+        )
+        assert one_miss.badness() < two_misses.badness()
+
+    def test_magnitude_breaks_ties(self):
+        mild = DeadlineReport(lateness={("g", 0, "a"): 0.1})
+        severe = DeadlineReport(lateness={("g", 0, "a"): 2.0})
+        assert mild.badness() < severe.badness()
+
+    def test_overload_excess_counts_as_magnitude(self):
+        light = DeadlineReport(overloaded={"CPU#0": 1.1})
+        heavy = DeadlineReport(overloaded={"CPU#0": 3.5})
+        assert light.badness() < heavy.badness()
+        assert light.badness()[0] == heavy.badness()[0] == 1
+
+    def test_feasible_is_minimal(self):
+        clean = DeadlineReport()
+        assert clean.all_met
+        assert clean.badness() == (0, 0.0)
+        dirty = DeadlineReport(lateness={("g", 0, "a"): 1e-6})
+        assert clean.badness() < dirty.badness()
+
+
+class TestReportProperties:
+    def test_negative_lateness_means_met(self):
+        report = DeadlineReport(lateness={("g", 0, "a"): -0.5})
+        assert report.deadlines_met
+        assert report.n_missed == 0
+        assert report.max_lateness == 0.0
+        assert report.total_lateness == 0.0
+
+    def test_mixed_lateness(self):
+        report = DeadlineReport(
+            lateness={("g", 0, "a"): -0.5, ("g", 0, "b"): 0.3, ("g", 1, "b"): 0.2}
+        )
+        assert report.n_missed == 2
+        assert report.max_lateness == pytest.approx(0.3)
+        assert report.total_lateness == pytest.approx(0.5)
+
+    def test_overload_blocks_all_met(self):
+        report = DeadlineReport(overloaded={"bus#0": 1.2})
+        assert report.deadlines_met
+        assert not report.all_met

@@ -1,0 +1,52 @@
+"""Validator unit behaviour on hand-built schedules."""
+
+import pytest
+
+from repro.sched.scheduler import Schedule, ScheduledEdge, ScheduledTask
+from repro.sched.timeline import PpeModeTimeline
+from repro.sched.validate import ValidationReport
+
+
+class TestValidationReport:
+    def test_ok_when_empty(self):
+        report = ValidationReport()
+        assert report.ok
+        assert "ok" in repr(report)
+
+    def test_violations_accumulate(self):
+        report = ValidationReport()
+        report.add("first")
+        report.add("second")
+        assert not report.ok
+        assert len(report.violations) == 2
+        assert "first" in repr(report)
+
+
+class TestScheduleAccessors:
+    def test_makespan(self):
+        schedule = Schedule()
+        assert schedule.makespan() == 0.0
+        schedule.tasks[("g", 0, "a")] = ScheduledTask(
+            key=("g", 0, "a"), pe_id="P", mode=0, start=0.0, finish=2.0
+        )
+        schedule.tasks[("g", 0, "b")] = ScheduledTask(
+            key=("g", 0, "b"), pe_id="P", mode=0, start=2.0, finish=5.0
+        )
+        assert schedule.makespan() == 5.0
+
+    def test_finish_of_missing_raises(self):
+        from repro import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            Schedule().finish_of(("g", 0, "x"))
+
+    def test_reconfigurations_sum_over_devices(self):
+        schedule = Schedule()
+        t1 = PpeModeTimeline()
+        t1.place(0, 0.0, 1.0, 0.1)
+        t1.place(1, 0.0, 1.0, 0.1)
+        t2 = PpeModeTimeline()
+        t2.place(0, 0.0, 1.0, 0.1)
+        schedule.ppe_timelines["A"] = t1
+        schedule.ppe_timelines["B"] = t2
+        assert schedule.reconfigurations == 1

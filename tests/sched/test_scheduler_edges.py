@@ -1,0 +1,94 @@
+"""Scheduler edge cases: zero-byte edges, ASIC concurrency, copies."""
+
+import pytest
+
+from repro import SystemSpec, Task, TaskGraph
+from repro.graph.task import MemoryRequirement
+from repro.resources import AsicType, LinkType, MemoryBank, ProcessorType
+from repro.resources.library import ResourceLibrary
+from repro.units import MB
+
+from tests.sched.test_scheduler import schedule_spec
+
+
+@pytest.fixture
+def asic_library():
+    lib = ResourceLibrary()
+    lib.add_pe_type(ProcessorType(
+        name="CPU", cost=50.0, memory_banks=(MemoryBank(16 * MB, 20.0),),
+    ))
+    lib.add_pe_type(AsicType(name="ASIC", cost=30.0, gates=10_000, pins=100))
+    lib.add_link_type(LinkType(
+        name="bus", cost=5.0, max_ports=8,
+        access_times=tuple(1e-6 * (i + 1) for i in range(8)),
+        bytes_per_packet=64, packet_tx_time=2e-6,
+    ))
+    return lib
+
+
+class TestZeroByteEdges:
+    def test_pure_precedence_costs_nothing(self, small_library):
+        g = TaskGraph(name="z", period=0.1, deadline=0.05)
+        for n in ("a", "b"):
+            g.add_task(Task(name=n, exec_times={"CPU": 1e-3},
+                            memory=MemoryRequirement(program=64)))
+        g.add_edge("a", "b", bytes_=0)
+        spec = SystemSpec("s", [g])
+        schedule, *_ = schedule_spec(spec, small_library, {
+            "z/s0000": ("CPU#0", 0), "z/s0001": ("CPU#1", 0),
+        })
+        edge = schedule.edges[("z", 0, "a", "b")]
+        # Even across PEs, a zero-byte edge is pure precedence.
+        assert edge.link_id is None
+        assert edge.finish == edge.start
+
+
+class TestAsicConcurrency:
+    def test_asic_tasks_run_in_parallel(self, asic_library):
+        g = TaskGraph(name="p", period=0.1, deadline=0.05)
+        for n in ("x", "y"):
+            g.add_task(Task(name=n, exec_times={"ASIC": 5e-3},
+                            area_gates=100, pins=4))
+        spec = SystemSpec("s", [g])
+        schedule, *_ = schedule_spec(spec, asic_library, {
+            "p/s0000": ("ASIC#0", 0), "p/s0001": ("ASIC#0", 0),
+        })
+        x = schedule.tasks[("p", 0, "x")]
+        y = schedule.tasks[("p", 0, "y")]
+        # Independent circuit blocks: both start at their ready time.
+        assert x.start == y.start == 0.0
+
+
+class TestCopies:
+    def test_copies_scheduled_at_period_offsets(self, small_library):
+        g = TaskGraph(name="c", period=0.05, deadline=0.04)
+        g.add_task(Task(name="t", exec_times={"CPU": 1e-3},
+                        memory=MemoryRequirement(program=64)))
+        slow = TaskGraph(name="slow", period=0.1, deadline=0.1)
+        slow.add_task(Task(name="s", exec_times={"CPU": 1e-3},
+                           memory=MemoryRequirement(program=64)))
+        spec = SystemSpec("s", [g, slow])  # hyperperiod 0.1 -> 2 copies of c
+        schedule, *_ = schedule_spec(spec, small_library, {
+            "c/s0000": ("CPU#0", 0), "slow/s0000": ("CPU#1", 0)})
+        first = schedule.tasks[("c", 0, "t")]
+        second = schedule.tasks[("c", 1, "t")]
+        assert second.start >= first.start + 0.05 - 1e-9
+
+    def test_link_transfers_of_copies_serialize(self, small_library):
+        g = TaskGraph(name="c", period=0.05, deadline=0.05)
+        for n in ("a", "b"):
+            g.add_task(Task(name=n, exec_times={"CPU": 1e-4},
+                            memory=MemoryRequirement(program=64)))
+        g.add_edge("a", "b", bytes_=256)
+        slow = TaskGraph(name="slow", period=0.1, deadline=0.1)
+        slow.add_task(Task(name="s", exec_times={"CPU": 1e-3},
+                           memory=MemoryRequirement(program=64)))
+        spec = SystemSpec("s", [g, slow])
+        schedule, *_ = schedule_spec(spec, small_library, {
+            "c/s0000": ("CPU#0", 0), "c/s0001": ("CPU#1", 0),
+            "slow/s0000": ("CPU#0", 0),
+        })
+        e0 = schedule.edges[("c", 0, "a", "b")]
+        e1 = schedule.edges[("c", 1, "a", "b")]
+        assert e0.link_id == e1.link_id
+        assert e0.finish <= e1.start + 1e-9 or e1.finish <= e0.start + 1e-9

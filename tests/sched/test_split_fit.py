@@ -1,0 +1,96 @@
+"""split_fit: the gap-splitting primitive behind restricted preemption."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SchedulingError
+from repro.sched.timeline import IntervalTimeline
+
+
+def timeline_with(*intervals):
+    tl = IntervalTimeline()
+    for i, (start, duration) in enumerate(intervals):
+        tl.occupy(start, duration, ("busy", i))
+    return tl
+
+
+class TestSplitFit:
+    def test_empty_timeline_single_segment(self):
+        tl = IntervalTimeline()
+        segments = tl.split_fit(1.0, 2.0, overhead=0.1)
+        assert segments == [(1.0, 3.0)]
+
+    def test_cursor_at_interval_start_terminates(self):
+        """Regression: a busy interval starting exactly at the ready
+        time must advance the cursor, not loop forever."""
+        tl = timeline_with((0.0, 2.0))
+        segments = tl.split_fit(0.0, 1.0, overhead=0.1)
+        assert segments == [(2.0, 3.0)]
+
+    def test_splits_across_one_reservation(self):
+        tl = timeline_with((2.0, 1.0))
+        segments = tl.split_fit(0.0, 3.0, overhead=0.5)
+        # 2.0 of work before the reservation, remainder + overhead after.
+        assert segments[0] == (0.0, 2.0)
+        assert segments[1][0] == 3.0
+        assert segments[1][1] == pytest.approx(3.0 + 1.0 + 0.5)
+
+    def test_tiny_gap_skipped(self):
+        # Gap of 0.2 with overhead 0.5: not worth opening a segment.
+        tl = timeline_with((1.0, 1.0), (2.2, 1.0))
+        segments = tl.split_fit(0.9, 2.0, overhead=0.5)
+        # First segment [0.9, 1.0) is before any overhead; the 0.2 gap
+        # between reservations does less work than its overhead.
+        starts = [s for s, _ in segments]
+        assert 2.0 not in starts
+
+    def test_max_segments_gives_up(self):
+        tl = timeline_with(*[(i * 2.0 + 1.0, 1.5) for i in range(10)])
+        assert tl.split_fit(0.0, 20.0, overhead=0.01, max_segments=3) is None
+
+    def test_rejects_negative(self):
+        tl = IntervalTimeline()
+        with pytest.raises(SchedulingError):
+            tl.split_fit(0.0, -1.0, 0.0)
+        with pytest.raises(SchedulingError):
+            tl.split_fit(0.0, 1.0, -0.1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        busy=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=50),
+                st.floats(min_value=0.1, max_value=5),
+            ),
+            max_size=6,
+        ),
+        ready=st.floats(min_value=0, max_value=20),
+        duration=st.floats(min_value=0.1, max_value=10),
+        overhead=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_split_properties(self, busy, ready, duration, overhead):
+        """Whenever split_fit returns segments: they are time-ordered,
+        disjoint from every busy interval, start at/after ready, and
+        carry the full duration plus one overhead per resumption."""
+        tl = IntervalTimeline()
+        placed = []
+        for i, (start, dur) in enumerate(busy):
+            if all(start + dur <= s or e <= start for s, e in placed):
+                tl.occupy(start, dur, ("busy", i))
+                placed.append((start, start + dur))
+        segments = tl.split_fit(ready, duration, overhead)
+        if segments is None:
+            return
+        assert segments[0][0] >= ready - 1e-9
+        total = 0.0
+        previous_end = None
+        for index, (s, e) in enumerate(segments):
+            assert e > s
+            if previous_end is not None:
+                assert s >= previous_end - 1e-9
+            previous_end = e
+            for bs, be in placed:
+                assert e <= bs + 1e-9 or be <= s + 1e-9
+            total += e - s
+        expected = duration + overhead * (len(segments) - 1)
+        assert total == pytest.approx(expected, rel=1e-6, abs=1e-9)

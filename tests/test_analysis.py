@@ -1,0 +1,91 @@
+"""Architecture comparison and mode-sharing analysis."""
+
+import pytest
+
+from repro import CrusadeConfig, SpecificationError, crusade
+from repro.analysis.compare import compare_results
+from repro.analysis.sharing import mode_sharing_report
+from repro.bench.figure2 import figure2_library, figure2_spec
+
+
+@pytest.fixture(scope="module")
+def figure2_pair():
+    spec = figure2_spec()
+    baseline = crusade(
+        spec, library=figure2_library(),
+        config=CrusadeConfig(reconfiguration=False, max_explicit_copies=4),
+    )
+    reconfig = crusade(
+        spec, library=figure2_library(),
+        config=CrusadeConfig(reconfiguration=True, max_explicit_copies=4),
+        baseline=baseline,
+    )
+    return baseline, reconfig
+
+
+class TestCompare:
+    def test_headline_numbers(self, figure2_pair):
+        baseline, reconfig = figure2_pair
+        diff = compare_results(baseline, reconfig)
+        assert diff.savings > 0
+        assert diff.savings_pct == pytest.approx(
+            (baseline.cost - reconfig.cost) / baseline.cost * 100
+        )
+
+    def test_eliminated_types(self, figure2_pair):
+        baseline, reconfig = figure2_pair
+        diff = compare_results(baseline, reconfig)
+        assert "F1" in diff.eliminated_types()
+
+    def test_pe_counts(self, figure2_pair):
+        baseline, reconfig = figure2_pair
+        diff = compare_results(baseline, reconfig)
+        base_f1, other_f1 = diff.pe_counts["F1"]
+        assert base_f1 == 2 and other_f1 == 1
+
+    def test_render(self, figure2_pair):
+        baseline, reconfig = figure2_pair
+        text = compare_results(baseline, reconfig).render()
+        assert "saved" in text
+        assert "F1" in text
+
+    def test_rejects_different_systems(self, figure2_pair, small_library,
+                                       tiny_spec, fast_config):
+        baseline, _ = figure2_pair
+        other = crusade(tiny_spec, library=small_library, config=fast_config)
+        with pytest.raises(SpecificationError):
+            compare_results(baseline, other)
+
+
+class TestModeSharing:
+    def test_figure2_sharing_structure(self, figure2_pair):
+        _, reconfig = figure2_pair
+        report = mode_sharing_report(reconfig)
+        assert report.n_shared_devices == 1
+        device = [d for d in report.devices if d.shared][0]
+        # T1 is in both modes (replica); T2/T3 in one each.
+        assert {"T1", "T2"} in device.graphs_per_mode
+        assert {"T1", "T3"} in device.graphs_per_mode
+        # Sharing avoided buying T3's circuit area outright.
+        assert device.gates_avoided > 0
+        assert ("T2", "T3") in report.sharing_pairs()
+
+    def test_baseline_has_no_sharing(self, figure2_pair):
+        baseline, _ = figure2_pair
+        report = mode_sharing_report(baseline)
+        assert report.n_shared_devices == 0
+        assert report.total_gates_avoided == 0
+        assert report.sharing_pairs() == []
+
+    def test_reconfiguration_load_measured(self, figure2_pair):
+        _, reconfig = figure2_pair
+        report = mode_sharing_report(reconfig)
+        assert report.reconfigurations >= 1
+        assert report.boot_time_total > 0
+        assert report.hyperperiod == pytest.approx(0.2)
+
+    def test_render(self, figure2_pair):
+        _, reconfig = figure2_pair
+        text = mode_sharing_report(reconfig).render()
+        assert "multiple modes" in text
+        assert "mode 0" in text

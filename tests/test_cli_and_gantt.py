@@ -1,0 +1,124 @@
+"""CLI commands and Gantt rendering."""
+
+import json
+
+import pytest
+
+from repro import CrusadeConfig, GeneratorConfig, crusade, generate_spec
+from repro.cli import main
+from repro.io.spec_json import save_spec_file
+from repro.sched.gantt import render_gantt, utilization_summary
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    spec = generate_spec(GeneratorConfig(
+        seed=5, n_graphs=3, tasks_per_graph=6, compat_group_size=2,
+        utilization=0.2,
+    ))
+    path = tmp_path / "spec.json"
+    save_spec_file(spec, path)
+    return path
+
+
+class TestCli:
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        code = main([
+            "generate", "--seed", "3", "--graphs", "2",
+            "--tasks-per-graph", "5", "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "crusade-spec"
+        assert len(payload["graphs"]) == 2
+
+    def test_example(self, tmp_path):
+        out = tmp_path / "e.json"
+        code = main(["example", "A1TR", "--scale", "0.05", "--out", str(out)])
+        assert code == 0
+        assert json.loads(out.read_text())["name"] == "A1TR"
+
+    def test_synthesize(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        code = main([
+            "synthesize", str(spec_file), "--copies", "2",
+            "--out", str(out), "--gantt",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Processing elements" in captured
+        assert "feasible: True" in captured
+        assert json.loads(out.read_text())["feasible"] is True
+
+    def test_synthesize_baseline(self, spec_file, capsys):
+        code = main(["synthesize", str(spec_file), "--no-reconfig", "--copies", "2"])
+        assert code == 0
+
+    def test_synthesize_ft(self, spec_file, capsys):
+        code = main(["synthesize", str(spec_file), "--ft", "--copies", "2"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "spares:" in captured
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Not routable" in capsys.readouterr().out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "savings" in out
+
+
+class TestGantt:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = generate_spec(GeneratorConfig(
+            seed=5, n_graphs=3, tasks_per_graph=6, compat_group_size=2,
+            utilization=0.2,
+        ))
+        return crusade(spec, config=CrusadeConfig(max_explicit_copies=2))
+
+    def test_rows_per_resource(self, result):
+        chart = render_gantt(result.schedule, width=60)
+        lines = chart.splitlines()
+        assert lines[0].startswith("time [")
+        resources = {p.pe_id for p in result.schedule.tasks.values() if p.pe_id}
+        body = "\n".join(lines[1:])
+        for resource in resources:
+            assert resource in body
+
+    def test_execution_marks_present(self, result):
+        chart = render_gantt(result.schedule, width=60)
+        assert "#" in chart
+
+    def test_width_enforced(self, result):
+        with pytest.raises(ValueError):
+            render_gantt(result.schedule, width=3)
+        chart = render_gantt(result.schedule, width=40)
+        for line in chart.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+
+    def test_custom_span(self, result):
+        chart = render_gantt(result.schedule, width=40, span=(0.0, 0.001))
+        assert "0.001000s" in chart
+
+    def test_all_copies(self, result):
+        chart = render_gantt(result.schedule, width=40, copy=None)
+        assert "#" in chart
+
+    def test_empty_schedule(self):
+        from repro.sched.scheduler import Schedule
+
+        assert render_gantt(Schedule()) == "(empty schedule)"
+
+    def test_utilization_summary(self, result):
+        from repro import hyperperiod_of
+
+        text = utilization_summary(
+            result.schedule, hyperperiod_of(result.spec)
+        )
+        assert "%" in text
+        assert "resource utilization" in text

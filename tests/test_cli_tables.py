@@ -1,0 +1,24 @@
+"""CLI table commands (scaled down for test speed)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.slow
+def test_cli_table2_single_example(capsys):
+    code = main(["table2", "--scale", "0.03", "--examples", "A1TR"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Table 2" in out
+    assert "A1TR" in out
+    assert "Savings %" in out
+
+
+@pytest.mark.slow
+def test_cli_table3_single_example(capsys):
+    code = main(["table3", "--scale", "0.03", "--examples", "A1TR"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Table 3" in out
+    assert "CRUSADE-FT" in out

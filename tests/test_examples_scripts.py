@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples are part of the public deliverable; each must execute
+without error and print its headline content.  Heavier scripts run at
+reduced scale through their argv.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv=()):
+    monkeypatch.setattr(sys, "argv", ["%s/%s.py" % (EXAMPLES, name)] + list(argv))
+    runpy.run_path("%s/%s.py" % (EXAMPLES, name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart")
+    assert "feasible: True" in out
+    assert "total cost" in out
+    assert "control.actuate" in out
+
+
+def test_reconfig_demo(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "reconfig_demo")
+    assert "with dynamic reconfiguration" in out
+    assert "mode windows" in out
+    assert "saved by dynamic reconfiguration" in out
+
+
+def test_allocation_walkthrough(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "allocation_walkthrough")
+    assert "matches Figure 4(e): True" in out
+
+
+def test_delay_management(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "delay_management")
+    assert "Not routable" in out
+    assert "EPUF effect" in out
+
+
+@pytest.mark.slow
+def test_telecom_base_station(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "telecom_base_station", ["0.04"])
+    assert "cost savings from dynamic reconfiguration" in out
+
+
+@pytest.mark.slow
+def test_video_router(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "video_router", ["0.04"])
+    assert "what reconfiguration changed" in out
+    assert "how the silicon is shared" in out
+
+
+@pytest.mark.slow
+def test_fault_tolerant_sonet(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "fault_tolerant_sonet")
+    assert "Fault-detection transformation" in out
+    assert "all requirements met: True" in out

@@ -1,0 +1,61 @@
+"""Full-pipeline integration: example -> JSON -> synthesis -> export
+-> validation, exactly as a downstream user would wire the library."""
+
+import json
+
+import pytest
+
+from repro import (
+    CrusadeConfig,
+    crusade,
+    load_spec_file,
+    save_result_file,
+    save_spec_file,
+    validate_architecture,
+    validate_schedule,
+)
+from repro.analysis.compare import compare_results
+from repro.bench.examples import build_example
+from repro.graph.association import AssociationArray
+
+
+@pytest.mark.slow
+def test_pipeline_end_to_end(tmp_path):
+    # 1. Build a scaled paper example and archive it as JSON.
+    spec = build_example("A1TR", scale=0.04)
+    spec_path = tmp_path / "a1tr.json"
+    save_spec_file(spec, spec_path)
+
+    # 2. Reload and synthesize both ways.
+    loaded = load_spec_file(spec_path)
+    config = CrusadeConfig(max_explicit_copies=2)
+    baseline = crusade(loaded, config=CrusadeConfig(
+        reconfiguration=False, max_explicit_copies=2))
+    reconfig = crusade(loaded, config=config, baseline=baseline)
+    assert baseline.feasible and reconfig.feasible
+
+    # 3. The comparative claim of the paper holds.
+    diff = compare_results(baseline, reconfig)
+    assert diff.savings >= 0
+
+    # 4. Both results pass the independent validators.
+    assoc = AssociationArray(loaded, max_explicit_copies=2)
+    for result in (baseline, reconfig):
+        sched_report = validate_schedule(
+            result.schedule, loaded, assoc, result.clustering, result.arch
+        )
+        assert sched_report.ok, sched_report.violations[:3]
+        arch_report = validate_architecture(
+            result.arch, result.clustering, spec=loaded,
+            policy=config.delay_policy,
+        )
+        assert arch_report.ok, arch_report.violations[:3]
+
+    # 5. Results export as JSON a dashboard could consume.
+    out_path = tmp_path / "result.json"
+    save_result_file(reconfig, out_path)
+    payload = json.loads(out_path.read_text())
+    assert payload["feasible"] is True
+    assert payload["architecture"]["cost_breakdown"]["total"] == pytest.approx(
+        reconfig.cost
+    )

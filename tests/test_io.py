@@ -1,0 +1,131 @@
+"""JSON round-tripping of specifications and result export."""
+
+import json
+
+import pytest
+
+from repro import (
+    CrusadeConfig,
+    GeneratorConfig,
+    SpecificationError,
+    crusade,
+    generate_spec,
+    validate_spec,
+)
+from repro.io.result_json import result_to_dict, save_result_file
+from repro.io.spec_json import (
+    load_spec,
+    load_spec_file,
+    save_spec_file,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def rich_spec():
+    """A generated spec exercising every serialized field."""
+    return generate_spec(GeneratorConfig(
+        seed=17, n_graphs=4, tasks_per_graph=9, compat_group_size=2,
+        utilization=0.2,
+    ))
+
+
+class TestSpecRoundTrip:
+    def test_roundtrip_preserves_everything(self, rich_spec):
+        clone = spec_from_dict(spec_to_dict(rich_spec))
+        assert clone.name == rich_spec.name
+        assert clone.graph_names() == rich_spec.graph_names()
+        assert clone.total_tasks == rich_spec.total_tasks
+        assert clone.boot_time_requirement == rich_spec.boot_time_requirement
+        assert clone.unavailability == rich_spec.unavailability
+        for name in rich_spec.graph_names():
+            original = rich_spec.graph(name)
+            loaded = clone.graph(name)
+            assert loaded.period == original.period
+            assert loaded.deadline == original.deadline
+            assert loaded.est == original.est
+            assert set(loaded.tasks) == set(original.tasks)
+            assert set(loaded.edges) == set(original.edges)
+            for task_name, task in original.tasks.items():
+                twin = loaded.task(task_name)
+                assert dict(twin.exec_times) == dict(task.exec_times)
+                assert twin.memory == task.memory
+                assert twin.area_gates == task.area_gates
+                assert twin.exclusions == task.exclusions
+                assert twin.error_transparent == task.error_transparent
+                assert len(twin.assertions) == len(task.assertions)
+        for a in rich_spec.graph_names():
+            for b in rich_spec.graph_names():
+                if a != b:
+                    assert clone.compatible(a, b) == rich_spec.compatible(a, b)
+
+    def test_roundtrip_validates(self, rich_spec, library):
+        clone = spec_from_dict(spec_to_dict(rich_spec))
+        validate_spec(clone, library)
+
+    def test_file_roundtrip(self, rich_spec, tmp_path):
+        path = tmp_path / "spec.json"
+        save_spec_file(rich_spec, path)
+        loaded = load_spec_file(path)
+        assert loaded.total_tasks == rich_spec.total_tasks
+        # The file is real, stable JSON.
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "crusade-spec"
+
+    def test_text_loading(self, rich_spec):
+        text = json.dumps(spec_to_dict(rich_spec))
+        assert load_spec(text).name == rich_spec.name
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SpecificationError):
+            spec_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self, rich_spec):
+        payload = spec_to_dict(rich_spec)
+        payload["version"] = 99
+        with pytest.raises(SpecificationError):
+            spec_from_dict(payload)
+
+    def test_synthesis_agrees_after_roundtrip(self, rich_spec):
+        """The serialized spec drives the same architecture."""
+        clone = spec_from_dict(spec_to_dict(rich_spec))
+        config = CrusadeConfig(max_explicit_copies=2)
+        a = crusade(rich_spec, config=config)
+        b = crusade(clone, config=config)
+        assert a.cost == pytest.approx(b.cost)
+        assert a.n_pes == b.n_pes
+
+
+class TestResultExport:
+    @pytest.fixture(scope="class")
+    def result(self, rich_spec=None):
+        spec = generate_spec(GeneratorConfig(
+            seed=17, n_graphs=3, tasks_per_graph=8, compat_group_size=2,
+            utilization=0.2,
+        ))
+        return crusade(spec, config=CrusadeConfig(max_explicit_copies=2))
+
+    def test_export_structure(self, result):
+        payload = result_to_dict(result)
+        assert payload["format"] == "crusade-result"
+        assert payload["feasible"] == result.feasible
+        assert payload["cost"] == pytest.approx(result.cost)
+        arch = payload["architecture"]
+        assert len(arch["pes"]) == result.n_pes
+        assert len(arch["links"]) == result.n_links
+        assert len(arch["allocation"]) == result.clustering.n_clusters
+        assert arch["cost_breakdown"]["total"] == pytest.approx(result.cost)
+
+    def test_export_schedule_consistent(self, result):
+        payload = result_to_dict(result)
+        tasks = payload["schedule"]["tasks"]
+        assert len(tasks) == len(result.schedule.tasks)
+        for record in tasks:
+            assert record["finish"] >= record["start"]
+
+    def test_export_is_json_serializable(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result_file(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["system"] == result.spec.name

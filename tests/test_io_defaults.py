@@ -1,0 +1,55 @@
+"""Spec JSON: hand-authored minimal documents with defaulted fields."""
+
+import pytest
+
+from repro import validate_spec
+from repro.io.spec_json import load_spec
+
+MINIMAL = """
+{
+  "format": "crusade-spec",
+  "version": 1,
+  "name": "hand",
+  "graphs": [
+    {
+      "name": "g",
+      "period": 0.01,
+      "tasks": [
+        {"name": "a", "exec_times": {"MC68360": 0.0004}},
+        {"name": "b", "exec_times": {"MC68360": 0.0002}}
+      ],
+      "edges": [{"src": "a", "dst": "b", "bytes": 64}]
+    }
+  ]
+}
+"""
+
+
+class TestMinimalDocument:
+    def test_loads_with_defaults(self, library):
+        spec = load_spec(MINIMAL)
+        assert spec.name == "hand"
+        graph = spec.graph("g")
+        assert graph.deadline == graph.period  # defaulted
+        assert graph.est == 0.0
+        task = graph.task("a")
+        assert task.memory.total == 0
+        assert task.area_gates == 0
+        assert task.assertions == ()
+        assert not task.error_transparent
+        assert spec.boot_time_requirement == 0.2
+        assert not spec.has_explicit_compatibility
+        validate_spec(spec, library)
+
+    def test_edge_bytes_default_zero(self):
+        doc = MINIMAL.replace(', "bytes": 64', "")
+        spec = load_spec(doc)
+        assert spec.graph("g").edge("a", "b").bytes_ == 0
+
+    def test_synthesizable(self, library):
+        from repro import CrusadeConfig, crusade
+
+        spec = load_spec(MINIMAL)
+        result = crusade(spec, library=library,
+                         config=CrusadeConfig(max_explicit_copies=2))
+        assert result.feasible

@@ -1,0 +1,28 @@
+"""``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+@pytest.mark.slow
+def test_module_invocation_help():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert proc.returncode == 0
+    for command in ("synthesize", "generate", "example",
+                    "table1", "table2", "table3", "figure2", "experiments"):
+        assert command in proc.stdout
+
+
+@pytest.mark.slow
+def test_module_invocation_table1():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "table1"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "Not routable" in proc.stdout

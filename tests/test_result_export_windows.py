@@ -1,0 +1,48 @@
+"""Result export: mode windows and reconfiguration counters."""
+
+import pytest
+
+from repro import CrusadeConfig, crusade
+from repro.bench.figure2 import figure2_library, figure2_spec
+from repro.io.result_json import result_to_dict
+
+
+@pytest.fixture(scope="module")
+def payload():
+    result = crusade(
+        figure2_spec(), library=figure2_library(),
+        config=CrusadeConfig(max_explicit_copies=4),
+    )
+    return result_to_dict(result), result
+
+
+class TestModeWindowExport:
+    def test_windows_present_for_ppes(self, payload):
+        data, result = payload
+        windows = data["schedule"]["mode_windows"]
+        assert set(windows) == set(result.schedule.ppe_timelines)
+        for series in windows.values():
+            for w in series:
+                assert w["end"] >= w["start"]
+                assert w["boot_time"] >= 0
+
+    def test_reconfigurations_match(self, payload):
+        data, result = payload
+        assert data["schedule"]["reconfigurations"] == result.reconfigurations
+
+    def test_replicas_exported(self, payload):
+        data, result = payload
+        f1 = [p for p in data["architecture"]["pes"] if p["id"] == "F1#0"][0]
+        # T1 is replicated into the second configuration (Figure 2(e)).
+        assert "T1/c000" in f1["replicas"]
+        replica_modes = f1["replicas"]["T1/c000"]
+        primary = data["architecture"]["allocation"]["T1/c000"]["mode"]
+        assert len(replica_modes) == 1
+        assert replica_modes[0] != primary
+
+    def test_interfaces_exported(self, payload):
+        data, result = payload
+        assert "F1#0" in data["interfaces"]
+        device = data["interfaces"]["F1#0"]
+        assert device["storage_bytes"] > 0
+        assert max(device["runtime_boot_times"].values()) > 0

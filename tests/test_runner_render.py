@@ -1,0 +1,31 @@
+"""Table renderer edge cases."""
+
+from repro.bench.runner import pct, render_table
+
+
+class TestRenderTable:
+    def test_empty_rows(self):
+        text = render_table("T", ["a"], [])
+        assert "T" in text
+        assert "a" in text
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table("T", ["x"], [["a-very-long-cell-value"]])
+        header_line = text.splitlines()[2]
+        assert len(header_line) >= len("a-very-long-cell-value")
+
+    def test_right_alignment_of_body(self):
+        text = render_table("T", ["num"], [[7]])
+        body = text.splitlines()[4]
+        assert body.endswith("7")
+
+    def test_mixed_types(self):
+        text = render_table("T", ["a", "b"], [[1, "x"], [2.5, None]])
+        assert "2.5" in text and "None" in text
+
+
+class TestPct:
+    def test_rounding(self):
+        assert pct(56.74) == "56.7"
+        assert pct(0) == "0.0"
+        assert pct(-3.25) in ("-3.2", "-3.3")  # platform rounding

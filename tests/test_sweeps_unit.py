@@ -1,0 +1,33 @@
+"""Sweep utilities: SweepPoint math and renderer."""
+
+import pytest
+
+from repro.bench.sweeps import SweepPoint, render_sweep
+
+
+class TestSweepPoint:
+    def test_savings_pct(self):
+        point = SweepPoint(x=1.0, tasks=10, cost_without=200.0,
+                           cost_with=150.0, cpu_seconds=1.0, feasible=True)
+        assert point.savings_pct == pytest.approx(25.0)
+
+    def test_zero_baseline_guard(self):
+        point = SweepPoint(x=1.0, tasks=10, cost_without=0.0,
+                           cost_with=0.0, cpu_seconds=1.0, feasible=True)
+        assert point.savings_pct == 0.0
+
+
+class TestRenderSweep:
+    def test_columns_and_rows(self):
+        points = [
+            SweepPoint(x=0.1, tasks=100, cost_without=1000, cost_with=800,
+                       cpu_seconds=2.5, feasible=True),
+            SweepPoint(x=0.2, tasks=200, cost_without=2000, cost_with=1400,
+                       cpu_seconds=9.0, feasible=True),
+        ]
+        text = render_sweep("series", "scale", points)
+        assert "series" in text
+        assert "savings %" in text
+        assert "20.0" in text  # first row savings
+        assert "30.0" in text  # second row savings
+        assert "200" in text

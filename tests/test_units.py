@@ -1,0 +1,71 @@
+"""Unit-convention helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_lcm_of_basic():
+    assert units.lcm_of([4, 6]) == 12
+    assert units.lcm_of([1]) == 1
+    assert units.lcm_of([7, 5, 3]) == 105
+
+
+def test_lcm_of_rejects_non_positive():
+    with pytest.raises(ValueError):
+        units.lcm_of([0, 3])
+    with pytest.raises(ValueError):
+        units.lcm_of([-2])
+
+
+@given(st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=6))
+def test_lcm_is_divisible_by_members(values):
+    result = units.lcm_of(values)
+    for value in values:
+        assert result % value == 0
+
+
+def test_quantize_rounds_to_grid():
+    assert units.quantize(25e-6) == 25
+    assert units.quantize(1.0, tick=1e-3) == 1000
+    assert units.quantize(0.4e-6) == 1  # clamped to at least one tick
+
+
+def test_quantize_rejects_non_positive():
+    with pytest.raises(ValueError):
+        units.quantize(0.0)
+    with pytest.raises(ValueError):
+        units.quantize(-1.0)
+
+
+def test_time_comparisons_tolerate_epsilon():
+    base = 1.0
+    almost = base + units.TIME_EPS / 2
+    assert units.time_leq(almost, base)
+    assert not units.time_lt(almost, base)
+    assert units.time_eq(almost, base)
+    assert units.time_lt(base, base + 1.0)
+
+
+def test_fit_to_lambda():
+    assert units.fit_to_lambda(1e9) == pytest.approx(1.0)
+    assert units.fit_to_lambda(500.0) == pytest.approx(5e-7)
+    with pytest.raises(ValueError):
+        units.fit_to_lambda(-1.0)
+
+
+def test_unavailability_to_fraction():
+    year_minutes = 365.25 * 24 * 60
+    assert units.unavailability_to_fraction(year_minutes) == pytest.approx(1.0)
+    assert units.unavailability_to_fraction(0.0) == 0.0
+    with pytest.raises(ValueError):
+        units.unavailability_to_fraction(-5.0)
+
+
+@given(st.floats(min_value=1e-6, max_value=1e3))
+def test_quantize_roundtrip_error_bounded(seconds):
+    ticks = units.quantize(seconds)
+    assert abs(ticks * units.US - seconds) <= max(units.US / 2, seconds * 1e-9) or ticks == 1
