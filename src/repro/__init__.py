@@ -63,6 +63,14 @@ from repro.io import (
     save_spec_file,
     spec_from_dict,
     spec_to_dict,
+    stats_from_result_dict,
+)
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    SynthesisStats,
+    Tracer,
+    render_stats,
 )
 from repro.sched.gantt import render_gantt, utilization_summary
 from repro.sched.validate import validate_schedule
@@ -110,6 +118,12 @@ __all__ = [
     "save_spec_file",
     "spec_from_dict",
     "spec_to_dict",
+    "stats_from_result_dict",
+    "Tracer",
+    "MemorySink",
+    "JsonlSink",
+    "SynthesisStats",
+    "render_stats",
     "render_gantt",
     "utilization_summary",
     "validate_schedule",

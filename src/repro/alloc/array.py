@@ -29,6 +29,7 @@ from repro.arch.pe_instance import PEInstance
 from repro.cluster.clustering import Cluster, ClusteringResult
 from repro.delay.model import DelayPolicy
 from repro.graph.spec import SystemSpec
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.reconfig.compatibility import CompatibilityAnalysis
 from repro.resources.pe import PpeType, ProcessorType
 from repro.alloc.capacity import (
@@ -215,6 +216,7 @@ def build_allocation_array(
     compat: Optional[CompatibilityAnalysis] = None,
     max_existing_options: int = 12,
     allow_new_modes: bool = True,
+    tracer: Tracer = NULL_TRACER,
 ) -> List[AllocationOption]:
     """Enumerate candidate placements for ``cluster``, cheapest first.
 
@@ -228,6 +230,7 @@ def build_allocation_array(
     graph = spec.graph(cluster.graph)
     existing: List[AllocationOption] = []
     new_modes: List[AllocationOption] = []
+    tracer.incr("alloc.array.builds")
 
     for pe in sorted(arch.pes.values(), key=lambda p: p.id):
         pe_type = pe.pe_type
@@ -235,7 +238,9 @@ def build_allocation_array(
         if preference <= 0.0:
             continue
         if isinstance(pe_type, ProcessorType):
-            if fits_on_processor(cluster, pe, clustering):
+            if not fits_on_processor(cluster, pe, clustering):
+                tracer.incr("alloc.rejects.processor_capacity")
+            else:
                 existing.append(
                     AllocationOption(
                         kind=AllocationKind.EXISTING_PE,
@@ -247,9 +252,15 @@ def build_allocation_array(
                 )
         elif isinstance(pe_type, PpeType):
             for mode in pe.modes:
-                if fits_in_ppe_mode(
+                if not fits_in_ppe_mode(
                     cluster, pe, mode.index, clustering, policy
-                ) and _mode_join_allowed(cluster, pe, mode.index, clustering, compat):
+                ):
+                    tracer.incr("alloc.rejects.ppe_mode_capacity")
+                elif not _mode_join_allowed(
+                    cluster, pe, mode.index, clustering, compat
+                ):
+                    tracer.incr("alloc.rejects.mode_join")
+                else:
                     # Pollution: graphs already configured into this
                     # mode that the cluster could instead time-share
                     # with -- co-locating them wastes simultaneous
@@ -273,9 +284,11 @@ def build_allocation_array(
                     )
             if allow_new_modes:
                 plan = _new_mode_plan(cluster, pe, clustering, compat, policy)
-                if plan is not None and not exclusion_conflict(
-                    cluster, pe, clustering
-                ):
+                if plan is None:
+                    tracer.incr("alloc.rejects.new_mode")
+                elif exclusion_conflict(cluster, pe, clustering):
+                    tracer.incr("alloc.rejects.exclusion")
+                else:
                     new_modes.append(
                         AllocationOption(
                             kind=AllocationKind.NEW_MODE,
@@ -291,7 +304,9 @@ def build_allocation_array(
                         )
                     )
         else:  # ASIC
-            if fits_on_asic(cluster, pe, clustering):
+            if not fits_on_asic(cluster, pe, clustering):
+                tracer.incr("alloc.rejects.asic_capacity")
+            else:
                 existing.append(
                     AllocationOption(
                         kind=AllocationKind.EXISTING_PE,
@@ -313,6 +328,7 @@ def build_allocation_array(
         if preference <= 0.0:
             continue
         if not fits_new_pe_type(cluster, pe_type, policy):
+            tracer.incr("alloc.rejects.new_pe_capacity")
             continue
         cost = pe_type.cost
         if isinstance(pe_type, ProcessorType) and cluster.memory.total > 0:
@@ -330,4 +346,5 @@ def build_allocation_array(
 
     options = existing + new_modes + fresh
     options.sort(key=lambda o: o.sort_key)
+    tracer.incr("alloc.array.options", len(options))
     return options

@@ -18,6 +18,7 @@ from repro.arch.pe_instance import PEInstance
 from repro.cluster.clustering import Cluster, ClusteringResult
 from repro.graph.association import AssociationArray
 from repro.graph.spec import SystemSpec
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.resources.link import LinkType
 from repro.sched.finish_time import DeadlineReport, evaluate_deadlines
 from repro.sched.scheduler import Schedule, ScheduleRequest, build_schedule
@@ -149,6 +150,7 @@ def evaluate_architecture(
     boot_time_fn: Optional[Callable[[PEInstance, int], float]] = None,
     preemption: bool = True,
     graphs: Optional[List[str]] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> EvalResult:
     """Schedule ``arch`` and wrap the finish-time verdict.
 
@@ -156,7 +158,9 @@ def evaluate_architecture(
     fast inner-loop path); the driver always re-validates the final
     architecture with the full graph set.
     """
+    tracer.incr("alloc.evaluations")
     if graphs is not None:
+        tracer.incr("alloc.evaluations.scoped")
         scoped_spec, scoped_assoc = _scope(spec, assoc, graphs)
     else:
         scoped_spec, scoped_assoc = spec, assoc
@@ -168,6 +172,7 @@ def evaluate_architecture(
         priorities=priorities,
         boot_time_fn=boot_time_fn,
         preemption=preemption,
+        tracer=tracer,
     )
     schedule = build_schedule(request)
     report = evaluate_deadlines(schedule, scoped_spec, scoped_assoc)

@@ -48,6 +48,10 @@ def _add_synthesize(subparsers) -> None:
                    help="print a text Gantt chart of the schedule")
     p.add_argument("--copies", type=int, default=4,
                    help="association-array explicit copy cap (default 4)")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-phase timings and synthesis counters")
+    p.add_argument("--trace", metavar="TRACE.jsonl",
+                   help="stream structured trace events to a JSON-lines file")
 
 
 def _add_generate(subparsers) -> None:
@@ -102,31 +106,53 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _build_tracer(args):
+    """A tracer for the requested observability flags, or None."""
+    if not (args.stats or args.trace):
+        return None
+    from repro.obs import JsonlSink, Tracer
+
+    sinks = [JsonlSink(args.trace)] if args.trace else []
+    return Tracer(sinks=sinks)
+
+
 def _cmd_synthesize(args) -> int:
     spec = load_spec_file(args.spec)
     config = CrusadeConfig(
         reconfiguration=not args.no_reconfig,
         max_explicit_copies=args.copies,
     )
-    if args.ft:
-        ft_result = crusade_ft(spec, config=config)
-        result = ft_result.base
-        print(render_architecture(result))
-        print()
-        print("spares: %d ($%.0f), availability met: %s"
-              % (ft_result.spares.total_spares(), ft_result.spares.spare_cost,
-                 ft_result.spares.met))
-        print("total cost incl. spares: $%.0f" % ft_result.cost)
-        feasible = ft_result.feasible
-    else:
-        result = crusade(spec, config=config)
-        print(render_architecture(result))
-        feasible = result.feasible
+    tracer = _build_tracer(args)
+    try:
+        if args.ft:
+            ft_result = crusade_ft(spec, config=config, tracer=tracer)
+            result = ft_result.base
+            print(render_architecture(result))
+            print()
+            print("spares: %d ($%.0f), availability met: %s"
+                  % (ft_result.spares.total_spares(), ft_result.spares.spare_cost,
+                     ft_result.spares.met))
+            print("total cost incl. spares: $%.0f" % ft_result.cost)
+            feasible = ft_result.feasible
+        else:
+            result = crusade(spec, config=config, tracer=tracer)
+            print(render_architecture(result))
+            feasible = result.feasible
+    finally:
+        if tracer is not None:
+            tracer.close()
     if args.gantt:
         from repro.sched.gantt import render_gantt
 
         print()
         print(render_gantt(result.schedule))
+    if args.stats and result.stats is not None:
+        from repro.obs import render_stats
+
+        print()
+        print(render_stats(result.stats))
+    if args.trace:
+        print("trace written to %s" % args.trace)
     if args.out:
         save_result_file(result, args.out)
         print("result written to %s" % args.out)

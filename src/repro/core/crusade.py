@@ -40,6 +40,7 @@ from repro.core.report import CoSynthesisResult
 from repro.graph.association import AssociationArray
 from repro.graph.spec import SystemSpec
 from repro.graph.validate import validate_spec
+from repro.obs.trace import Tracer, resolve_tracer
 from repro.reconfig.compatibility import CompatibilityAnalysis
 from repro.reconfig.interface import InterfacePlan, synthesize_interface
 from repro.reconfig.merge import merge_reconfigurable_pes
@@ -132,6 +133,7 @@ def _repair(
     priorities: Dict[str, Dict[str, float]],
     compat,
     config: CrusadeConfig,
+    tracer: Tracer,
     max_rounds: int = 8,
     candidates_per_round: int = 5,
 ) -> EvalResult:
@@ -146,6 +148,7 @@ def _repair(
     for _ in range(max_rounds):
         if current.report.all_met:
             break
+        tracer.incr("repair.rounds")
         late_keys = sorted(
             (k for k, v in current.report.lateness.items() if v > 1e-12),
             key=lambda k: -current.report.lateness[k],
@@ -221,8 +224,10 @@ def _repair(
                 compat=compat,
                 max_existing_options=config.max_existing_options,
                 allow_new_modes=config.reconfiguration,
+                tracer=tracer,
             )
             for option in options:
+                tracer.incr("repair.rehomings_tried")
                 trial = stripped.clone()
                 try:
                     apply_option(
@@ -237,10 +242,16 @@ def _repair(
                     trial,
                     priorities,
                     preemption=config.preemption,
+                    tracer=tracer,
                 )
                 if verdict.report.all_met:
                     current = verdict
                     solved = True
+                    tracer.incr("repair.rehomings_kept")
+                    tracer.event(
+                        "repair.solved", cluster=cluster_name,
+                        placement=option.describe(),
+                    )
                     break
                 if verdict.badness() < current.badness() and (
                     round_best is None or verdict.badness() < round_best.badness()
@@ -252,6 +263,7 @@ def _repair(
             break
         if round_best is None:
             break
+        tracer.incr("repair.rehomings_kept")
         current = round_best
     return current
 
@@ -262,6 +274,7 @@ def crusade(
     config: Optional[CrusadeConfig] = None,
     clustering: Optional[ClusteringResult] = None,
     baseline: Optional[CoSynthesisResult] = None,
+    tracer: Optional[Tracer] = None,
 ) -> CoSynthesisResult:
     """Co-synthesize an architecture for ``spec``.
 
@@ -281,31 +294,40 @@ def crusade(
     architecture than the baseline.  ``baseline`` lets callers that
     already synthesized the reconfiguration-free architecture (the
     Table 2 harness) donate it; otherwise it is computed internally.
+
+    ``tracer`` (see :mod:`repro.obs`) collects per-phase timers,
+    counters and structured events; the default null tracer makes
+    every instrumentation site a no-op, and tracing never changes the
+    synthesized result -- only observes it.
     """
     started = time.perf_counter()
+    tracer = resolve_tracer(tracer)
     if library is None:
         library = default_library()
     if config is None:
         config = CrusadeConfig()
-    library.validate()
-    warnings = validate_spec(spec, library)
 
     # ------------------------------------------------------------- 1.
-    assoc = AssociationArray(
-        spec, max_explicit_copies=config.max_explicit_copies
-    )
-    pessimistic = PriorityContext.pessimistic(library)
+    with tracer.phase("preprocess"):
+        library.validate()
+        warnings = validate_spec(spec, library)
+        assoc = AssociationArray(
+            spec, max_explicit_copies=config.max_explicit_copies
+        )
+        pessimistic = PriorityContext.pessimistic(library)
+
     if clustering is None:
-        if config.clustering:
-            clustering = cluster_spec(
-                spec,
-                library,
-                context=pessimistic,
-                delay_policy=config.delay_policy,
-                max_cluster_size=config.max_cluster_size,
-            )
-        else:
-            clustering = trivial_clustering(spec, library)
+        with tracer.phase("clustering"):
+            if config.clustering:
+                clustering = cluster_spec(
+                    spec,
+                    library,
+                    context=pessimistic,
+                    delay_policy=config.delay_policy,
+                    max_cluster_size=config.max_cluster_size,
+                )
+            else:
+                clustering = trivial_clustering(spec, library)
 
     compat: Optional[CompatibilityAnalysis] = None
     if config.reconfiguration and spec.has_explicit_compatibility:
@@ -317,66 +339,83 @@ def crusade(
     fast = config.use_fast_inner_loop(spec.total_tasks)
     allocation_feasible = True
 
-    for cluster in clustering.ordered_by_priority():
-        chosen: Optional[EvalResult] = None
-        fallback: Optional[EvalResult] = None
-        for strategy in config.link_strategies:
-            options = build_allocation_array(
-                cluster,
-                arch,
-                clustering,
-                spec,
-                config.delay_policy,
-                compat=compat,
-                max_existing_options=config.max_existing_options,
-                allow_new_modes=config.reconfiguration,
-            )
-            if not options:
-                continue
-            for option in options:
-                trial = arch.clone()
-                try:
-                    apply_option(
-                        option, trial, cluster, clustering, spec, strategy
-                    )
-                except AllocationError:
-                    continue
-                # Coupled graphs are computed on the *trial* so the
-                # placement's new resource sharing is verified too.
-                graphs = (
-                    _coupled_graphs(trial, clustering, cluster.graph)
-                    if fast
-                    else None
-                )
-                verdict = evaluate_architecture(
-                    spec,
-                    assoc,
+    with tracer.phase("allocation"):
+        for cluster in clustering.ordered_by_priority():
+            tracer.incr("alloc.clusters")
+            chosen: Optional[EvalResult] = None
+            fallback: Optional[EvalResult] = None
+            for strategy in config.link_strategies:
+                options = build_allocation_array(
+                    cluster,
+                    arch,
                     clustering,
-                    trial,
-                    priorities,
-                    preemption=config.preemption,
-                    graphs=graphs,
+                    spec,
+                    config.delay_policy,
+                    compat=compat,
+                    max_existing_options=config.max_existing_options,
+                    allow_new_modes=config.reconfiguration,
+                    tracer=tracer,
                 )
-                if verdict.feasible:
-                    chosen = verdict
+                if not options:
+                    continue
+                for option in options:
+                    tracer.incr("alloc.options.considered")
+                    trial = arch.clone()
+                    try:
+                        apply_option(
+                            option, trial, cluster, clustering, spec, strategy
+                        )
+                    except AllocationError:
+                        tracer.incr("alloc.options.apply_failed")
+                        continue
+                    # Coupled graphs are computed on the *trial* so the
+                    # placement's new resource sharing is verified too.
+                    graphs = (
+                        _coupled_graphs(trial, clustering, cluster.graph)
+                        if fast
+                        else None
+                    )
+                    verdict = evaluate_architecture(
+                        spec,
+                        assoc,
+                        clustering,
+                        trial,
+                        priorities,
+                        preemption=config.preemption,
+                        graphs=graphs,
+                        tracer=tracer,
+                    )
+                    if verdict.feasible:
+                        chosen = verdict
+                        break
+                    tracer.incr("alloc.options.infeasible")
+                    if fallback is None or verdict.badness() < fallback.badness():
+                        fallback = verdict
+                if chosen is not None:
                     break
-                if fallback is None or verdict.badness() < fallback.badness():
-                    fallback = verdict
-            if chosen is not None:
-                break
-        if chosen is None:
-            if fallback is None:
-                raise SynthesisError(
-                    "no allocation option exists for cluster %r" % (cluster.name,)
+            if chosen is None:
+                if fallback is None:
+                    raise SynthesisError(
+                        "no allocation option exists for cluster %r"
+                        % (cluster.name,)
+                    )
+                chosen = fallback
+                allocation_feasible = False
+                tracer.incr("alloc.clusters.fallback")
+                _log.debug(
+                    "cluster %s: NO feasible option, kept least-infeasible",
+                    cluster.name,
                 )
-            chosen = fallback
-            allocation_feasible = False
-            _log.debug(
-                "cluster %s: NO feasible option, kept least-infeasible", cluster.name
-            )
-        arch = chosen.arch
-        if _log.isEnabledFor(logging.DEBUG):
+            arch = chosen.arch
             placement = arch.placement_of(cluster.name)
+            tracer.event(
+                "cluster.placed",
+                cluster=cluster.name,
+                graph=cluster.graph,
+                pe=placement[0],
+                mode=placement[1],
+                feasible=chosen is not fallback,
+            )
             _log.debug(
                 "cluster %s (graph %s, %d gates, %d pins) -> %s mode %d",
                 cluster.name,
@@ -386,21 +425,25 @@ def crusade(
                 placement[0],
                 placement[1],
             )
-        context = _allocation_aware_context(library, arch, clustering)
-        priorities = _compute_priorities(spec, context)
+            context = _allocation_aware_context(library, arch, clustering)
+            priorities = _compute_priorities(spec, context)
 
     # Full-system validation of the allocation-phase architecture.
-    full = evaluate_architecture(
-        spec, assoc, clustering, arch, priorities, preemption=config.preemption
-    )
+    with tracer.phase("full_check"):
+        full = evaluate_architecture(
+            spec, assoc, clustering, arch, priorities,
+            preemption=config.preemption, tracer=tracer,
+        )
     if not full.report.all_met:
         # The fast inner loop verifies only resource-coupled graphs, so
         # transitive interference may surface only now; repair by
         # re-homing the clusters of late tasks (a bounded re-allocation
         # pass -- the heuristic still cannot guarantee optimality).
-        full = _repair(
-            spec, assoc, clustering, full, priorities, compat, config
-        )
+        with tracer.phase("repair"):
+            full = _repair(
+                spec, assoc, clustering, full, priorities, compat, config,
+                tracer,
+            )
         arch = full.arch
         context = _allocation_aware_context(library, arch, clustering)
         priorities = _compute_priorities(spec, context)
@@ -427,6 +470,7 @@ def crusade(
                 route_priorities,
                 boot_time_fn=plan.boot_time_fn(),
                 preemption=config.preemption,
+                tracer=tracer,
             )
             verdict.interface = plan  # type: ignore[attr-defined]
             return verdict
@@ -464,6 +508,7 @@ def crusade(
                 seeded,
                 evaluator,
                 combine_modes=config.combine_modes,
+                tracer=tracer,
             )
             stats = {
                 "accepted": outcome.merges_accepted,
@@ -477,9 +522,12 @@ def crusade(
         # pursuing when the allocation phase met every deadline).
         candidate_a, stats_a = (None, {})
         if full.feasible:
-            candidate_a, stats_a = merged_candidate(arch)
+            with tracer.phase("merge"):
+                candidate_a, stats_a = merged_candidate(arch)
         # Route (b): the plain single-mode baseline, merged (Figure 3's
-        # entry when compatibility vectors were not specified).
+        # entry when compatibility vectors were not specified).  The
+        # baseline synthesis re-enters the full pipeline and records
+        # its time under the ordinary phase names, not under "merge".
         if baseline is None:
             baseline_config = CrusadeConfig(
                 reconfiguration=False,
@@ -493,11 +541,13 @@ def crusade(
                 link_strategies=config.link_strategies,
             )
             baseline = crusade(
-                spec, library=library, config=baseline_config, clustering=clustering
+                spec, library=library, config=baseline_config,
+                clustering=clustering, tracer=tracer,
             )
         candidate_b, stats_b = (None, {})
         if baseline.feasible:
-            candidate_b, stats_b = merged_candidate(baseline.arch.clone())
+            with tracer.phase("merge"):
+                candidate_b, stats_b = merged_candidate(baseline.arch.clone())
 
         _log.debug(
             "route a: %s; route b: %s",
@@ -520,33 +570,36 @@ def crusade(
         # synthesize the interface for the final architecture, with
         # the boot-time requirement tightened until the schedule
         # absorbs the chosen boot times.
-        requirement = spec.boot_time_requirement
-        for _ in range(config.interface_retries + 1):
-            try:
-                plan = synthesize_interface(arch, requirement)
-            except SynthesisError:
-                break
-            verdict = evaluate_architecture(
-                spec,
-                assoc,
-                clustering,
-                arch,
-                priorities,
-                boot_time_fn=plan.boot_time_fn(),
-                preemption=config.preemption,
-            )
-            if verdict.feasible or not full.feasible:
-                best = verdict
-                interface = plan
-                break
-            requirement /= 2.0
+        with tracer.phase("interface"):
+            requirement = spec.boot_time_requirement
+            for _ in range(config.interface_retries + 1):
+                try:
+                    plan = synthesize_interface(arch, requirement)
+                except SynthesisError:
+                    break
+                verdict = evaluate_architecture(
+                    spec,
+                    assoc,
+                    clustering,
+                    arch,
+                    priorities,
+                    boot_time_fn=plan.boot_time_fn(),
+                    preemption=config.preemption,
+                    tracer=tracer,
+                )
+                if verdict.feasible or not full.feasible:
+                    best = verdict
+                    interface = plan
+                    break
+                requirement /= 2.0
 
     # Feasibility is judged on the architecture actually returned: the
     # allocation phase may have dead-ended (allocation_feasible False)
     # and still been rescued by repair or by the baseline-seeded merge
     # route.
     feasible = best.report.all_met
-    return CoSynthesisResult(
+    cpu_seconds = time.perf_counter() - started
+    result = CoSynthesisResult(
         spec=spec,
         arch=best.arch,
         schedule=best.schedule,
@@ -554,8 +607,13 @@ def crusade(
         clustering=clustering,
         interface=interface,
         feasible=feasible,
-        cpu_seconds=time.perf_counter() - started,
+        cpu_seconds=cpu_seconds,
         reconfiguration_enabled=config.reconfiguration,
         merge_stats=merge_stats,
         warnings=warnings,
     )
+    if tracer.enabled:
+        tracer.event("synthesis.done", system=spec.name, feasible=feasible,
+                     cost=best.arch.cost)
+        result.stats = tracer.stats(total_seconds=cpu_seconds)
+    return result

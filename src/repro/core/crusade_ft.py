@@ -30,6 +30,7 @@ from repro.ft.assertions import FtTransform, transform_spec_for_ft
 from repro.ft.clustering import ft_cluster_spec
 from repro.ft.recovery import DEFAULT_FIT, SpareAllocation, allocate_spares
 from repro.graph.spec import SystemSpec
+from repro.obs.trace import Tracer, resolve_tracer
 from repro.resources.catalog import default_library
 from repro.resources.library import ResourceLibrary
 from repro.resources.pe import PEKind
@@ -108,15 +109,20 @@ def crusade_ft(
     config: Optional[CrusadeConfig] = None,
     ft_config: Optional[FtConfig] = None,
     baseline: Optional[FtCoSynthesisResult] = None,
+    tracer: Optional[Tracer] = None,
 ) -> FtCoSynthesisResult:
     """Co-synthesize a fault-tolerant architecture for ``spec``.
 
     ``baseline`` optionally donates a previously synthesized
     reconfiguration-free FT result (Table 3's left column) so the
     reconfiguration run can reuse its architecture as the Figure 3
-    merge seed.
+    merge seed.  ``tracer`` observes the run (see :mod:`repro.obs`);
+    the FT-specific phases are recorded as ``ft_transform``,
+    ``ft_clustering`` and ``ft_spares``, and the wrapped base
+    synthesis reports under the ordinary phase names.
     """
     started = time.perf_counter()
+    tracer = resolve_tracer(tracer)
     if library is None:
         library = default_library()
     if config is None:
@@ -124,33 +130,39 @@ def crusade_ft(
     if ft_config is None:
         ft_config = FtConfig()
 
-    transform = transform_spec_for_ft(
-        spec, required_coverage=ft_config.required_coverage
-    )
+    with tracer.phase("ft_transform"):
+        transform = transform_spec_for_ft(
+            spec, required_coverage=ft_config.required_coverage
+        )
     ft_spec = transform.spec
     clustering = None
     if config.clustering:
-        clustering = ft_cluster_spec(
-            ft_spec,
-            library,
-            delay_policy=config.delay_policy,
-            max_cluster_size=config.max_cluster_size,
-        )
+        with tracer.phase("ft_clustering"):
+            clustering = ft_cluster_spec(
+                ft_spec,
+                library,
+                delay_policy=config.delay_policy,
+                max_cluster_size=config.max_cluster_size,
+            )
     base = crusade(
         ft_spec,
         library=library,
         config=config,
         clustering=clustering,
         baseline=baseline.base if baseline is not None else None,
+        tracer=tracer,
     )
-    spares = allocate_spares(
-        base.arch,
-        base.clustering,
-        ft_spec,
-        fit_rates=ft_config.fit_rates,
-        mttr_hours=ft_config.mttr_hours,
-        max_spares=ft_config.max_spares,
-        hints=ft_config.module_hints,
-    )
+    with tracer.phase("ft_spares"):
+        spares = allocate_spares(
+            base.arch,
+            base.clustering,
+            ft_spec,
+            fit_rates=ft_config.fit_rates,
+            mttr_hours=ft_config.mttr_hours,
+            max_spares=ft_config.max_spares,
+            hints=ft_config.module_hints,
+        )
     base.cpu_seconds = time.perf_counter() - started
+    if tracer.enabled:
+        base.stats = tracer.stats(total_seconds=base.cpu_seconds)
     return FtCoSynthesisResult(base=base, transform=transform, spares=spares)

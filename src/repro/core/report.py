@@ -16,6 +16,7 @@ from repro.arch.architecture import Architecture
 from repro.arch.cost import CostBreakdown, cost_breakdown
 from repro.cluster.clustering import ClusteringResult
 from repro.graph.spec import SystemSpec
+from repro.obs.report import SynthesisStats
 from repro.reconfig.interface import InterfacePlan
 from repro.sched.finish_time import DeadlineReport
 from repro.sched.scheduler import Schedule
@@ -36,6 +37,9 @@ class CoSynthesisResult:
     reconfiguration_enabled: bool
     merge_stats: Dict[str, int] = field(default_factory=dict)
     warnings: List[str] = field(default_factory=list)
+    #: Observability aggregates; None unless the run was traced (see
+    #: :mod:`repro.obs`).
+    stats: Optional[SynthesisStats] = None
 
     # ------------------------------------------------------------------
     @property

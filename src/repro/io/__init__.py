@@ -13,7 +13,11 @@ from repro.io.spec_json import (
     spec_from_dict,
     spec_to_dict,
 )
-from repro.io.result_json import result_to_dict, save_result_file
+from repro.io.result_json import (
+    result_to_dict,
+    save_result_file,
+    stats_from_result_dict,
+)
 
 __all__ = [
     "load_spec",
@@ -23,4 +27,5 @@ __all__ = [
     "spec_to_dict",
     "result_to_dict",
     "save_result_file",
+    "stats_from_result_dict",
 ]

@@ -16,6 +16,7 @@ from typing import Any, Dict, Union
 
 from repro.arch.cost import cost_breakdown
 from repro.core.report import CoSynthesisResult
+from repro.obs.report import SynthesisStats, stats_from_dict
 
 
 def _arch_to_dict(result: CoSynthesisResult) -> Dict[str, Any]:
@@ -120,7 +121,7 @@ def result_to_dict(result: CoSynthesisResult) -> Dict[str, Any]:
                 "cost_share": device.cost_share,
                 "runtime_boot_times": dict(device.runtime_boot_times),
             }
-    return {
+    payload = {
         "format": "crusade-result",
         "version": 1,
         "system": result.spec.name,
@@ -139,6 +140,21 @@ def result_to_dict(result: CoSynthesisResult) -> Dict[str, Any]:
         "schedule": _schedule_to_dict(result),
         "interfaces": interfaces,
     }
+    # Untraced runs keep the historical export byte-for-byte: the
+    # stats block appears only when a tracer collected one.
+    if result.stats is not None:
+        payload["stats"] = result.stats.to_dict()
+    return payload
+
+
+def stats_from_result_dict(payload: Dict[str, Any]) -> Union[SynthesisStats, None]:
+    """The stats block of an exported result, or None for untraced
+    runs (inverse of the ``"stats"`` key written by
+    :func:`result_to_dict`)."""
+    block = payload.get("stats")
+    if block is None:
+        return None
+    return stats_from_dict(block)
 
 
 def save_result_file(

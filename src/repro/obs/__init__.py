@@ -1,0 +1,47 @@
+"""Synthesis observability: structured events, counters and timers.
+
+The co-synthesis inner loops (allocation evaluation, scheduling, the
+Figure 3 merge procedure, the repair pass) are where CRUSADE spends
+its time; this package makes them measurable without perturbing them.
+A :class:`~repro.obs.trace.Tracer` is threaded through the pipeline
+and every instrumentation site is a single method call on it; the
+default :data:`~repro.obs.trace.NULL_TRACER` turns each site into a
+no-op so traced and untraced runs produce identical results.
+
+Sinks decide where events go: :class:`~repro.obs.trace.MemorySink`
+keeps them for tests, :class:`~repro.obs.trace.JsonlSink` streams
+JSON-lines to a file (the CLI's ``--trace FILE``).  Aggregates --
+per-phase wall-clock and named counters -- are collected by the
+tracer itself and surface as
+:class:`~repro.obs.report.SynthesisStats` on
+:class:`~repro.core.report.CoSynthesisResult`.
+"""
+
+from repro.obs.counters import Counters
+from repro.obs.events import SCHEMA_VERSION, Event
+from repro.obs.report import SynthesisStats, render_stats, stats_from_dict
+from repro.obs.timers import PhaseTimers
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    Tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Event",
+    "Counters",
+    "PhaseTimers",
+    "SynthesisStats",
+    "render_stats",
+    "stats_from_dict",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MemorySink",
+    "JsonlSink",
+    "resolve_tracer",
+]

@@ -1,0 +1,50 @@
+"""Named monotonic counters.
+
+Counter names are dotted paths (``"merge.rejects.cost"``) so related
+counters group under a prefix; :meth:`Counters.total` sums a prefix,
+which is how the consistency oracles are phrased (e.g. merge accepts
+plus all rejects equals merge candidates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """A registry of named monotonic integer counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {}
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` (default 1) to counter ``name``, creating it at 0."""
+        if n < 0:
+            raise ValueError("counters are monotonic; got incr(%r, %d)" % (name, n))
+        self._values[name] = self._values.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 when never incremented)."""
+        return self._values.get(name, 0)
+
+    def total(self, prefix: str) -> int:
+        """Sum of every counter whose name starts with ``prefix``."""
+        return sum(v for k, v in self._values.items() if k.startswith(prefix))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Name-sorted snapshot of all counters."""
+        return {k: self._values[k] for k in sorted(self._values)}
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another registry's values into this one."""
+        for name, value in other._values.items():
+            self._values[name] = self._values.get(name, 0) + value
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._values.items()))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return "Counters(%d names)" % len(self._values)

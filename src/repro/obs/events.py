@@ -1,0 +1,61 @@
+"""Structured trace events and their wire schema.
+
+Every event serializes to one JSON object with a fixed envelope:
+
+``v``
+    Schema version (:data:`SCHEMA_VERSION`); bumped only when an
+    envelope key changes meaning.
+``event``
+    Dotted event name, e.g. ``"phase.end"`` or ``"merge.accept"``.
+``seq``
+    Monotonically increasing per-tracer sequence number.
+``t``
+    Seconds since the tracer was created (wall clock, informational
+    only -- never fed back into synthesis).
+``fields``
+    Event-specific payload (JSON-serializable scalars).
+
+Downstream consumers key on ``event`` + ``fields`` and must tolerate
+new event names appearing; the envelope keys themselves are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Version of the event envelope written by :class:`repro.obs.trace.JsonlSink`.
+SCHEMA_VERSION = 1
+
+#: Envelope keys every serialized event carries, in order.
+ENVELOPE_KEYS = ("v", "event", "seq", "t", "fields")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured observation emitted during synthesis."""
+
+    name: str
+    seq: int
+    t: float
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready envelope (see module docstring for the schema)."""
+        return {
+            "v": SCHEMA_VERSION,
+            "event": self.name,
+            "seq": self.seq,
+            "t": self.t,
+            "fields": dict(self.fields),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Event":
+        """Rebuild an event from its envelope (inverse of ``to_dict``)."""
+        return cls(
+            name=payload["event"],
+            seq=payload["seq"],
+            t=payload["t"],
+            fields=dict(payload.get("fields", {})),
+        )

@@ -1,0 +1,93 @@
+"""Aggregated synthesis statistics and their renderings.
+
+:class:`SynthesisStats` is the JSON-stable summary a tracer produces
+at the end of a run: exclusive per-phase wall-clock seconds and every
+counter the instrumented loops incremented.  It round-trips through
+plain dicts (``to_dict``/:func:`stats_from_dict`) so
+:mod:`repro.io.result_json` can embed it in result exports, and
+renders to the text block the CLI's ``--stats`` flag prints.
+
+Counter name prefixes and what they measure:
+
+``alloc.*``
+    Allocation-array construction and candidate evaluation (entries
+    built, rejected per capacity check, scheduler evaluations).
+``sched.*``
+    List-scheduler decisions (real vs. virtual placements, preemption
+    splits taken/declined).
+``merge.*``
+    Figure 3 merge loop (candidates, accepts, rejects by reason,
+    mode combines) -- ``merge.accepts`` plus all ``merge.rejects.*``
+    equals ``merge.candidates``.
+``repair.*``
+    Post-allocation repair pass (rounds, re-homings tried/kept).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class SynthesisStats:
+    """Aggregates from one traced synthesis run."""
+
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    n_events: int = 0
+    total_seconds: Optional[float] = None
+
+    def phase_total(self) -> float:
+        """Sum of all per-phase seconds (<= total wall time)."""
+        return sum(self.phase_seconds.values())
+
+    def counter(self, name: str) -> int:
+        """One counter's value (0 when absent)."""
+        return self.counters.get(name, 0)
+
+    def counter_total(self, prefix: str) -> int:
+        """Sum of counters under a dotted prefix."""
+        return sum(v for k, v in self.counters.items() if k.startswith(prefix))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (sorted, version-tagged)."""
+        return {
+            "version": 1,
+            "phase_seconds": {
+                k: self.phase_seconds[k] for k in sorted(self.phase_seconds)
+            },
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "n_events": self.n_events,
+            "total_seconds": self.total_seconds,
+        }
+
+
+def stats_from_dict(payload: Dict[str, Any]) -> SynthesisStats:
+    """Rebuild a stats block from its JSON form (inverse of
+    :meth:`SynthesisStats.to_dict`)."""
+    return SynthesisStats(
+        phase_seconds=dict(payload.get("phase_seconds", {})),
+        counters=dict(payload.get("counters", {})),
+        n_events=payload.get("n_events", 0),
+        total_seconds=payload.get("total_seconds"),
+    )
+
+
+def render_stats(stats: SynthesisStats) -> str:
+    """Human-readable stats block (the CLI's ``--stats`` output)."""
+    lines: List[str] = ["Synthesis statistics:"]
+    lines.append("  phases (exclusive wall-clock):")
+    if not stats.phase_seconds:
+        lines.append("    (none recorded)")
+    for name in sorted(stats.phase_seconds):
+        lines.append("    %-22s %10.4fs" % (name, stats.phase_seconds[name]))
+    if stats.total_seconds is not None:
+        lines.append("    %-22s %10.4fs" % ("total (wall)", stats.total_seconds))
+    lines.append("  counters:")
+    if not stats.counters:
+        lines.append("    (none recorded)")
+    for name in sorted(stats.counters):
+        lines.append("    %-38s %10d" % (name, stats.counters[name]))
+    lines.append("  events emitted: %d" % stats.n_events)
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Per-phase wall-clock accounting.
+
+Phase time is *exclusive*: when a phase starts inside another (the
+reconfiguration driver synthesizes a baseline architecture mid-run,
+re-entering the full pipeline), the outer phase's clock pauses until
+the inner one ends.  Exclusive accounting keeps the oracle simple --
+the sum of all phase totals can never exceed total wall time -- and
+matches how the paper reports CPU time (each second attributed to
+exactly one activity).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+
+class PhaseTimers:
+    """Accumulates exclusive wall-clock seconds per named phase."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._totals: Dict[str, float] = {}
+        # (name, running-segment start); outer entries are paused, so
+        # only the top of the stack has a live segment.
+        self._stack: List[Tuple[str, float]] = []
+
+    def add(self, name: str, seconds: float) -> None:
+        """Credit ``seconds`` to phase ``name`` directly."""
+        self._totals[name] = self._totals.get(name, 0.0) + max(0.0, seconds)
+
+    def start(self, name: str) -> None:
+        """Begin a phase, pausing the enclosing phase if any."""
+        now = self._clock()
+        if self._stack:
+            outer_name, outer_start = self._stack[-1]
+            self.add(outer_name, now - outer_start)
+            self._stack[-1] = (outer_name, now)  # placeholder; resumed on stop
+        self._stack.append((name, now))
+
+    def stop(self) -> Tuple[str, float]:
+        """End the innermost phase; returns (name, seconds credited)."""
+        if not self._stack:
+            raise RuntimeError("PhaseTimers.stop() without a running phase")
+        now = self._clock()
+        name, start = self._stack.pop()
+        elapsed = max(0.0, now - start)
+        self.add(name, elapsed)
+        if self._stack:
+            outer_name, _ = self._stack[-1]
+            self._stack[-1] = (outer_name, now)  # resume the outer clock
+        return name, elapsed
+
+    @property
+    def depth(self) -> int:
+        """How many phases are currently open."""
+        return len(self._stack)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Name-sorted snapshot of accumulated totals (open phases
+        contribute only their already-credited segments)."""
+        return {k: self._totals[k] for k in sorted(self._totals)}
+
+    def grand_total(self) -> float:
+        """Sum of every phase's accumulated seconds."""
+        return sum(self._totals.values())

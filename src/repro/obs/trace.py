@@ -1,0 +1,174 @@
+"""The tracer: the one object instrumentation sites talk to.
+
+Design constraints, in priority order:
+
+1. **Disabled is free and inert.**  The default tracer is a null
+   object whose methods do nothing and allocate nothing, so every
+   instrumentation site may call it unconditionally and synthesis
+   results are byte-identical with tracing on or off (the tracer only
+   *observes* -- it never feeds a value back into a decision).
+2. **One call per site.**  Sites say what happened
+   (``tracer.incr``/``tracer.event``) or wrap a region
+   (``with tracer.phase("allocation")``); aggregation and routing
+   live here.
+3. **Sinks are pluggable.**  :class:`MemorySink` for assertions,
+   :class:`JsonlSink` for files; aggregates (counters/timers) are
+   collected regardless of sinks so ``--stats`` needs no sink at all.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+import time
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+from repro.obs.counters import Counters
+from repro.obs.events import Event
+from repro.obs.report import SynthesisStats
+from repro.obs.timers import PhaseTimers
+
+
+class MemorySink:
+    """Buffers events in memory; the test suite's sink."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def named(self, name: str) -> List[Event]:
+        """All buffered events with a given name."""
+        return [e for e in self.events if e.name == name]
+
+
+class JsonlSink:
+    """Streams events to a JSON-lines file (one envelope per line)."""
+
+    def __init__(self, path: Union[str, pathlib.Path, IO[str]]) -> None:
+        if hasattr(path, "write"):
+            self._fh: IO[str] = path  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(path, "w")
+            self._owns = True
+
+    def emit(self, event: Event) -> None:
+        # to_dict() yields keys in ENVELOPE_KEYS order; keep that order
+        # on the wire rather than alphabetizing.
+        self._fh.write(json.dumps(event.to_dict()))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+class Tracer:
+    """Collects events, counters and phase timers for one synthesis run."""
+
+    enabled = True
+
+    def __init__(self, sinks: Iterable = (), clock=time.perf_counter) -> None:
+        self._sinks = list(sinks)
+        self._clock = clock
+        self._t0 = clock()
+        self._seq = 0
+        self.counters = Counters()
+        self.timers = PhaseTimers(clock=clock)
+
+    # -- emission ------------------------------------------------------
+    def event(self, name: str, **fields) -> None:
+        """Emit a structured event to every sink."""
+        evt = Event(
+            name=name, seq=self._seq, t=self._clock() - self._t0, fields=fields
+        )
+        self._seq += 1
+        for sink in self._sinks:
+            sink.emit(evt)
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Increment a named counter."""
+        self.counters.incr(name, n)
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a pipeline phase (exclusive accounting, see
+        :mod:`repro.obs.timers`); emits ``phase.start``/``phase.end``."""
+        self.event("phase.start", phase=name)
+        self.timers.start(name)
+        try:
+            yield
+        finally:
+            _, elapsed = self.timers.stop()
+            self.event("phase.end", phase=name, seconds=elapsed)
+
+    # -- aggregation ---------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        """Events emitted so far."""
+        return self._seq
+
+    def stats(self, total_seconds: Optional[float] = None) -> SynthesisStats:
+        """Snapshot the aggregates as a stats block."""
+        return SynthesisStats(
+            phase_seconds=self.timers.as_dict(),
+            counters=self.counters.as_dict(),
+            n_events=self._seq,
+            total_seconds=total_seconds,
+        )
+
+    def close(self) -> None:
+        """Flush and close every sink."""
+        for sink in self._sinks:
+            sink.close()
+
+
+class _NullContext:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every site call is a constant-time no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sinks=(), clock=lambda: 0.0)
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def incr(self, name: str, n: int = 1) -> None:
+        pass
+
+    def phase(self, name: str):
+        return _NULL_CONTEXT
+
+    def stats(self, total_seconds: Optional[float] = None) -> SynthesisStats:
+        raise RuntimeError("the null tracer collects nothing")
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared disabled tracer; safe to reuse because it holds no state.
+NULL_TRACER = NullTracer()
+
+
+def resolve_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """``tracer`` itself, or the shared null tracer for ``None``."""
+    return NULL_TRACER if tracer is None else tracer

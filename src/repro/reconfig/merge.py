@@ -23,6 +23,7 @@ from repro.arch.pe_instance import PEInstance
 from repro.cluster.clustering import ClusteringResult
 from repro.delay.model import DelayPolicy
 from repro.graph.spec import SystemSpec
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.reconfig.compatibility import CompatibilityAnalysis
 from repro.resources.pe import PpeType
 from repro.alloc.evaluate import EvalResult, choose_link_type, _connect_cluster_edges
@@ -211,6 +212,7 @@ def merge_reconfigurable_pes(
     initial: EvalResult,
     evaluate: Callable[[Architecture], EvalResult],
     combine_modes: bool = True,
+    tracer: Tracer = NULL_TRACER,
 ) -> MergeOutcome:
     """Run the Figure 3 merge loop from a deadline-feasible start.
 
@@ -226,6 +228,7 @@ def merge_reconfigurable_pes(
     current = initial
     while True:
         outcome.rounds += 1
+        tracer.incr("merge.rounds")
         cost_before = current.cost
         potential_before = current.arch.merge_potential()
         for host_id, donor_id in _merge_array(
@@ -236,11 +239,17 @@ def merge_reconfigurable_pes(
                 or donor_id not in current.arch.pes
             ):
                 continue
+            tracer.incr("merge.candidates")
             trial = current.arch.clone()
             try:
                 _apply_merge(trial, host_id, donor_id, clustering, spec)
             except AllocationError:
                 outcome.merges_rejected += 1
+                tracer.incr("merge.rejects.apply_error")
+                tracer.event(
+                    "merge.reject", host=host_id, donor=donor_id,
+                    reason="apply_error",
+                )
                 continue
             verdict = evaluate(trial)
             if (
@@ -250,8 +259,23 @@ def merge_reconfigurable_pes(
             ):
                 current = verdict
                 outcome.merges_accepted += 1
+                tracer.incr("merge.accepts")
+                tracer.event(
+                    "merge.accept", host=host_id, donor=donor_id,
+                    cost=verdict.cost,
+                )
             else:
                 outcome.merges_rejected += 1
+                if verdict is None:
+                    reason = "interface"
+                elif not verdict.feasible:
+                    reason = "deadline"
+                else:
+                    reason = "cost"
+                tracer.incr("merge.rejects.%s" % reason)
+                tracer.event(
+                    "merge.reject", host=host_id, donor=donor_id, reason=reason
+                )
         improved = (
             current.cost < cost_before
             or current.arch.merge_potential() < potential_before
@@ -263,6 +287,7 @@ def merge_reconfigurable_pes(
             clustering, spec, policy, evaluate, current
         )
         outcome.mode_combines = combines
+        tracer.incr("merge.mode_combines", combines)
     outcome.arch = current.arch
     outcome.result = current
     return outcome

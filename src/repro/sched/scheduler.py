@@ -41,6 +41,7 @@ from repro.arch.pe_instance import PEInstance
 from repro.cluster.clustering import ClusteringResult
 from repro.graph.association import AssociationArray
 from repro.graph.spec import SystemSpec
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.reconfig.reboot import default_boot_time
 from repro.resources.pe import PEKind, ProcessorType
 from repro.sched.timeline import IntervalTimeline, PpeModeTimeline
@@ -93,6 +94,9 @@ class ScheduleRequest:
         Defaults to :func:`repro.reconfig.reboot.default_boot_time`.
     preemption:
         Enable the restricted-preemption path on processors.
+    tracer:
+        Observability sink for scheduler-decision counters; the null
+        tracer by default (no overhead, no behavior change).
     """
 
     spec: SystemSpec
@@ -102,6 +106,7 @@ class ScheduleRequest:
     priorities: Dict[str, Dict[str, float]]
     boot_time_fn: Optional[Callable[[PEInstance, int], float]] = None
     preemption: bool = True
+    tracer: Tracer = NULL_TRACER
 
 
 @dataclass
@@ -170,6 +175,8 @@ def build_schedule(request: ScheduleRequest) -> Schedule:
     schedule = Schedule()
     spec = request.spec
     boot_time_fn = request.boot_time_fn or default_boot_time
+    tracer = request.tracer
+    tracer.incr("sched.runs")
 
     # Build instance-level precedence bookkeeping.
     indegree: Dict[TaskKey, int] = {}
@@ -239,8 +246,10 @@ def build_schedule(request: ScheduleRequest) -> Schedule:
         was_split = False
         if pe is None:
             # Virtual placement: best-case execution, no contention.
+            tracer.incr("sched.tasks.virtual")
             start, finish = ready, ready + task.min_exec_time
         else:
+            tracer.incr("sched.tasks.real")
             wcet = task.wcet_on(pe.pe_type.name)
             if pe.pe_type.kind is PEKind.PROCESSOR:
                 start, finish, was_split = _place_on_processor(
@@ -325,12 +334,15 @@ def _place_on_processor(
         ready, duration, processor.preemption_overhead
     )
     if segments is None or len(segments) < 2:
+        request.tracer.incr("sched.preemption.splits_declined")
         return timeline.occupy(start, duration, key) + (False,)
     contiguous_finish = start + duration
     split_finish = segments[-1][1]
     if split_finish >= contiguous_finish:
+        request.tracer.incr("sched.preemption.splits_declined")
         return timeline.occupy(start, duration, key) + (False,)
     for seg_start, seg_end in segments:
         timeline.occupy(seg_start, seg_end - seg_start, key)
     schedule.preemptions += 1
+    request.tracer.incr("sched.preemption.splits_taken")
     return segments[0][0], split_finish, True

@@ -10,19 +10,21 @@ import json
 
 import pytest
 
-from repro import CrusadeConfig, GeneratorConfig, crusade, crusade_ft, generate_spec
+from repro import CrusadeConfig, GeneratorConfig, Tracer, crusade, crusade_ft, generate_spec
 from repro.io.result_json import result_to_dict
 
 
-def run_once(seed, reconfig=True):
+def run_once(seed, reconfig=True, tracer=None):
     spec = generate_spec(GeneratorConfig(
         seed=seed, n_graphs=3, tasks_per_graph=8, compat_group_size=2,
         utilization=0.2, hw_only_fraction=0.35, mixed_fraction=0.15,
     ))
     config = CrusadeConfig(reconfiguration=reconfig, max_explicit_copies=2)
-    result = crusade(spec, config=config)
+    result = crusade(spec, config=config, tracer=tracer)
     payload = result_to_dict(result)
-    payload.pop("cpu_seconds", None)  # the only legitimately varying field
+    # Timing (and the stats block that carries it) legitimately varies.
+    payload.pop("cpu_seconds", None)
+    payload.pop("stats", None)
     return payload
 
 
@@ -37,6 +39,15 @@ def test_baseline_synthesis_bit_identical():
     a = run_once(5, reconfig=False)
     b = run_once(5, reconfig=False)
     assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+@pytest.mark.parametrize("reconfig", [True, False])
+def test_tracing_does_not_perturb_synthesis(reconfig):
+    """The tracer is observation-only: enabled vs. disabled runs must
+    export byte-identical results (the stats block aside)."""
+    untraced = run_once(3, reconfig=reconfig)
+    traced = run_once(3, reconfig=reconfig, tracer=Tracer())
+    assert json.dumps(untraced, sort_keys=True) == json.dumps(traced, sort_keys=True)
 
 
 def test_ft_headline_numbers_reproducible():

@@ -1,0 +1,75 @@
+"""Validator-oracle fuzzing: the independent validators accept every
+end-to-end synthesis on randomly generated specifications.
+
+:mod:`repro.sched.validate` and :mod:`repro.arch.validate` re-derive
+the schedule/architecture invariants from scratch, so running them
+over a fuzzed population of synthesized systems is the strongest
+correctness oracle the suite has.  Small systems run in the tier-1
+pass; sizes above the cutoff carry the ``slow`` marker.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import CrusadeConfig, GeneratorConfig, crusade, generate_spec
+from repro.arch.validate import validate_architecture
+from repro.graph.association import AssociationArray
+from repro.sched.validate import validate_schedule
+
+#: Systems at or below this many tasks fuzz in the fast (tier-1) pass.
+SIZE_CUTOFF_TASKS = 16
+
+
+def synthesize_and_validate(seed, n_graphs, tasks, reconfig):
+    spec = generate_spec(GeneratorConfig(
+        seed=seed, n_graphs=n_graphs, tasks_per_graph=tasks,
+        compat_group_size=2, utilization=0.2,
+        hw_only_fraction=0.35, mixed_fraction=0.15,
+    ))
+    config = CrusadeConfig(reconfiguration=reconfig, max_explicit_copies=2)
+    result = crusade(spec, config=config)
+    assoc = AssociationArray(
+        spec, max_explicit_copies=config.max_explicit_copies
+    )
+    schedule_report = validate_schedule(
+        result.schedule, spec, assoc, result.clustering, result.arch
+    )
+    assert schedule_report.ok, schedule_report.violations[:5]
+    arch_report = validate_architecture(
+        result.arch, result.clustering, spec=spec, policy=config.delay_policy
+    )
+    assert arch_report.ok, arch_report.violations[:5]
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    n_graphs=st.integers(min_value=1, max_value=2),
+    tasks=st.integers(min_value=3, max_value=SIZE_CUTOFF_TASKS // 2),
+    reconfig=st.booleans(),
+)
+def test_validators_accept_fuzzed_synthesis(seed, n_graphs, tasks, reconfig):
+    synthesize_and_validate(seed, n_graphs, tasks, reconfig)
+
+
+@pytest.mark.slow
+@settings(
+    max_examples=6,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    n_graphs=st.integers(min_value=3, max_value=4),
+    tasks=st.integers(min_value=9, max_value=14),
+    reconfig=st.booleans(),
+)
+def test_validators_accept_fuzzed_synthesis_large(seed, n_graphs, tasks, reconfig):
+    assert n_graphs * tasks > SIZE_CUTOFF_TASKS
+    synthesize_and_validate(seed, n_graphs, tasks, reconfig)

@@ -1,0 +1,210 @@
+"""Unit tests for the observability primitives (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    Counters,
+    Event,
+    JsonlSink,
+    MemorySink,
+    PhaseTimers,
+    SynthesisStats,
+    Tracer,
+    render_stats,
+    resolve_tracer,
+    stats_from_dict,
+)
+from repro.obs.events import ENVELOPE_KEYS
+
+
+class TestCounters:
+    def test_incr_and_get(self):
+        c = Counters()
+        assert c.get("x") == 0
+        c.incr("x")
+        c.incr("x", 4)
+        assert c.get("x") == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().incr("x", -1)
+
+    def test_prefix_total(self):
+        c = Counters()
+        c.incr("merge.rejects.cost", 2)
+        c.incr("merge.rejects.deadline", 3)
+        c.incr("merge.accepts", 1)
+        assert c.total("merge.rejects.") == 5
+        assert c.total("merge.") == 6
+
+    def test_as_dict_sorted_and_merge(self):
+        a, b = Counters(), Counters()
+        a.incr("z", 1)
+        a.incr("a", 2)
+        b.incr("z", 3)
+        a.merge(b)
+        assert list(a.as_dict()) == ["a", "z"]
+        assert a.get("z") == 4
+        assert len(a) == 2
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestPhaseTimers:
+    def test_simple_phase(self):
+        clock = FakeClock()
+        t = PhaseTimers(clock=clock)
+        t.start("alloc")
+        clock.now = 2.0
+        assert t.stop() == ("alloc", 2.0)
+        assert t.as_dict() == {"alloc": 2.0}
+
+    def test_nested_phases_account_exclusively(self):
+        clock = FakeClock()
+        t = PhaseTimers(clock=clock)
+        t.start("outer")
+        clock.now = 1.0
+        t.start("inner")
+        clock.now = 4.0
+        t.stop()
+        clock.now = 6.0
+        t.stop()
+        # outer ran 0-1 and 4-6 (3s); inner ran 1-4 (3s); total == wall.
+        assert t.as_dict() == {"outer": 3.0, "inner": 3.0}
+        assert t.grand_total() == 6.0
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            PhaseTimers().stop()
+
+    def test_depth(self):
+        t = PhaseTimers(clock=FakeClock())
+        assert t.depth == 0
+        t.start("a")
+        assert t.depth == 1
+        t.stop()
+        assert t.depth == 0
+
+
+class TestEvent:
+    def test_envelope_round_trip(self):
+        evt = Event(name="merge.accept", seq=7, t=1.5, fields={"host": "pe0"})
+        payload = evt.to_dict()
+        assert payload["v"] == SCHEMA_VERSION
+        assert tuple(payload) == ENVELOPE_KEYS
+        assert Event.from_dict(payload) == evt
+
+
+class TestTracer:
+    def test_events_reach_every_sink(self):
+        a, b = MemorySink(), MemorySink()
+        tracer = Tracer(sinks=[a, b])
+        tracer.event("x", value=1)
+        tracer.event("y")
+        assert [e.name for e in a.events] == ["x", "y"]
+        assert [e.name for e in b.events] == ["x", "y"]
+        assert [e.seq for e in a.events] == [0, 1]
+        assert a.named("x")[0].fields == {"value": 1}
+        assert tracer.n_events == 2
+
+    def test_phase_emits_start_end_and_times(self):
+        clock = FakeClock()
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink], clock=clock)
+        with tracer.phase("alloc"):
+            clock.now = 3.0
+        names = [e.name for e in sink.events]
+        assert names == ["phase.start", "phase.end"]
+        assert sink.events[1].fields == {"phase": "alloc", "seconds": 3.0}
+        assert tracer.timers.as_dict() == {"alloc": 3.0}
+
+    def test_stats_snapshot(self):
+        tracer = Tracer()
+        tracer.incr("a.b", 2)
+        stats = tracer.stats(total_seconds=1.0)
+        assert stats.counters == {"a.b": 2}
+        assert stats.total_seconds == 1.0
+
+    def test_jsonl_sink_writes_parseable_lines(self):
+        buf = io.StringIO()
+        tracer = Tracer(sinks=[JsonlSink(buf)])
+        tracer.event("one", k=1)
+        tracer.event("two")
+        tracer.close()
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "one"
+        assert first["fields"] == {"k": 1}
+
+    def test_jsonl_sink_file_path(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(sinks=[JsonlSink(path)])
+        tracer.event("hello")
+        tracer.close()
+        assert json.loads(path.read_text())["event"] == "hello"
+
+
+class TestNullTracer:
+    def test_is_inert(self):
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.incr("anything", 5)
+        NULL_TRACER.event("anything", x=1)
+        with NULL_TRACER.phase("anything"):
+            pass
+        NULL_TRACER.close()
+        assert NULL_TRACER.counters.as_dict() == {}
+        assert NULL_TRACER.n_events == 0
+
+    def test_stats_refused(self):
+        with pytest.raises(RuntimeError):
+            NULL_TRACER.stats()
+
+    def test_resolve(self):
+        assert resolve_tracer(None) is NULL_TRACER
+        t = Tracer()
+        assert resolve_tracer(t) is t
+
+
+class TestSynthesisStats:
+    def test_round_trip(self):
+        stats = SynthesisStats(
+            phase_seconds={"alloc": 1.5, "merge": 0.5},
+            counters={"merge.accepts": 3},
+            n_events=11,
+            total_seconds=2.5,
+        )
+        again = stats_from_dict(stats.to_dict())
+        assert again == stats
+        assert again.phase_total() == 2.0
+        assert again.counter("merge.accepts") == 3
+        assert again.counter("missing") == 0
+        assert again.counter_total("merge.") == 3
+
+    def test_render(self):
+        stats = SynthesisStats(
+            phase_seconds={"alloc": 1.0},
+            counters={"sched.runs": 2},
+            n_events=4,
+            total_seconds=1.2,
+        )
+        text = render_stats(stats)
+        assert "alloc" in text
+        assert "sched.runs" in text
+        assert "total (wall)" in text
+        assert "events emitted: 4" in text
+
+    def test_render_empty(self):
+        text = render_stats(SynthesisStats())
+        assert "(none recorded)" in text

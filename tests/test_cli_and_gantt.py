@@ -61,6 +61,72 @@ class TestCli:
         assert code == 0
         assert "spares:" in captured
 
+    def test_synthesize_stats(self, spec_file, capsys):
+        code = main(["synthesize", str(spec_file), "--copies", "2", "--stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Synthesis statistics:" in out
+        for phase in ("preprocess", "allocation", "full_check"):
+            assert phase in out
+        assert "sched.runs" in out
+        assert "events emitted:" in out
+
+    def test_synthesize_trace(self, spec_file, tmp_path, capsys):
+        from repro.obs.events import ENVELOPE_KEYS, SCHEMA_VERSION
+
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "synthesize", str(spec_file), "--copies", "2",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        lines = trace.read_text().strip().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        for event in events:
+            assert tuple(event) == ENVELOPE_KEYS
+            assert event["v"] == SCHEMA_VERSION
+        names = [e["event"] for e in events]
+        assert "phase.start" in names
+        assert "phase.end" in names
+        assert names[-1] == "synthesis.done"
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_synthesize_ft_stats(self, spec_file, capsys):
+        code = main([
+            "synthesize", str(spec_file), "--ft", "--copies", "2", "--stats",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ft_transform" in out
+        assert "ft_spares" in out
+
+    def test_stats_block_round_trips_through_result_export(
+        self, spec_file, tmp_path, capsys
+    ):
+        from repro.io import stats_from_result_dict
+
+        out = tmp_path / "r.json"
+        code = main([
+            "synthesize", str(spec_file), "--copies", "2",
+            "--stats", "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        stats = stats_from_result_dict(payload)
+        assert stats is not None
+        assert stats.to_dict() == payload["stats"]
+        assert stats.phase_total() <= stats.total_seconds
+        # Untraced exports carry no stats block at all.
+        plain = tmp_path / "plain.json"
+        assert main([
+            "synthesize", str(spec_file), "--copies", "2", "--out", str(plain),
+        ]) == 0
+        plain_payload = json.loads(plain.read_text())
+        assert "stats" not in plain_payload
+        assert stats_from_result_dict(plain_payload) is None
+
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
         assert "Not routable" in capsys.readouterr().out
