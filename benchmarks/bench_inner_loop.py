@@ -1,0 +1,155 @@
+"""Inner-loop benchmark: incremental evaluation engine on vs. off.
+
+Times the end-to-end :func:`repro.core.crusade.crusade` run on paper
+examples with the incremental engine disabled (from-scratch scheduling
+every candidate) and enabled (per-component fragment caching,
+copy-on-write candidate application, incremental priorities), verifies
+the two results are byte-identical, and records both timings in
+``BENCH_inner_loop.json`` at the repository root.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_inner_loop.py \
+        --example A1TR --scale 0.1
+
+Records merge by (example, scale) so repeated runs update in place.
+``--check-against`` compares the measured speedups to a committed
+baseline file and exits non-zero on a regression beyond
+``--max-regression`` (CI's guard).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.examples import EXAMPLE_NAMES, build_example  # noqa: E402
+from repro.core.config import CrusadeConfig  # noqa: E402
+from repro.core.crusade import crusade  # noqa: E402
+from repro.io.result_json import result_to_dict  # noqa: E402
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_inner_loop.json"
+
+
+def _canonical(result) -> str:
+    """Result JSON with the run-dependent fields removed."""
+    payload = result_to_dict(result)
+    payload.pop("cpu_seconds", None)
+    payload.pop("stats", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def _timed_run(spec, incremental: bool):
+    config = CrusadeConfig(incremental=incremental)
+    started = time.perf_counter()
+    result = crusade(spec, config=config)
+    return time.perf_counter() - started, result
+
+
+def bench_example(name: str, scale: float) -> dict:
+    """One record: both timings plus the identity check."""
+    spec = build_example(name, scale=scale)
+    seconds_scratch, scratch = _timed_run(spec, incremental=False)
+    print("  from-scratch: %.2fs (cost $%.0f, %s)" % (
+        seconds_scratch, scratch.cost,
+        "feasible" if scratch.feasible else "INFEASIBLE"))
+    seconds_incr, incr = _timed_run(spec, incremental=True)
+    print("  incremental:  %.2fs" % (seconds_incr,))
+    identical = _canonical(scratch) == _canonical(incr)
+    return {
+        "example": name,
+        "scale": scale,
+        "tasks": spec.total_tasks,
+        "seconds_from_scratch": round(seconds_scratch, 3),
+        "seconds_incremental": round(seconds_incr, 3),
+        "speedup": round(seconds_scratch / max(seconds_incr, 1e-9), 3),
+        "cost": round(scratch.cost, 2),
+        "feasible": scratch.feasible,
+        "identical": identical,
+    }
+
+
+def merge_records(path: pathlib.Path, fresh: list) -> list:
+    """Update ``path``'s records in place, keyed by (example, scale)."""
+    existing = []
+    if path.exists():
+        existing = json.loads(path.read_text()).get("records", [])
+    by_key = {(r["example"], r["scale"]): r for r in existing}
+    for record in fresh:
+        by_key[(record["example"], record["scale"])] = record
+    return [by_key[k] for k in sorted(by_key)]
+
+
+def check_regression(records: list, baseline_path: pathlib.Path,
+                     max_regression: float) -> list:
+    """Speedup regressions beyond tolerance vs. a committed baseline."""
+    baseline = json.loads(baseline_path.read_text()).get("records", [])
+    reference = {(r["example"], r["scale"]): r for r in baseline}
+    failures = []
+    for record in records:
+        ref = reference.get((record["example"], record["scale"]))
+        if ref is None:
+            continue
+        floor = ref["speedup"] * (1.0 - max_regression)
+        if record["speedup"] < floor:
+            failures.append(
+                "%s@%s: speedup %.2fx below %.2fx (baseline %.2fx - %d%%)"
+                % (record["example"], record["scale"], record["speedup"],
+                   floor, ref["speedup"], round(max_regression * 100))
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--example", action="append", dest="examples",
+                        choices=EXAMPLE_NAMES, metavar="NAME",
+                        help="example to benchmark (repeatable; default A1TR)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="example scale factor (default 0.1)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="output JSON (default BENCH_inner_loop.json)")
+    parser.add_argument("--check-against", type=pathlib.Path, default=None,
+                        metavar="BASELINE.json",
+                        help="fail when speedup regresses vs this file")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="tolerated fractional speedup loss (default .25)")
+    args = parser.parse_args(argv)
+
+    fresh = []
+    for name in args.examples or ["A1TR"]:
+        print("%s @ scale %g" % (name, args.scale))
+        record = bench_example(name, args.scale)
+        print("  speedup: %.2fx, identical: %s" % (
+            record["speedup"], record["identical"]))
+        fresh.append(record)
+
+    records = merge_records(args.out, fresh)
+    args.out.write_text(json.dumps(
+        {"benchmark": "inner_loop", "records": records},
+        indent=2, sort_keys=True) + "\n")
+    print("wrote %s" % args.out)
+
+    status = 0
+    broken = [r for r in fresh if not r["identical"]]
+    if broken:
+        print("ERROR: incremental result differs from from-scratch for: %s"
+              % ", ".join(r["example"] for r in broken))
+        status = 1
+    if args.check_against is not None:
+        failures = check_regression(fresh, args.check_against,
+                                    args.max_regression)
+        for line in failures:
+            print("REGRESSION: %s" % line)
+        if failures:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

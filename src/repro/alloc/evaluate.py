@@ -1,16 +1,23 @@
 """Applying and evaluating allocation options (the inner loop).
 
-``apply_option`` realizes one allocation-array entry on a (cloned)
-architecture, including the link-library connections the new placement
-needs; ``evaluate_architecture`` runs the scheduler and finish-time
-estimation and wraps the verdict for the allocation-evaluation step,
-which compares candidates on total dollar cost (Section 5).
+``apply_option`` realizes one allocation-array entry on an
+architecture -- either a clone, or the working architecture itself via
+``apply_option_cow``'s revertible copy-on-write overlay; see
+:mod:`repro.perf.cow`.  ``evaluate_architecture`` runs the scheduler
+and finish-time estimation and wraps the verdict for the
+allocation-evaluation step, which compares candidates on total dollar
+cost (Section 5).  When an :class:`~repro.perf.engine.IncrementalEngine`
+is supplied, scheduling reuses cached per-component fragments instead
+of starting from scratch.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import AllocationError
 from repro.arch.architecture import Architecture
@@ -24,6 +31,12 @@ from repro.sched.finish_time import DeadlineReport, evaluate_deadlines
 from repro.sched.scheduler import Schedule, ScheduleRequest, build_schedule
 from repro.alloc.array import AllocationKind, AllocationOption
 
+#: (library id, strategy) -> (library n_links, chosen LinkType).  The
+#: library is immutable during a synthesis run; keying by identity and
+#: double-checking the link count keeps a mutated-library test honest.
+_link_type_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_link_type_lock = threading.Lock()
+
 
 def choose_link_type(arch: Architecture, strategy: str = "cheapest") -> LinkType:
     """The link type new connections use.
@@ -32,17 +45,29 @@ def choose_link_type(arch: Architecture, strategy: str = "cheapest") -> LinkType
     ``"fastest"`` minimizes the transfer time of a representative
     256-byte message.  The CRUSADE driver retries a failed cluster
     with the fastest strategy before giving up.
+
+    Memoized per (library, strategy): the choice depends only on the
+    link library, and the innermost loop used to re-sort it for every
+    applied option.
     """
-    links = arch.library.links_by_cost()
+    library = arch.library
+    links = library.links_by_cost()
+    with _link_type_lock:
+        per_library = _link_type_cache.setdefault(library, {})
+        cached = per_library.get(strategy)
+        if cached is not None and cached[0] == len(links):
+            return cached[1]
     if not links:
         raise AllocationError("resource library has no link types")
     if strategy == "fastest":
-        return min(links, key=lambda l: (l.comm_time(256), l.name))
-    if strategy == "cheapest":
-        return min(
-            links, key=lambda l: (l.instance_cost(2), l.name)
-        )
-    raise AllocationError("unknown link strategy %r" % (strategy,))
+        chosen = min(links, key=lambda l: (l.comm_time(256), l.name))
+    elif strategy == "cheapest":
+        chosen = min(links, key=lambda l: (l.instance_cost(2), l.name))
+    else:
+        raise AllocationError("unknown link strategy %r" % (strategy,))
+    with _link_type_lock:
+        per_library[strategy] = (len(links), chosen)
+    return chosen
 
 
 def _connect_cluster_edges(
@@ -52,6 +77,7 @@ def _connect_cluster_edges(
     clustering: ClusteringResult,
     spec: SystemSpec,
     link_type: LinkType,
+    journal: Optional[list] = None,
 ) -> None:
     """Ensure links exist for every allocated inter-PE edge touching
     the cluster."""
@@ -74,7 +100,7 @@ def _connect_cluster_edges(
         if peer_id != pe.id:
             peer_pe_ids.add(peer_id)
     for peer_id in sorted(peer_pe_ids):
-        arch.connect(pe.id, peer_id, link_type)
+        arch.connect(pe.id, peer_id, link_type, journal=journal)
 
 
 def apply_option(
@@ -84,19 +110,27 @@ def apply_option(
     clustering: ClusteringResult,
     spec: SystemSpec,
     link_strategy: str = "cheapest",
+    journal: Optional[list] = None,
 ) -> PEInstance:
-    """Realize ``option`` on ``arch`` (typically a clone).
+    """Realize ``option`` on ``arch`` (a clone, or the working
+    architecture when a ``journal`` records the mutations for
+    copy-on-write reversal).
 
     Returns the PE instance now hosting the cluster.
     """
     if option.kind is AllocationKind.NEW_PE:
         pe_type = arch.library.pe_type(option.pe_type_name)
+        had_counter = pe_type.name in arch._counters
         pe = arch.new_pe(pe_type)
+        if journal is not None:
+            journal.append(("new_pe", pe.id, pe_type.name, had_counter))
         mode_index = 0
     else:
         pe = arch.pe(option.pe_id)
         if option.kind is AllocationKind.NEW_MODE:
             mode_index = pe.new_mode().index
+            if journal is not None:
+                journal.append(("new_mode", pe.id))
         else:
             mode_index = option.mode_index if option.mode_index is not None else 0
     arch.allocate_cluster(
@@ -107,6 +141,11 @@ def apply_option(
         pins=cluster.pins,
         memory=cluster.memory,
     )
+    if journal is not None:
+        journal.append(
+            ("alloc", cluster.name, cluster.area_gates, cluster.pins,
+             cluster.memory)
+        )
     # Replicate overlapping residents into the new mode (Figure 2(e)).
     for resident_name in option.replicate:
         resident = clustering.clusters[resident_name]
@@ -116,9 +155,45 @@ def apply_option(
             gates=resident.area_gates,
             pins=resident.pins,
         )
+        if journal is not None:
+            journal.append(
+                ("replica", pe.id, resident_name, mode_index,
+                 resident.area_gates, resident.pins)
+            )
     link_type = choose_link_type(arch, link_strategy)
-    _connect_cluster_edges(arch, cluster, pe, clustering, spec, link_type)
+    _connect_cluster_edges(
+        arch, cluster, pe, clustering, spec, link_type, journal=journal
+    )
     return pe
+
+
+def apply_option_cow(
+    option: AllocationOption,
+    arch: Architecture,
+    cluster: Cluster,
+    clustering: ClusteringResult,
+    spec: SystemSpec,
+    link_strategy: str = "cheapest",
+):
+    """Apply ``option`` to ``arch`` *in place* as a revertible overlay.
+
+    Returns an :class:`~repro.perf.cow.AppliedOption` handle; call
+    ``revert()`` to restore the pre-apply state exactly, or keep the
+    architecture as-is to commit.  A failed application is rolled back
+    before the exception propagates.
+    """
+    from repro.perf.cow import AppliedOption, undo_journal
+
+    journal: list = []
+    try:
+        pe = apply_option(
+            option, arch, cluster, clustering, spec, link_strategy,
+            journal=journal,
+        )
+    except Exception:
+        undo_journal(arch, journal)
+        raise
+    return AppliedOption(arch, journal, pe)
 
 
 @dataclass
@@ -151,48 +226,79 @@ def evaluate_architecture(
     preemption: bool = True,
     graphs: Optional[List[str]] = None,
     tracer: Tracer = NULL_TRACER,
+    engine=None,
 ) -> EvalResult:
     """Schedule ``arch`` and wrap the finish-time verdict.
 
     ``graphs`` restricts scheduling and verification to a subset (the
     fast inner-loop path); the driver always re-validates the final
-    architecture with the full graph set.
+    architecture with the full graph set.  ``engine`` (an
+    :class:`~repro.perf.engine.IncrementalEngine`) reuses cached
+    per-component schedule fragments; the verdict is byte-identical to
+    the from-scratch path either way.
     """
     tracer.incr("alloc.evaluations")
     if graphs is not None:
         tracer.incr("alloc.evaluations.scoped")
-        scoped_spec, scoped_assoc = _scope(spec, assoc, graphs)
+        scoped_spec, scoped_assoc = _scope(spec, assoc, graphs, tracer)
     else:
         scoped_spec, scoped_assoc = spec, assoc
-    request = ScheduleRequest(
-        spec=scoped_spec,
-        assoc=scoped_assoc,
-        clustering=clustering,
-        arch=arch,
-        priorities=priorities,
-        boot_time_fn=boot_time_fn,
-        preemption=preemption,
-        tracer=tracer,
-    )
-    schedule = build_schedule(request)
-    report = evaluate_deadlines(schedule, scoped_spec, scoped_assoc)
+    if engine is not None:
+        schedule, report = engine.evaluate(
+            scoped_spec, scoped_assoc, clustering, arch, priorities,
+            boot_time_fn, preemption, tracer,
+        )
+    else:
+        request = ScheduleRequest(
+            spec=scoped_spec,
+            assoc=scoped_assoc,
+            clustering=clustering,
+            arch=arch,
+            priorities=priorities,
+            boot_time_fn=boot_time_fn,
+            preemption=preemption,
+            tracer=tracer,
+        )
+        schedule = build_schedule(request)
+        report = evaluate_deadlines(schedule, scoped_spec, scoped_assoc)
     return EvalResult(arch=arch, schedule=schedule, report=report, cost=arch.cost)
 
 
-import weakref
+#: Per-spec bound on memoized subset specifications; pathological
+#: coupled-set churn evicts least-recently-used entries instead of
+#: growing without bound.
+SCOPE_CACHE_MAX_ENTRIES = 64
 
 _scope_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_scope_lock = threading.Lock()
 
 
-def _scope(spec: SystemSpec, assoc: AssociationArray, graphs: List[str]):
+def _scope(
+    spec: SystemSpec,
+    assoc: AssociationArray,
+    graphs: List[str],
+    tracer: Tracer = NULL_TRACER,
+):
     """A sub-specification (and matching association array) covering
     only ``graphs``; memoized per specification because the inner loop
-    asks repeatedly for the same subsets."""
-    per_spec = _scope_cache.setdefault(spec, {})
+    asks repeatedly for the same subsets.
+
+    The per-spec table is an LRU bounded by
+    :data:`SCOPE_CACHE_MAX_ENTRIES`; traffic shows up as
+    ``scope.hits`` / ``scope.misses`` / ``scope.evictions`` counters.
+    """
     key = tuple(sorted(graphs))
-    hit = per_spec.get(key)
-    if hit is not None:
-        return hit
+    with _scope_lock:
+        per_spec = _scope_cache.get(spec)
+        if per_spec is None:
+            per_spec = OrderedDict()
+            _scope_cache[spec] = per_spec
+        hit = per_spec.get(key)
+        if hit is not None:
+            per_spec.move_to_end(key)
+            tracer.incr("scope.hits")
+            return hit
+    tracer.incr("scope.misses")
     scoped = SystemSpec(
         name=spec.name + "/subset",
         graphs=[spec.graph(g) for g in sorted(set(graphs))],
@@ -202,5 +308,10 @@ def _scope(spec: SystemSpec, assoc: AssociationArray, graphs: List[str]):
     scoped_assoc = AssociationArray(
         scoped, max_explicit_copies=assoc.max_explicit_copies
     )
-    per_spec[key] = (scoped, scoped_assoc)
-    return scoped, scoped_assoc
+    entry = (scoped, scoped_assoc)
+    with _scope_lock:
+        per_spec[key] = entry
+        while len(per_spec) > SCOPE_CACHE_MAX_ENTRIES:
+            per_spec.popitem(last=False)
+            tracer.incr("scope.evictions")
+    return entry

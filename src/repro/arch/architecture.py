@@ -42,6 +42,10 @@ class Architecture:
         self.cluster_alloc: Dict[str, Tuple[str, int]] = {}
         self.interface_cost: float = 0.0
         self._counters: Dict[str, int] = {}
+        #: Bumped on every change to link connectivity (new/removed
+        #: links, port attach/detach) -- lets route caches keyed on it
+        #: (see :mod:`repro.perf.fastsched`) invalidate exactly.
+        self.topo_version: int = 0
 
     # ------------------------------------------------------------------
     # instance management
@@ -61,6 +65,7 @@ class Architecture:
         self._counters[key] = index + 1
         instance = LinkInstance("%s#%d" % (link_type.name, index), link_type)
         self.links[instance.id] = instance
+        self.topo_version += 1
         return instance
 
     def remove_pe(self, pe_id: str) -> None:
@@ -74,6 +79,7 @@ class Architecture:
         for link in list(self.links.values()):
             if link.is_attached(pe_id):
                 link.detach(pe_id)
+                self.topo_version += 1
             if link.ports_used == 0:
                 del self.links[link.id]
         del self.pes[pe_id]
@@ -190,12 +196,21 @@ class Architecture:
         candidates.sort(key=lambda l: (l.ports_used, l.id))
         return candidates[0]
 
-    def connect(self, pe_a: str, pe_b: str, link_type: LinkType) -> LinkInstance:
+    def connect(
+        self,
+        pe_a: str,
+        pe_b: str,
+        link_type: LinkType,
+        journal: Optional[list] = None,
+    ) -> LinkInstance:
         """Ensure a link of ``link_type`` connects the two PEs.
 
         Preference order: an existing instance already connecting both;
         an existing instance of the type attached to one endpoint with
         a free port; a fresh instance.  Returns the link used.
+
+        ``journal`` (see :mod:`repro.perf.cow`) records the mutations
+        performed so a trial connection can be reverted exactly.
         """
         existing = self.find_link_between(pe_a, pe_b)
         if existing is not None:
@@ -213,10 +228,17 @@ class Architecture:
             link = extendable[0]
             missing = pe_b if link.is_attached(pe_a) else pe_a
             link.attach(missing)
+            self.topo_version += 1
+            if journal is not None:
+                journal.append(("attach", link.id, missing))
             return link
+        had_counter = ("link:" + link_type.name) in self._counters
         link = self.new_link(link_type)
         link.attach(pe_a)
         link.attach(pe_b)
+        self.topo_version += 1
+        if journal is not None:
+            journal.append(("new_link", link.id, link_type.name, had_counter))
         return link
 
     # ------------------------------------------------------------------
@@ -272,6 +294,7 @@ class Architecture:
         duplicate.cluster_alloc = dict(self.cluster_alloc)
         duplicate.interface_cost = self.interface_cost
         duplicate._counters = dict(self._counters)
+        duplicate.topo_version = self.topo_version
         return duplicate
 
     def summary(self) -> str:

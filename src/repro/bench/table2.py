@@ -88,6 +88,8 @@ def run_table2_row(
         max_existing_options=config.max_existing_options,
         fast_inner_loop=config.fast_inner_loop,
         link_strategies=config.link_strategies,
+        incremental=config.incremental,
+        parallel_eval=config.parallel_eval,
     )
     without = crusade(spec, library=library, config=baseline_config)
     with_reconfig = crusade(spec, library=library, config=config, baseline=without)

@@ -81,6 +81,8 @@ def run_table3_row(
         max_existing_options=config.max_existing_options,
         fast_inner_loop=config.fast_inner_loop,
         link_strategies=config.link_strategies,
+        incremental=config.incremental,
+        parallel_eval=config.parallel_eval,
     )
     without = crusade_ft(
         spec, library=library, config=baseline_config, ft_config=ft_config

@@ -52,6 +52,12 @@ def _add_synthesize(subparsers) -> None:
                    help="print per-phase timings and synthesis counters")
     p.add_argument("--trace", metavar="TRACE.jsonl",
                    help="stream structured trace events to a JSON-lines file")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable the incremental evaluation engine "
+                        "(schedule caching + copy-on-write inner loop)")
+    p.add_argument("--parallel-eval", type=int, default=0, metavar="N",
+                   help="score allocation candidates with N worker threads "
+                        "(0 = serial; results are identical either way)")
 
 
 def _add_generate(subparsers) -> None:
@@ -121,6 +127,8 @@ def _cmd_synthesize(args) -> int:
     config = CrusadeConfig(
         reconfiguration=not args.no_reconfig,
         max_explicit_copies=args.copies,
+        incremental=not args.no_incremental,
+        parallel_eval=args.parallel_eval,
     )
     tracer = _build_tracer(args)
     try:

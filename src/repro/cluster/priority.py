@@ -132,6 +132,35 @@ def compute_task_priorities(
     return priorities
 
 
+def recompute_priorities(
+    spec,
+    context: PriorityContext,
+    previous: Dict[str, Dict[str, float]],
+    dirty,
+    tracer=None,
+) -> Dict[str, Dict[str, float]]:
+    """Priority levels for every graph, recomputing only ``dirty`` ones.
+
+    After a placement, a graph none of whose clusters sit on a touched
+    PE sees identical estimator inputs (its placements, execution
+    times and link choices are unchanged), so its levels from
+    ``previous`` are reused verbatim.  The caller is responsible for
+    the dirty set being conservative -- see
+    :attr:`repro.perf.cow.AppliedOption.touched_pes`.
+    """
+    updated: Dict[str, Dict[str, float]] = {}
+    for name in spec.graph_names():
+        if name in dirty:
+            if tracer is not None:
+                tracer.incr("perf.priorities.recomputed")
+            updated[name] = compute_task_priorities(spec.graph(name), context)
+        else:
+            if tracer is not None:
+                tracer.incr("perf.priorities.reused")
+            updated[name] = previous[name]
+    return updated
+
+
 def compute_edge_priorities(
     graph: TaskGraph,
     context: PriorityContext,

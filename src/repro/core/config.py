@@ -50,6 +50,17 @@ class CrusadeConfig:
     interface_retries:
         How many times the boot-time requirement is halved when the
         synthesized interface's boot times break the schedule.
+    incremental:
+        Incremental evaluation engine (per-component schedule caching,
+        copy-on-write candidate application, incremental priority
+        recomputation -- see :mod:`repro.perf`).  Results are
+        byte-identical either way; ``False`` (or the
+        ``REPRO_NO_INCREMENTAL=1`` environment variable) restores the
+        from-scratch inner loop.
+    parallel_eval:
+        Worker threads for parallel candidate scoring (0 = serial).
+        Selection stays first-feasible-by-index, so results are
+        byte-identical to the serial loop.
     """
 
     reconfiguration: bool = True
@@ -64,8 +75,12 @@ class CrusadeConfig:
     link_strategies: Tuple[str, ...] = ("cheapest", "fastest")
     combine_modes: bool = True
     interface_retries: int = 6
+    incremental: bool = True
+    parallel_eval: int = 0
 
     def __post_init__(self) -> None:
+        if self.parallel_eval < 0:
+            raise SpecificationError("parallel_eval must be >= 0")
         if self.max_explicit_copies < 1:
             raise SpecificationError("max_explicit_copies must be >= 1")
         if self.max_cluster_size < 1:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import logging
 import time
+from dataclasses import replace
 from typing import Dict, List, Optional, Set
 
 _log = logging.getLogger("repro.crusade")
@@ -34,20 +35,31 @@ from repro.cluster.clustering import (
     cluster_spec,
     trivial_clustering,
 )
-from repro.cluster.priority import PriorityContext, compute_task_priorities
+from repro.cluster.priority import (
+    PriorityContext,
+    compute_task_priorities,
+    recompute_priorities,
+)
 from repro.core.config import CrusadeConfig
 from repro.core.report import CoSynthesisResult
 from repro.graph.association import AssociationArray
 from repro.graph.spec import SystemSpec
 from repro.graph.validate import validate_spec
 from repro.obs.trace import Tracer, resolve_tracer
+from repro.perf.engine import IncrementalEngine, resolve_engine
+from repro.perf.parallel import ParallelScorer, wrap_tracer
 from repro.reconfig.compatibility import CompatibilityAnalysis
 from repro.reconfig.interface import InterfacePlan, synthesize_interface
 from repro.reconfig.merge import merge_reconfigurable_pes
 from repro.resources.catalog import default_library
 from repro.resources.library import ResourceLibrary
 from repro.alloc.array import build_allocation_array
-from repro.alloc.evaluate import EvalResult, apply_option, evaluate_architecture
+from repro.alloc.evaluate import (
+    EvalResult,
+    apply_option,
+    apply_option_cow,
+    evaluate_architecture,
+)
 
 
 def _allocation_aware_context(
@@ -136,6 +148,7 @@ def _repair(
     tracer: Tracer,
     max_rounds: int = 8,
     candidates_per_round: int = 5,
+    engine: Optional[IncrementalEngine] = None,
 ) -> EvalResult:
     """Re-home clusters of deadline-missing tasks until feasible or
     out of rounds.
@@ -143,7 +156,11 @@ def _repair(
     Each round takes the latest full evaluation's worst offenders,
     deallocates each offender's cluster on a cloned architecture, and
     retries its allocation array under *full* (not subset) evaluation;
-    the first strictly-badness-reducing placement wins.
+    the first strictly-badness-reducing placement wins.  With the
+    incremental engine, each re-homing is applied as a copy-on-write
+    overlay on the stripped architecture (cloned only when kept) and
+    its evaluation reuses cached component fragments -- repair moves
+    one cluster at a time, so almost every component is a cache hit.
     """
     for _ in range(max_rounds):
         if current.report.all_met:
@@ -228,22 +245,56 @@ def _repair(
             )
             for option in options:
                 tracer.incr("repair.rehomings_tried")
-                trial = stripped.clone()
-                try:
-                    apply_option(
-                        option, trial, cluster, clustering, spec, "fastest"
+                if engine is not None:
+                    try:
+                        handle = apply_option_cow(
+                            option, stripped, cluster, clustering, spec,
+                            "fastest",
+                        )
+                    except AllocationError:
+                        continue
+                    tracer.incr("perf.cow.applies")
+                    try:
+                        verdict = evaluate_architecture(
+                            spec,
+                            assoc,
+                            clustering,
+                            stripped,
+                            priorities,
+                            preemption=config.preemption,
+                            tracer=tracer,
+                            engine=engine,
+                        )
+                        # Materialize the applied state only for
+                        # verdicts the selection below will keep.
+                        if verdict.report.all_met or (
+                            verdict.badness() < current.badness()
+                            and (
+                                round_best is None
+                                or verdict.badness() < round_best.badness()
+                            )
+                        ):
+                            verdict = replace(verdict, arch=stripped.clone())
+                    finally:
+                        handle.revert()
+                        tracer.incr("perf.cow.reverts")
+                else:
+                    trial = stripped.clone()
+                    try:
+                        apply_option(
+                            option, trial, cluster, clustering, spec, "fastest"
+                        )
+                    except AllocationError:
+                        continue
+                    verdict = evaluate_architecture(
+                        spec,
+                        assoc,
+                        clustering,
+                        trial,
+                        priorities,
+                        preemption=config.preemption,
+                        tracer=tracer,
                     )
-                except AllocationError:
-                    continue
-                verdict = evaluate_architecture(
-                    spec,
-                    assoc,
-                    clustering,
-                    trial,
-                    priorities,
-                    preemption=config.preemption,
-                    tracer=tracer,
-                )
                 if verdict.report.all_met:
                     current = verdict
                     solved = True
@@ -275,6 +326,7 @@ def crusade(
     clustering: Optional[ClusteringResult] = None,
     baseline: Optional[CoSynthesisResult] = None,
     tracer: Optional[Tracer] = None,
+    engine: Optional[IncrementalEngine] = None,
 ) -> CoSynthesisResult:
     """Co-synthesize an architecture for ``spec``.
 
@@ -299,6 +351,13 @@ def crusade(
     counters and structured events; the default null tracer makes
     every instrumentation site a no-op, and tracing never changes the
     synthesized result -- only observes it.
+
+    ``engine`` (see :mod:`repro.perf`) is the incremental evaluation
+    engine; by default one is created per call when
+    ``config.incremental`` holds (and ``REPRO_NO_INCREMENTAL`` is
+    unset).  The nested baseline synthesis of route (b) shares its
+    parent's engine, so fragments cached during the main allocation
+    are reused there.  Engine or not, results are byte-identical.
     """
     started = time.perf_counter()
     tracer = resolve_tracer(tracer)
@@ -306,6 +365,7 @@ def crusade(
         library = default_library()
     if config is None:
         config = CrusadeConfig()
+    engine = resolve_engine(config, engine)
 
     # ------------------------------------------------------------- 1.
     with tracer.phase("preprocess"):
@@ -338,12 +398,24 @@ def crusade(
     priorities = _compute_priorities(spec, pessimistic)
     fast = config.use_fast_inner_loop(spec.total_tasks)
     allocation_feasible = True
+    scorer: Optional[ParallelScorer] = None
+    worker_tracer = tracer
+    if config.parallel_eval > 0:
+        scorer = ParallelScorer(config.parallel_eval)
+        worker_tracer = wrap_tracer(tracer)
+    # Allocation-aware priorities reuse previous values for graphs the
+    # placement cannot have perturbed -- but only once the previous
+    # values were themselves allocation-aware (the pessimistic
+    # pre-allocation levels price intra-cluster edges differently).
+    allocation_aware = False
 
     with tracer.phase("allocation"):
+      try:
         for cluster in clustering.ordered_by_priority():
             tracer.incr("alloc.clusters")
             chosen: Optional[EvalResult] = None
             fallback: Optional[EvalResult] = None
+            chosen_touched: Optional[Set[str]] = None
             for strategy in config.link_strategies:
                 options = build_allocation_array(
                     cluster,
@@ -358,39 +430,134 @@ def crusade(
                 )
                 if not options:
                     continue
-                for option in options:
-                    tracer.incr("alloc.options.considered")
-                    trial = arch.clone()
-                    try:
-                        apply_option(
-                            option, trial, cluster, clustering, spec, strategy
+                if scorer is not None:
+
+                    def evaluate_candidate(option, strategy=strategy):
+                        trial = arch.clone()
+                        try:
+                            apply_option(
+                                option, trial, cluster, clustering, spec,
+                                strategy,
+                            )
+                        except AllocationError:
+                            return None
+                        graphs = (
+                            _coupled_graphs(trial, clustering, cluster.graph)
+                            if fast
+                            else None
                         )
-                    except AllocationError:
-                        tracer.incr("alloc.options.apply_failed")
-                        continue
-                    # Coupled graphs are computed on the *trial* so the
-                    # placement's new resource sharing is verified too.
-                    graphs = (
-                        _coupled_graphs(trial, clustering, cluster.graph)
-                        if fast
-                        else None
+                        return evaluate_architecture(
+                            spec,
+                            assoc,
+                            clustering,
+                            trial,
+                            priorities,
+                            preemption=config.preemption,
+                            graphs=graphs,
+                            tracer=worker_tracer,
+                            engine=engine,
+                        )
+
+                    chosen, strategy_fallback = scorer.score(
+                        options, evaluate_candidate, tracer
                     )
-                    verdict = evaluate_architecture(
-                        spec,
-                        assoc,
-                        clustering,
-                        trial,
-                        priorities,
-                        preemption=config.preemption,
-                        graphs=graphs,
-                        tracer=tracer,
-                    )
-                    if verdict.feasible:
-                        chosen = verdict
-                        break
-                    tracer.incr("alloc.options.infeasible")
-                    if fallback is None or verdict.badness() < fallback.badness():
-                        fallback = verdict
+                    if strategy_fallback is not None and (
+                        fallback is None
+                        or strategy_fallback.badness() < fallback.badness()
+                    ):
+                        fallback = strategy_fallback
+                elif engine is not None:
+                    # Copy-on-write: apply each candidate to the
+                    # working architecture and revert unless it wins.
+                    for option in options:
+                        tracer.incr("alloc.options.considered")
+                        try:
+                            handle = apply_option_cow(
+                                option, arch, cluster, clustering, spec,
+                                strategy,
+                            )
+                        except AllocationError:
+                            tracer.incr("alloc.options.apply_failed")
+                            continue
+                        tracer.incr("perf.cow.applies")
+                        keep = False
+                        try:
+                            graphs = (
+                                _coupled_graphs(arch, clustering, cluster.graph)
+                                if fast
+                                else None
+                            )
+                            verdict = evaluate_architecture(
+                                spec,
+                                assoc,
+                                clustering,
+                                arch,
+                                priorities,
+                                preemption=config.preemption,
+                                graphs=graphs,
+                                tracer=tracer,
+                                engine=engine,
+                            )
+                            if verdict.feasible:
+                                chosen = verdict
+                                chosen_touched = handle.touched_pes
+                                keep = True
+                            else:
+                                tracer.incr("alloc.options.infeasible")
+                                if (
+                                    fallback is None
+                                    or verdict.badness() < fallback.badness()
+                                ):
+                                    fallback = replace(
+                                        verdict, arch=arch.clone()
+                                    )
+                        finally:
+                            if keep:
+                                tracer.incr("perf.cow.commits")
+                            else:
+                                handle.revert()
+                                tracer.incr("perf.cow.reverts")
+                        if chosen is not None:
+                            break
+                else:
+                    for option in options:
+                        tracer.incr("alloc.options.considered")
+                        trial = arch.clone()
+                        try:
+                            apply_option(
+                                option, trial, cluster, clustering, spec,
+                                strategy,
+                            )
+                        except AllocationError:
+                            tracer.incr("alloc.options.apply_failed")
+                            continue
+                        # Coupled graphs are computed on the *trial* so
+                        # the placement's new resource sharing is
+                        # verified too.
+                        graphs = (
+                            _coupled_graphs(trial, clustering, cluster.graph)
+                            if fast
+                            else None
+                        )
+                        verdict = evaluate_architecture(
+                            spec,
+                            assoc,
+                            clustering,
+                            trial,
+                            priorities,
+                            preemption=config.preemption,
+                            graphs=graphs,
+                            tracer=tracer,
+                        )
+                        if verdict.feasible:
+                            chosen = verdict
+                            break
+                        tracer.incr("alloc.options.infeasible")
+                        if (
+                            fallback is None
+                            or verdict.badness() < fallback.badness()
+                        ):
+                            fallback = verdict
                 if chosen is not None:
                     break
             if chosen is None:
@@ -400,6 +567,7 @@ def crusade(
                         % (cluster.name,)
                     )
                 chosen = fallback
+                chosen_touched = None
                 allocation_feasible = False
                 tracer.incr("alloc.clusters.fallback")
                 _log.debug(
@@ -426,13 +594,26 @@ def crusade(
                 placement[1],
             )
             context = _allocation_aware_context(library, arch, clustering)
-            priorities = _compute_priorities(spec, context)
+            if engine is not None and allocation_aware and chosen_touched is not None:
+                dirty = {cluster.graph}
+                for name, (pe_id, _) in arch.cluster_alloc.items():
+                    if pe_id in chosen_touched:
+                        dirty.add(clustering.clusters[name].graph)
+                priorities = recompute_priorities(
+                    spec, context, priorities, dirty, tracer
+                )
+            else:
+                priorities = _compute_priorities(spec, context)
+            allocation_aware = True
+      finally:
+        if scorer is not None:
+            scorer.close()
 
     # Full-system validation of the allocation-phase architecture.
     with tracer.phase("full_check"):
         full = evaluate_architecture(
             spec, assoc, clustering, arch, priorities,
-            preemption=config.preemption, tracer=tracer,
+            preemption=config.preemption, tracer=tracer, engine=engine,
         )
     if not full.report.all_met:
         # The fast inner loop verifies only resource-coupled graphs, so
@@ -442,7 +623,7 @@ def crusade(
         with tracer.phase("repair"):
             full = _repair(
                 spec, assoc, clustering, full, priorities, compat, config,
-                tracer,
+                tracer, engine=engine,
             )
         arch = full.arch
         context = _allocation_aware_context(library, arch, clustering)
@@ -471,6 +652,7 @@ def crusade(
                 boot_time_fn=plan.boot_time_fn(),
                 preemption=config.preemption,
                 tracer=tracer,
+                engine=engine,
             )
             verdict.interface = plan  # type: ignore[attr-defined]
             return verdict
@@ -539,21 +721,26 @@ def crusade(
                 max_existing_options=config.max_existing_options,
                 fast_inner_loop=config.fast_inner_loop,
                 link_strategies=config.link_strategies,
+                incremental=config.incremental,
+                parallel_eval=config.parallel_eval,
             )
             baseline = crusade(
                 spec, library=library, config=baseline_config,
-                clustering=clustering, tracer=tracer,
+                clustering=clustering, tracer=tracer, engine=engine,
             )
         candidate_b, stats_b = (None, {})
         if baseline.feasible:
             with tracer.phase("merge"):
                 candidate_b, stats_b = merged_candidate(baseline.arch.clone())
 
-        _log.debug(
-            "route a: %s; route b: %s",
-            "none" if candidate_a is None else "$%.0f %s" % (candidate_a.cost, candidate_a.feasible),
-            "none" if candidate_b is None else "$%.0f %s" % (candidate_b.cost, candidate_b.feasible),
-        )
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "route a: %s; route b: %s",
+                "none" if candidate_a is None
+                else "$%.0f %s" % (candidate_a.cost, candidate_a.feasible),
+                "none" if candidate_b is None
+                else "$%.0f %s" % (candidate_b.cost, candidate_b.feasible),
+            )
         chosen_route = None
         for candidate, stats in ((candidate_a, stats_a), (candidate_b, stats_b)):
             if candidate is None or not candidate.feasible:
@@ -586,6 +773,7 @@ def crusade(
                     boot_time_fn=plan.boot_time_fn(),
                     preemption=config.preemption,
                     tracer=tracer,
+                    engine=engine,
                 )
                 if verdict.feasible or not full.feasible:
                     best = verdict

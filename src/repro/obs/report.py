@@ -21,6 +21,20 @@ Counter name prefixes and what they measure:
     equals ``merge.candidates``.
 ``repair.*``
     Post-allocation repair pass (rounds, re-homings tried/kept).
+``perf.*``
+    Incremental evaluation engine (:mod:`repro.perf`):
+    ``perf.schedule.hits`` / ``.misses`` / ``.evictions`` for the
+    per-component schedule-fragment cache, ``perf.cow.applies`` /
+    ``.commits`` / ``.reverts`` for copy-on-write candidate
+    application, ``perf.priorities.recomputed`` / ``.reused`` for
+    incremental priority recomputation, and ``perf.plan.hits`` /
+    ``.misses`` for the fast scheduler's per-spec plan cache
+    (:mod:`repro.perf.fastsched`).  ``sched.runs`` equals
+    ``perf.schedule.misses`` when the engine is active (every
+    scheduler run builds exactly one cached fragment).
+``scope.*``
+    The fast-inner-loop sub-specification cache
+    (``scope.hits`` / ``.misses`` / ``.evictions``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,43 @@
+"""Incremental evaluation engine for the synthesis inner loop.
+
+Four cooperating pieces, all observable through ``perf.*`` tracer
+counters and all killable via ``CrusadeConfig.incremental=False`` or
+``REPRO_NO_INCREMENTAL=1`` (the parallel scorer is opt-in via
+``CrusadeConfig.parallel_eval``):
+
+* :mod:`repro.perf.fingerprint` -- partitions the specification's
+  graphs into resource-coupled components and fingerprints each
+  component's scheduling inputs by value;
+* :mod:`repro.perf.engine` -- the per-component schedule/verdict cache
+  (:class:`IncrementalEngine`) threaded through
+  ``evaluate_architecture``;
+* :mod:`repro.perf.cow` -- copy-on-write application of allocation
+  options (undo journals instead of architecture clones);
+* :mod:`repro.perf.parallel` -- the wave-based parallel candidate
+  scorer with deterministic first-feasible-by-index selection.
+
+All paths are byte-identical to the from-scratch pipeline; the
+property suite in ``tests/perf`` asserts it.
+"""
+
+from repro.perf.cow import AppliedOption, undo_journal
+from repro.perf.engine import (
+    IncrementalEngine,
+    incremental_disabled_by_env,
+    resolve_engine,
+)
+from repro.perf.fingerprint import component_fingerprint, partition_components
+from repro.perf.parallel import LockedTracer, ParallelScorer, wrap_tracer
+
+__all__ = [
+    "AppliedOption",
+    "IncrementalEngine",
+    "LockedTracer",
+    "ParallelScorer",
+    "component_fingerprint",
+    "incremental_disabled_by_env",
+    "partition_components",
+    "resolve_engine",
+    "undo_journal",
+    "wrap_tracer",
+]

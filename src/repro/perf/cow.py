@@ -1,0 +1,127 @@
+"""Copy-on-write application of allocation options.
+
+The allocation inner loop used to deep-clone the whole architecture
+for every candidate (one clone per option x link strategy x cluster).
+Instead, an option can be applied directly to the working architecture
+while recording an *undo journal*; rejecting the candidate replays the
+journal in reverse, restoring the architecture exactly -- all the
+mutated quantities (gate/pin counters, memory bytes, port sets,
+instance counters) are integers or sets, so reversal is bit-exact.
+
+Journal entries are tuples; the first element names the operation:
+
+``("new_pe", pe_id, type_name, had_counter)``
+    A PE instance was created (and the type's id counter bumped).
+``("new_mode", pe_id)``
+    A fresh (empty, last) mode was appended to a programmable PE.
+``("alloc", cluster_name, gates, pins, memory)``
+    The cluster was allocated; the resource figures are kept so the
+    mode counters roll back exactly.
+``("replica", pe_id, cluster_name, mode_index, gates, pins)``
+    A resident cluster's circuit was replicated into a mode.
+``("attach", link_id, pe_id)``
+    An existing link gained a port.
+``("new_link", link_id, type_name, had_counter)``
+    A link instance was created (attachments die with it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.arch.architecture import Architecture
+from repro.arch.pe_instance import PEInstance
+
+#: One recorded mutation (see module docstring for shapes).
+JournalEntry = tuple
+Journal = List[JournalEntry]
+
+
+def undo_journal(arch: Architecture, journal: Journal) -> None:
+    """Replay ``journal`` in reverse, restoring ``arch`` exactly."""
+    for entry in reversed(journal):
+        op = entry[0]
+        if op == "attach":
+            _, link_id, pe_id = entry
+            arch.links[link_id].detach(pe_id)
+            arch.topo_version += 1
+        elif op == "new_link":
+            _, link_id, type_name, had_counter = entry
+            del arch.links[link_id]
+            _rollback_counter(arch, "link:" + type_name, had_counter)
+            arch.topo_version += 1
+        elif op == "replica":
+            _, pe_id, cluster_name, mode_index, gates, pins = entry
+            pe = arch.pes[pe_id]
+            pe.mode(mode_index).remove_cluster(cluster_name, gates, pins)
+            modes = pe.replica_modes[cluster_name]
+            modes.discard(mode_index)
+            if not modes:
+                del pe.replica_modes[cluster_name]
+        elif op == "alloc":
+            _, cluster_name, gates, pins, memory = entry
+            arch.deallocate_cluster(
+                cluster_name, gates=gates, pins=pins, memory=memory
+            )
+        elif op == "new_mode":
+            _, pe_id = entry
+            arch.pes[pe_id].modes.pop()
+        elif op == "new_pe":
+            _, pe_id, type_name, had_counter = entry
+            del arch.pes[pe_id]
+            _rollback_counter(arch, type_name, had_counter)
+        else:  # pragma: no cover - journal writers control the shapes
+            raise AssertionError("unknown journal op %r" % (op,))
+
+
+def _rollback_counter(arch: Architecture, key: str, had_counter: bool) -> None:
+    """Reverse one instance-counter bump, deleting keys we created so
+    the counter table matches the pre-apply state exactly."""
+    if had_counter:
+        arch._counters[key] -= 1
+    else:
+        del arch._counters[key]
+
+
+class AppliedOption:
+    """Handle to an allocation option applied in place.
+
+    ``revert()`` restores the architecture to its pre-apply state;
+    committing is simply *not* reverting.  ``touched_pes`` is the set
+    of PE instances whose placement or connectivity the option changed
+    -- the dirty set for incremental priority recomputation: a graph
+    none of whose clusters sit on a touched PE keeps identical
+    allocation-aware priority estimates.
+    """
+
+    def __init__(
+        self, arch: Architecture, journal: Journal, pe: PEInstance
+    ) -> None:
+        self.arch = arch
+        self.journal = journal
+        self.pe = pe
+        self.reverted = False
+        self._touched: Optional[Set[str]] = None
+
+    @property
+    def touched_pes(self) -> Set[str]:
+        """PEs affected by the option: the hosting PE plus every port
+        of every link the option created or extended (a port-count
+        change alters communication times for all attached PEs)."""
+        if self._touched is None:
+            touched = {self.pe.id}
+            for entry in self.journal:
+                if entry[0] in ("attach", "new_link"):
+                    link = self.arch.links.get(entry[1])
+                    if link is not None:
+                        touched.update(link.attached)
+            self._touched = touched
+        return self._touched
+
+    def revert(self) -> None:
+        """Undo the applied option (idempotent)."""
+        if not self.reverted:
+            # Snapshot the dirty set first: it reads the applied state.
+            _ = self.touched_pes
+            undo_journal(self.arch, self.journal)
+            self.reverted = True

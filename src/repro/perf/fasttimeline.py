@@ -1,0 +1,336 @@
+"""Bisect-indexed interval timeline for the incremental engine.
+
+:class:`repro.sched.timeline.IntervalTimeline` keeps busy intervals
+sorted but scans them linearly: ``earliest_fit`` walks from the first
+interval, ``occupy`` collision-checks against every interval, and
+``split_fit`` re-sorts the (already sorted) list on every call.  Those
+scans are the scheduler's hottest loops -- millions of epsilon
+comparisons per synthesis run.
+
+:class:`FastTimeline` maintains a parallel, sorted list of interval
+*end* times so both hot operations start from a bisected index:
+
+* ``earliest_fit`` skips -- in O(log n) -- exactly the prefix of
+  intervals the linear scan would skip (every interval ending at or
+  before the ready time, within :data:`repro.units.TIME_EPS`);
+* ``occupy`` collision-checks only the insertion point's neighbors:
+  with intervals sorted and pairwise non-overlapping, any colliding
+  interval must neighbor the insertion index;
+* ``split_fit`` reuses the maintained order instead of sorting.
+
+The epsilon arithmetic is inlined but textually identical to
+``time_lt``/``time_leq``, so placements are bit-for-bit the ones the
+linear scans produce.  The end-sorted invariant can only break when a
+(near-)zero-duration interval lands within epsilon of a longer
+interval's start -- impossible for real task/transfer durations, but
+guarded anyway: ``_insert`` detects the disorder and flips the
+timeline into a *degraded* mode that falls back to the superclass's
+linear algorithms, preserving exactness unconditionally.
+
+:class:`FastPpeModeTimeline` applies the same treatment to the
+programmable-device mode timeline, whose candidate sweep dominates
+hardware-heavy examples: bisected prefix skips, monotone lower-bound
+early exits, and a hoisted mode sort -- same candidates, same
+tie-breaks, same degraded-mode escape hatch.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.sched.timeline import (
+    BusyInterval,
+    IntervalTimeline,
+    ModeWindow,
+    PpeModeTimeline,
+)
+from repro.units import TIME_EPS
+
+
+class FastTimeline(IntervalTimeline):
+    """Drop-in :class:`IntervalTimeline` with bisected hot paths."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ends: List[float] = []
+        self._degraded = False
+
+    # ------------------------------------------------------------------
+    def _insert(self, interval: BusyInterval) -> None:
+        index = bisect.bisect_right(self._starts, interval.start)
+        ends = self._ends
+        if (index > 0 and ends[index - 1] > interval.end) or (
+            index < len(ends) and interval.end > ends[index]
+        ):
+            # End order broken (epsilon-sliver placement): linear
+            # algorithms from here on.
+            self._degraded = True
+        self._intervals.insert(index, interval)
+        self._starts.insert(index, interval.start)
+        ends.insert(index, interval.end)
+
+    # ------------------------------------------------------------------
+    def earliest_fit(self, ready: float, duration: float) -> float:
+        if self._degraded:
+            return super().earliest_fit(ready, duration)
+        if duration < 0:
+            raise SchedulingError("duration must be non-negative")
+        intervals = self._intervals
+        ends = self._ends
+        candidate = ready
+        # Every interval ending at or before ready (within epsilon)
+        # would be skipped by the linear scan; bisect past all of them.
+        index = bisect.bisect_right(ends, candidate + TIME_EPS)
+        for i in range(index, len(intervals)):
+            end = ends[i]
+            if end <= candidate + TIME_EPS:  # time_leq(end, candidate)
+                continue
+            start = intervals[i].start
+            # time_leq(candidate + duration, start)
+            if candidate + duration <= start + TIME_EPS:
+                return candidate
+            if end > candidate:
+                candidate = end
+        return candidate
+
+    # ------------------------------------------------------------------
+    def occupy(
+        self, start: float, duration: float, owner: tuple
+    ) -> Tuple[float, float]:
+        if self._degraded:
+            return super().occupy(start, duration, owner)
+        end = start + duration
+        index = bisect.bisect_right(self._starts, start)
+        intervals = self._intervals
+        # Sorted + non-overlapping: a collision can only involve the
+        # insertion point's immediate neighbors.
+        for i in (index - 1, index):
+            if 0 <= i < len(intervals):
+                other = intervals[i]
+                # time_lt(start, other.end) and time_lt(other.start, end)
+                if start < other.end - TIME_EPS and other.start < end - TIME_EPS:
+                    raise SchedulingError(
+                        "overlap: [%g, %g) collides with [%g, %g) owned by %r"
+                        % (start, end, other.start, other.end, other.owner)
+                    )
+        # Inlined _insert at the already-bisected index (bisecting
+        # _starts again would land on the same position).
+        ends = self._ends
+        if (index > 0 and ends[index - 1] > end) or (
+            index < len(ends) and end > ends[index]
+        ):
+            self._degraded = True
+        intervals.insert(index, BusyInterval(start=start, end=end, owner=owner))
+        self._starts.insert(index, start)
+        ends.insert(index, end)
+        return start, end
+
+    # ------------------------------------------------------------------
+    def split_fit(
+        self,
+        ready: float,
+        duration: float,
+        overhead: float,
+        max_segments: int = 4,
+    ) -> Optional[List[Tuple[float, float]]]:
+        # Same body as the superclass, minus the redundant sort: the
+        # interval list is maintained in start order (and ``sorted`` is
+        # stable, so the legacy call returned this exact order).  The
+        # prefix ending at or before ready -- which the walk's inner
+        # skip loop would step over one by one -- is bisected past,
+        # which needs the end-sorted invariant.
+        if self._degraded:
+            return super().split_fit(ready, duration, overhead, max_segments)
+        if duration < 0 or overhead < 0:
+            raise SchedulingError("durations must be non-negative")
+        segments: List[Tuple[float, float]] = []
+        remaining = duration
+        cursor = ready
+        busy = self._intervals
+        index = bisect.bisect_right(self._ends, ready + TIME_EPS)
+        while remaining > TIME_EPS and len(segments) < max_segments:
+            while index < len(busy) and busy[index].end <= cursor + TIME_EPS:
+                index += 1
+            if index < len(busy) and busy[index].start <= cursor + TIME_EPS:
+                cursor = busy[index].end
+                continue
+            gap_end = busy[index].start if index < len(busy) else float("inf")
+            cost = remaining + (overhead if segments else 0.0)
+            available = gap_end - cursor
+            if cost <= available + TIME_EPS:  # time_leq(cost, available)
+                segments.append((cursor, cursor + cost))
+                remaining = 0.0
+                break
+            useful = available - (overhead if segments else 0.0)
+            if useful > TIME_EPS:
+                segments.append((cursor, gap_end))
+                remaining -= useful
+            cursor = gap_end
+        if remaining > TIME_EPS:
+            return None
+        return segments
+
+    # ------------------------------------------------------------------
+    def preempt_split(
+        self,
+        victim: BusyInterval,
+        preempt_at: float,
+        inserted_duration: float,
+        overhead: float,
+        new_owner: tuple,
+    ) -> Tuple[Tuple[float, float], float]:
+        # Delegate to the superclass, then rebuild the end index: the
+        # base implementation deletes and re-inserts intervals through
+        # ``_insert`` *and* raw ``del``, so the parallel list must be
+        # reconciled afterwards.
+        result = super().preempt_split(
+            victim, preempt_at, inserted_duration, overhead, new_owner
+        )
+        self._ends = [iv.end for iv in self._intervals]
+        return result
+
+
+class FastPpeModeTimeline(PpeModeTimeline):
+    """Drop-in :class:`PpeModeTimeline` with a pruned ``place``.
+
+    The linear ``place`` enumerates a join candidate per window and a
+    gap candidate per (gap, allowed mode) -- and re-sorts the allowed
+    modes once per gap.  With windows time-ordered and every candidate
+    finishing at ``start + duration``, both sweeps admit exact pruning:
+
+    * windows whose busy span ends before the ready time (within
+      epsilon) can never host a join, and gaps that close before the
+      ready time can never admit an insert -- bisect past both
+      prefixes;
+    * candidate finish times are monotone in the window/gap index
+      (window starts and gap floors only grow), so once a candidate's
+      lower bound exceeds the incumbent best finish, no later
+      candidate can win -- stop the sweep.
+
+    Pruned candidates are provably losers or exactly the ones the
+    linear sweep skips, and surviving candidates are enumerated in the
+    same order with the same float arithmetic, so the chosen placement
+    (including first-wins tie-breaks) is bit-for-bit the linear one.
+    Like :class:`FastTimeline`, an epsilon-sliver mutation that breaks
+    the maintained window order flips the timeline into a degraded
+    mode that delegates to the linear superclass.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._starts: List[float] = []
+        self._wends: List[float] = []
+        self._degraded = False
+
+    def place(
+        self,
+        mode: int,
+        ready: float,
+        duration: float,
+        boot_time: float,
+        allowed: Optional[Dict[int, float]] = None,
+    ) -> Tuple[float, float]:
+        if self._degraded:
+            return super().place(mode, ready, duration, boot_time, allowed)
+        if duration < 0 or boot_time < 0:
+            raise SchedulingError("durations must be non-negative")
+        if allowed is None:
+            allowed = {mode: boot_time}
+        for b in allowed.values():  # plain loop: no genexpr per call
+            if b < 0:
+                raise SchedulingError("boot times must be non-negative")
+        windows = self.windows
+        starts = self._starts
+        ends = self._wends
+        n = len(windows)
+        best: Optional[Tuple[float, float, str, int, int]] = None
+
+        # Join candidates.  Windows ending before ready - EPS fail the
+        # busy-span test (their start precedes their end, hence ready);
+        # bisect past them.
+        i0 = bisect.bisect_left(ends, ready - TIME_EPS)
+        for index in range(i0, n):
+            window = windows[index]
+            w_start = window.start
+            start = ready if ready > w_start else w_start
+            finish = start + duration
+            # Window starts only grow, so every later join candidate
+            # finishes at or after this one: no strict improvement left.
+            if best is not None and finish > best[0]:
+                break
+            if window.mode not in allowed:
+                continue
+            w_end = window.end
+            if w_end < start - TIME_EPS:  # time_lt(window.end, start)
+                continue
+            new_end = w_end if w_end > finish else finish
+            if index + 1 < n:
+                nxt = windows[index + 1]
+                gap_after = nxt.boot_time if nxt.mode != window.mode else 0.0
+                # time_lt(nxt.start - gap_after, new_end)
+                if nxt.start - gap_after < new_end - TIME_EPS:
+                    continue
+            if best is None or (finish, start) < (best[0], best[1]):
+                best = (finish, start, "join", index, window.mode)
+
+        # Gap candidates.  A gap whose following window ends before
+        # ready - EPS closes before any candidate could finish; the
+        # first viable gap is the one ending at windows[i0] (or the
+        # open region when every window is past).
+        allowed_sorted = sorted(allowed.items())
+        for gap in range(i0 - 1 if i0 > 0 else -1, n):
+            prev = windows[gap] if gap >= 0 else None
+            if prev is not None and best is not None:
+                floor = ready if ready > prev.end else prev.end
+                # Gap floors only grow: no later gap can strictly win.
+                if floor + duration > best[0]:
+                    break
+            nxt = windows[gap + 1] if gap + 1 < n else None
+            for m, m_boot in allowed_sorted:
+                boot_before = 0.0
+                if prev is not None and prev.mode != m:
+                    boot_before = m_boot
+                earliest = (prev.end if prev is not None else 0.0) + boot_before
+                start = max(ready, earliest, 0.0)
+                finish = start + duration
+                if nxt is not None:
+                    gap_after = nxt.boot_time if nxt.mode != m else 0.0
+                    # time_lt(nxt.start - gap_after, finish)
+                    if nxt.start - gap_after < finish - TIME_EPS:
+                        continue
+                if best is None or (finish, start) < (best[0], best[1]):
+                    best = (finish, start, "insert", gap, m)
+
+        assert best is not None, "gap after the last window always fits"
+        finish, start, how, index, chosen_mode = best
+        if how == "join":
+            window = windows[index]
+            if start < window.start:  # unreachable (start >= window.start);
+                window.start = start  # kept for parity with min()
+                starts[index] = start
+            if finish > window.end:
+                window.end = finish
+                ends[index] = finish
+                if index + 1 < n and finish > ends[index + 1]:
+                    self._degraded = True
+            return start, finish
+        at = index + 1
+        windows.insert(
+            at,
+            ModeWindow(
+                mode=chosen_mode,
+                start=start,
+                end=finish,
+                boot_time=allowed[chosen_mode],
+            ),
+        )
+        starts.insert(at, start)
+        ends.insert(at, finish)
+        if (at > 0 and (starts[at - 1] > start or ends[at - 1] > finish)) or (
+            at + 1 < len(starts)
+            and (start > starts[at + 1] or finish > ends[at + 1])
+        ):
+            self._degraded = True
+        return start, finish

@@ -84,22 +84,18 @@ class DeadlineReport:
         )
 
 
-def evaluate_deadlines(
+def deadline_lateness(
     schedule: Schedule,
     spec: SystemSpec,
     assoc: AssociationArray,
-    graphs: Optional[List[str]] = None,
-) -> DeadlineReport:
-    """Verify deadlines and resource loading for a schedule.
+    names: List[str],
+) -> Dict[TaskKey, float]:
+    """Lateness of every deadline-carrying explicit copy of ``names``.
 
-    ``graphs`` restricts the verdict to a subset (the fast inner-loop
-    path); default is every graph of the specification.
+    Insertion order (graph -> explicit copy -> deadline task) is part
+    of the contract: downstream tie-breaks iterate the dict.
     """
-    report = DeadlineReport()
-    names = graphs if graphs is not None else spec.graph_names()
-    wanted = set(names)
-
-    # 1. Deadlines of explicit copies.
+    lateness: Dict[TaskKey, float] = {}
     for name in names:
         graph = spec.graph(name)
         deadline_tasks = {
@@ -112,10 +108,19 @@ def evaluate_deadlines(
                 if placed is None:
                     continue
                 absolute = instance.arrival + rel_deadline
-                report.lateness[key] = placed.finish - absolute
+                lateness[key] = placed.finish - absolute
+    return lateness
 
-    # 2. Overload check: per-copy demand of copy 0, extrapolated over
-    #    every copy in the hyperperiod.
+
+def resource_demand(
+    schedule: Schedule, assoc: AssociationArray, wanted: set
+) -> Dict[str, float]:
+    """Per-serial-resource busy time of copy 0, extrapolated over
+    every copy in the hyperperiod, restricted to graphs in ``wanted``.
+
+    Accumulation follows the schedule's insertion order so float sums
+    are reproducible run-to-run (and fragment-merge-identical).
+    """
     demand: Dict[str, float] = {}
     for key, placed in schedule.tasks.items():
         graph_name, copy, _ = key
@@ -134,6 +139,29 @@ def evaluate_deadlines(
         demand[placed.link_id] = demand.get(placed.link_id, 0.0) + (
             placed.finish - placed.start
         ) * assoc.n_copies(graph_name)
+    return demand
+
+
+def evaluate_deadlines(
+    schedule: Schedule,
+    spec: SystemSpec,
+    assoc: AssociationArray,
+    graphs: Optional[List[str]] = None,
+) -> DeadlineReport:
+    """Verify deadlines and resource loading for a schedule.
+
+    ``graphs`` restricts the verdict to a subset (the fast inner-loop
+    path); default is every graph of the specification.
+    """
+    report = DeadlineReport()
+    names = graphs if graphs is not None else spec.graph_names()
+
+    # 1. Deadlines of explicit copies.
+    report.lateness = deadline_lateness(schedule, spec, assoc, names)
+
+    # 2. Overload check: per-copy demand of copy 0, extrapolated over
+    #    every copy in the hyperperiod.
+    demand = resource_demand(schedule, assoc, set(names))
     capacity = assoc.hyperperiod
     for resource, load in sorted(demand.items()):
         utilization = load / capacity

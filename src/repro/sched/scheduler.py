@@ -97,6 +97,17 @@ class ScheduleRequest:
     tracer:
         Observability sink for scheduler-decision counters; the null
         tracer by default (no overhead, no behavior change).
+    graphs:
+        Optional graph-name filter: only copies of these graphs are
+        scheduled.  Unlike the scoped sub-spec path this keeps the
+        *full* association array, so arrivals and copy counts match
+        the unfiltered run exactly -- the incremental engine uses it
+        to schedule one resource-coupled component at a time.
+    context:
+        Optional :class:`repro.perf.fastsched.SchedulerContext`.  When
+        set, scheduling runs over the context's cached plan and fast
+        timelines (byte-identical results); None keeps the legacy
+        from-scratch path below.
     """
 
     spec: SystemSpec
@@ -107,6 +118,8 @@ class ScheduleRequest:
     boot_time_fn: Optional[Callable[[PEInstance, int], float]] = None
     preemption: bool = True
     tracer: Tracer = NULL_TRACER
+    graphs: Optional[frozenset] = None
+    context: Optional[object] = None
 
 
 @dataclass
@@ -172,6 +185,10 @@ def build_schedule(request: ScheduleRequest) -> Schedule:
     communicating tasks sit on unconnected PEs.  Missed deadlines do
     *not* raise; they are reported by finish-time evaluation.
     """
+    if request.context is not None:
+        from repro.perf.fastsched import build_schedule_planned
+
+        return build_schedule_planned(request, request.context)
     schedule = Schedule()
     spec = request.spec
     boot_time_fn = request.boot_time_fn or default_boot_time
@@ -183,6 +200,8 @@ def build_schedule(request: ScheduleRequest) -> Schedule:
     arrival: Dict[TaskKey, float] = {}
     heap: List[Tuple[float, float, TaskKey]] = []
     for instance in request.assoc.iter_explicit():
+        if request.graphs is not None and instance.graph not in request.graphs:
+            continue
         graph = spec.graph(instance.graph)
         for task_name in graph.topological_order():
             key = (instance.graph, instance.copy, task_name)
@@ -311,6 +330,7 @@ def _place_on_processor(
     key: TaskKey,
     ready: float,
     wcet: float,
+    timeline_cls: type = IntervalTimeline,
 ) -> Tuple[float, float, bool]:
     """Place a task on a processor.
 
@@ -325,7 +345,9 @@ def _place_on_processor(
     processor = pe.pe_type
     assert isinstance(processor, ProcessorType)
     duration = wcet + processor.context_switch_time
-    timeline = schedule.proc_timelines.setdefault(pe.id, IntervalTimeline())
+    timeline = schedule.proc_timelines.get(pe.id)
+    if timeline is None:
+        timeline = schedule.proc_timelines[pe.id] = timeline_cls()
     start = timeline.earliest_fit(ready, duration)
     if start <= ready or not request.preemption:
         return timeline.occupy(start, duration, key) + (False,)

@@ -1,0 +1,166 @@
+"""Copy-on-write option application: bit-exact apply/revert.
+
+The undo journal must restore every observable field of the working
+architecture -- gate/pin/memory counters, mode lists, replica tables,
+link ports, instance counters -- and committing must leave exactly the
+state that clone-then-apply would have produced.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import GeneratorConfig, generate_spec
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import cluster_spec
+from repro.cluster.priority import PriorityContext
+from repro.core.config import CrusadeConfig
+from repro.resources.catalog import default_library
+from repro.alloc.array import build_allocation_array
+from repro.alloc.evaluate import apply_option, apply_option_cow
+
+PROPERTY_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def arch_state(arch):
+    """Every observable field, in a comparable form."""
+    return {
+        "pes": {
+            pe.id: {
+                "type": pe.pe_type.name,
+                "modes": [
+                    (m.index, sorted(m.clusters), m.gates_used, m.pins_used,
+                     (m.memory_used.program, m.memory_used.data,
+                      m.memory_used.stack))
+                    for m in pe.modes
+                ],
+                "cluster_modes": dict(pe.cluster_modes),
+                "replica_modes": {
+                    name: sorted(modes)
+                    for name, modes in pe.replica_modes.items()
+                },
+            }
+            for pe in arch.pes.values()
+        },
+        "links": {
+            link.id: (link.link_type.name, sorted(link.attached))
+            for link in arch.links.values()
+        },
+        "cluster_alloc": dict(arch.cluster_alloc),
+        "counters": dict(arch._counters),
+        "interface_cost": arch.interface_cost,
+    }
+
+
+def make_workload(seed):
+    spec = generate_spec(GeneratorConfig(
+        seed=seed, n_graphs=2, tasks_per_graph=6, compat_group_size=2,
+        utilization=0.25, hw_only_fraction=0.4, mixed_fraction=0.1,
+    ))
+    library = default_library()
+    clustering = cluster_spec(spec, library)
+    return spec, library, clustering
+
+
+def iter_options(spec, library, clustering, arch, config):
+    for cluster in clustering.ordered_by_priority():
+        options = build_allocation_array(
+            cluster, arch, clustering, spec, config.delay_policy,
+            max_existing_options=config.max_existing_options,
+            allow_new_modes=True,
+        )
+        for option in options:
+            yield cluster, option
+
+
+@PROPERTY_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=40))
+def test_apply_then_revert_is_identity(seed):
+    spec, library, clustering = make_workload(seed)
+    config = CrusadeConfig()
+    arch = Architecture(library)
+    placed = 0
+    for cluster, option in iter_options(spec, library, clustering, arch, config):
+        if arch.is_allocated(cluster.name):
+            continue
+        before = arch_state(arch)
+        handle = apply_option_cow(option, arch, cluster, clustering, spec)
+        assert arch_state(arch) != before  # the apply really did mutate
+        handle.revert()
+        assert arch_state(arch) == before
+        handle.revert()  # idempotent
+        assert arch_state(arch) == before
+        # Grow the architecture so later options exercise existing-PE,
+        # new-mode and replica paths, not just fresh PEs.
+        apply_option_cow(option, arch, cluster, clustering, spec)
+        placed += 1
+    assert placed > 0
+
+
+@PROPERTY_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=40))
+def test_commit_equals_clone_apply(seed):
+    spec, library, clustering = make_workload(seed)
+    config = CrusadeConfig()
+    cow_arch = Architecture(library)
+    clone_arch = Architecture(library)
+    for cluster in clustering.ordered_by_priority():
+        options = build_allocation_array(
+            cluster, cow_arch, clustering, spec, config.delay_policy,
+            max_existing_options=config.max_existing_options,
+            allow_new_modes=True,
+        )
+        if not options:
+            continue
+        option = options[0]
+        apply_option_cow(option, cow_arch, cluster, clustering, spec)
+        trial = clone_arch.clone()
+        apply_option(option, trial, cluster, clustering, spec)
+        clone_arch = trial
+        assert arch_state(cow_arch) == arch_state(clone_arch)
+
+
+def test_touched_pes_cover_host_and_link_ports():
+    spec, library, clustering = make_workload(3)
+    config = CrusadeConfig()
+    arch = Architecture(library)
+    for cluster in clustering.ordered_by_priority():
+        options = build_allocation_array(
+            cluster, arch, clustering, spec, config.delay_policy,
+            max_existing_options=config.max_existing_options,
+            allow_new_modes=True,
+        )
+        handle = apply_option_cow(options[0], arch, cluster, clustering, spec)
+        touched = handle.touched_pes
+        assert handle.pe.id in touched
+        for entry in handle.journal:
+            if entry[0] in ("attach", "new_link"):
+                assert arch.links[entry[1]].attached <= touched
+
+
+def test_failed_apply_rolls_back(monkeypatch):
+    """An exception mid-apply leaves the architecture untouched."""
+    spec, library, clustering = make_workload(1)
+    config = CrusadeConfig()
+    arch = Architecture(library)
+    cluster = clustering.ordered_by_priority()[0]
+    options = build_allocation_array(
+        cluster, arch, clustering, spec, config.delay_policy,
+        max_existing_options=config.max_existing_options,
+        allow_new_modes=True,
+    )
+    before = arch_state(arch)
+
+    import repro.alloc.evaluate as evaluate_mod
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("mid-apply failure")
+
+    monkeypatch.setattr(evaluate_mod, "_connect_cluster_edges", boom)
+    with pytest.raises(RuntimeError):
+        apply_option_cow(options[0], arch, cluster, clustering, spec)
+    assert arch_state(arch) == before
