@@ -1,11 +1,25 @@
-"""Inner-loop benchmark: incremental evaluation engine on vs. off.
+"""Inner-loop benchmark: pruning + incremental engine vs. from-scratch.
 
 Times the end-to-end :func:`repro.core.crusade.crusade` run on paper
-examples with the incremental engine disabled (from-scratch scheduling
-every candidate) and enabled (per-component fragment caching,
-copy-on-write candidate application, incremental priorities), verifies
-the two results are byte-identical, and records both timings in
-``BENCH_inner_loop.json`` at the repository root.
+examples in three configurations, verifies all results are
+byte-identical, and records the timings in ``BENCH_inner_loop.json``
+at the repository root:
+
+* ``seconds_from_scratch`` -- engine off, pruning off: every candidate
+  is rescheduled from scratch by the legacy scheduler;
+* ``seconds_incremental`` -- engine on, pruning off: per-component
+  fragment caching, planned scheduling, copy-on-write application;
+* ``seconds_pruned`` -- engine on, pruning on: admissible candidate
+  pruning layered over the engine.  The headline ``speedup`` is
+  from-scratch over pruned.
+
+``--pool-workers N`` adds a ``seconds_pooled`` column (engine +
+pruning + an N-worker process pool); it is opt-in because on a
+single-CPU host the pool only adds IPC overhead.  ``--skip-scratch``
+records large workloads (e.g. ``NGXM`` at scale 0.25) without the
+slow baselines: the record carries ``seconds_pruned`` and
+``feasible`` with ``speedup: null``, and the regression check skips
+null-speedup records.
 
 Run directly (not under pytest)::
 
@@ -32,6 +46,7 @@ from repro.bench.examples import EXAMPLE_NAMES, build_example  # noqa: E402
 from repro.core.config import CrusadeConfig  # noqa: E402
 from repro.core.crusade import crusade  # noqa: E402
 from repro.io.result_json import result_to_dict  # noqa: E402
+from repro.obs.trace import Tracer  # noqa: E402
 
 DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_inner_loop.json"
 
@@ -44,34 +59,76 @@ def _canonical(result) -> str:
     return json.dumps(payload, sort_keys=True)
 
 
-def _timed_run(spec, incremental: bool):
-    config = CrusadeConfig(incremental=incremental)
+def _timed_run(spec, incremental: bool, prune: bool, parallel_eval: int = 0):
+    config = CrusadeConfig(
+        incremental=incremental, prune=prune, parallel_eval=parallel_eval
+    )
+    tracer = Tracer()
     started = time.perf_counter()
-    result = crusade(spec, config=config)
-    return time.perf_counter() - started, result
+    result = crusade(spec, config=config, tracer=tracer)
+    return time.perf_counter() - started, result, tracer.counters.as_dict()
 
 
-def bench_example(name: str, scale: float) -> dict:
-    """One record: both timings plus the identity check."""
+def bench_example(name: str, scale: float, pool_workers: int = 0,
+                  skip_scratch: bool = False) -> dict:
+    """One record: the mode timings plus the identity checks."""
     spec = build_example(name, scale=scale)
-    seconds_scratch, scratch = _timed_run(spec, incremental=False)
-    print("  from-scratch: %.2fs (cost $%.0f, %s)" % (
-        seconds_scratch, scratch.cost,
-        "feasible" if scratch.feasible else "INFEASIBLE"))
-    seconds_incr, incr = _timed_run(spec, incremental=True)
-    print("  incremental:  %.2fs" % (seconds_incr,))
-    identical = _canonical(scratch) == _canonical(incr)
-    return {
+    seconds_pruned, pruned, counters = _timed_run(
+        spec, incremental=True, prune=True
+    )
+    prune_cut = counters.get("prune.cut", 0)
+    print("  pruned:       %.2fs (cost $%.0f, %s, prune.cut %d)" % (
+        seconds_pruned, pruned.cost,
+        "feasible" if pruned.feasible else "INFEASIBLE", prune_cut))
+    record = {
         "example": name,
         "scale": scale,
         "tasks": spec.total_tasks,
+        "seconds_from_scratch": None,
+        "seconds_incremental": None,
+        "seconds_pruned": round(seconds_pruned, 3),
+        "speedup": None,
+        "speedup_incremental": None,
+        "prune_cut": prune_cut,
+        "cost": round(pruned.cost, 2),
+        "feasible": pruned.feasible,
+        "identical": True,
+    }
+    if skip_scratch:
+        print("  baselines skipped (--skip-scratch)")
+        return record
+
+    seconds_scratch, scratch, _ = _timed_run(
+        spec, incremental=False, prune=False
+    )
+    print("  from-scratch: %.2fs" % (seconds_scratch,))
+    seconds_incr, incr, _ = _timed_run(spec, incremental=True, prune=False)
+    print("  incremental:  %.2fs" % (seconds_incr,))
+    canonical_scratch = _canonical(scratch)
+    identical = (
+        canonical_scratch == _canonical(incr)
+        and canonical_scratch == _canonical(pruned)
+    )
+    record.update({
         "seconds_from_scratch": round(seconds_scratch, 3),
         "seconds_incremental": round(seconds_incr, 3),
-        "speedup": round(seconds_scratch / max(seconds_incr, 1e-9), 3),
-        "cost": round(scratch.cost, 2),
-        "feasible": scratch.feasible,
+        "speedup": round(seconds_scratch / max(seconds_pruned, 1e-9), 3),
+        "speedup_incremental": round(
+            seconds_scratch / max(seconds_incr, 1e-9), 3
+        ),
         "identical": identical,
-    }
+    })
+    if pool_workers >= 2:
+        seconds_pooled, pooled, _ = _timed_run(
+            spec, incremental=True, prune=True, parallel_eval=pool_workers
+        )
+        print("  pooled (%d):   %.2fs" % (pool_workers, seconds_pooled))
+        record["seconds_pooled"] = round(seconds_pooled, 3)
+        record["pool_workers"] = pool_workers
+        record["identical"] = (
+            record["identical"] and canonical_scratch == _canonical(pooled)
+        )
+    return record
 
 
 def merge_records(path: pathlib.Path, fresh: list) -> list:
@@ -87,13 +144,19 @@ def merge_records(path: pathlib.Path, fresh: list) -> list:
 
 def check_regression(records: list, baseline_path: pathlib.Path,
                      max_regression: float) -> list:
-    """Speedup regressions beyond tolerance vs. a committed baseline."""
+    """Speedup regressions beyond tolerance vs. a committed baseline.
+
+    Records without a measured speedup (``--skip-scratch`` rows) are
+    skipped, as are baseline rows without one.
+    """
     baseline = json.loads(baseline_path.read_text()).get("records", [])
     reference = {(r["example"], r["scale"]): r for r in baseline}
     failures = []
     for record in records:
         ref = reference.get((record["example"], record["scale"]))
-        if ref is None:
+        if ref is None or ref.get("speedup") is None:
+            continue
+        if record.get("speedup") is None:
             continue
         floor = ref["speedup"] * (1.0 - max_regression)
         if record["speedup"] < floor:
@@ -114,6 +177,11 @@ def main(argv=None) -> int:
                         help="example scale factor (default 0.1)")
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
                         help="output JSON (default BENCH_inner_loop.json)")
+    parser.add_argument("--pool-workers", type=int, default=0, metavar="N",
+                        help="also time an N-worker process pool (N >= 2)")
+    parser.add_argument("--skip-scratch", action="store_true",
+                        help="record only the pruned run (no baselines, "
+                             "no speedup) -- for large workloads")
     parser.add_argument("--check-against", type=pathlib.Path, default=None,
                         metavar="BASELINE.json",
                         help="fail when speedup regresses vs this file")
@@ -124,9 +192,13 @@ def main(argv=None) -> int:
     fresh = []
     for name in args.examples or ["A1TR"]:
         print("%s @ scale %g" % (name, args.scale))
-        record = bench_example(name, args.scale)
-        print("  speedup: %.2fx, identical: %s" % (
-            record["speedup"], record["identical"]))
+        record = bench_example(name, args.scale,
+                               pool_workers=args.pool_workers,
+                               skip_scratch=args.skip_scratch)
+        if record["speedup"] is not None:
+            print("  speedup: %.2fx (engine only %.2fx), identical: %s" % (
+                record["speedup"], record["speedup_incremental"],
+                record["identical"]))
         fresh.append(record)
 
     records = merge_records(args.out, fresh)
@@ -138,7 +210,7 @@ def main(argv=None) -> int:
     status = 0
     broken = [r for r in fresh if not r["identical"]]
     if broken:
-        print("ERROR: incremental result differs from from-scratch for: %s"
+        print("ERROR: optimized results differ from from-scratch for: %s"
               % ", ".join(r["example"] for r in broken))
         status = 1
     if args.check_against is not None:

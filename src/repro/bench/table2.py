@@ -90,6 +90,7 @@ def run_table2_row(
         link_strategies=config.link_strategies,
         incremental=config.incremental,
         parallel_eval=config.parallel_eval,
+        prune=config.prune,
     )
     without = crusade(spec, library=library, config=baseline_config)
     with_reconfig = crusade(spec, library=library, config=config, baseline=without)

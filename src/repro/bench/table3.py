@@ -83,6 +83,7 @@ def run_table3_row(
         link_strategies=config.link_strategies,
         incremental=config.incremental,
         parallel_eval=config.parallel_eval,
+        prune=config.prune,
     )
     without = crusade_ft(
         spec, library=library, config=baseline_config, ft_config=ft_config

@@ -20,6 +20,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -31,6 +32,18 @@ from repro.graph.generator import GeneratorConfig, generate_spec
 from repro.io.result_json import save_result_file
 from repro.io.spec_json import load_spec_file, save_spec_file, spec_to_dict
 from repro.bench.examples import EXAMPLE_NAMES, build_example
+
+
+def _parallel_eval_arg(value: str) -> int:
+    """``--parallel-eval`` accepts an integer or ``auto`` (cpu count)."""
+    if value == "auto":
+        return os.cpu_count() or 1
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected an integer or 'auto', got %r" % (value,)
+        ) from None
 
 
 def _add_synthesize(subparsers) -> None:
@@ -55,9 +68,18 @@ def _add_synthesize(subparsers) -> None:
     p.add_argument("--no-incremental", action="store_true",
                    help="disable the incremental evaluation engine "
                         "(schedule caching + copy-on-write inner loop)")
-    p.add_argument("--parallel-eval", type=int, default=0, metavar="N",
-                   help="score allocation candidates with N worker threads "
-                        "(0 = serial; results are identical either way)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable admissible candidate pruning "
+                        "(evaluate every allocation candidate)")
+    p.add_argument("--parallel-eval", type=_parallel_eval_arg, default=0,
+                   metavar="N|auto",
+                   help="score allocation candidates with N worker processes "
+                        "('auto' = os.cpu_count(); 0 or 1 = serial; results "
+                        "are identical either way)")
+    p.add_argument("--profile", type=int, default=0, metavar="N",
+                   help="run synthesis under cProfile, print the top-N "
+                        "cumulative functions and write profile.pstats "
+                        "next to the result JSON (or the CWD)")
 
 
 def _add_generate(subparsers) -> None:
@@ -122,15 +144,30 @@ def _build_tracer(args):
     return Tracer(sinks=sinks)
 
 
+def _profile_path(args) -> str:
+    """``profile.pstats`` next to the result JSON, or in the CWD."""
+    if args.out:
+        directory = os.path.dirname(os.path.abspath(args.out))
+        return os.path.join(directory, "profile.pstats")
+    return "profile.pstats"
+
+
 def _cmd_synthesize(args) -> int:
     spec = load_spec_file(args.spec)
     config = CrusadeConfig(
         reconfiguration=not args.no_reconfig,
         max_explicit_copies=args.copies,
         incremental=not args.no_incremental,
+        prune=not args.no_prune,
         parallel_eval=args.parallel_eval,
     )
     tracer = _build_tracer(args)
+    profiler = None
+    if args.profile > 0:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         if args.ft:
             ft_result = crusade_ft(spec, config=config, tracer=tracer)
@@ -147,8 +184,19 @@ def _cmd_synthesize(args) -> int:
             print(render_architecture(result))
             feasible = result.feasible
     finally:
+        if profiler is not None:
+            profiler.disable()
         if tracer is not None:
             tracer.close()
+    if profiler is not None:
+        import pstats
+
+        path = _profile_path(args)
+        profiler.dump_stats(path)
+        print()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(args.profile)
+        print("profile written to %s" % path)
     if args.gantt:
         from repro.sched.gantt import render_gantt
 

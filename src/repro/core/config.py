@@ -58,9 +58,20 @@ class CrusadeConfig:
         ``REPRO_NO_INCREMENTAL=1`` environment variable) restores the
         from-scratch inner loop.
     parallel_eval:
-        Worker threads for parallel candidate scoring (0 = serial).
-        Selection stays first-feasible-by-index, so results are
-        byte-identical to the serial loop.
+        Worker *processes* for parallel candidate scoring.  ``0`` and
+        ``1`` both mean the serial path -- a 1-worker pool can never
+        beat it, so no pool is ever spun up below 2.  Selection stays
+        first-feasible-by-index, so results are byte-identical to the
+        serial loop.  The CLI maps ``--parallel-eval auto`` to
+        ``os.cpu_count()``.
+    prune:
+        Admissible candidate pruning (:mod:`repro.perf.prune`):
+        candidates whose finish-time/demand lower bounds provably miss
+        a deadline or overload a resource are cut without scheduling.
+        Pure dominance pruning -- the chosen candidate and final
+        architecture are byte-identical either way; ``False`` (or the
+        ``REPRO_NO_PRUNE=1`` environment variable) restores exhaustive
+        evaluation.
     """
 
     reconfiguration: bool = True
@@ -77,6 +88,7 @@ class CrusadeConfig:
     interface_retries: int = 6
     incremental: bool = True
     parallel_eval: int = 0
+    prune: bool = True
 
     def __post_init__(self) -> None:
         if self.parallel_eval < 0:

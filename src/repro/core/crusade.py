@@ -47,7 +47,8 @@ from repro.graph.spec import SystemSpec
 from repro.graph.validate import validate_spec
 from repro.obs.trace import Tracer, resolve_tracer
 from repro.perf.engine import IncrementalEngine, resolve_engine
-from repro.perf.parallel import ParallelScorer, wrap_tracer
+from repro.perf.procpool import ProcessPoolScorer
+from repro.perf.prune import CandidatePruner, RepairBound, pruning_active
 from repro.reconfig.compatibility import CompatibilityAnalysis
 from repro.reconfig.interface import InterfacePlan, synthesize_interface
 from repro.reconfig.merge import merge_reconfigurable_pes
@@ -161,7 +162,16 @@ def _repair(
     overlay on the stripped architecture (cloned only when kept) and
     its evaluation reuses cached component fragments -- repair moves
     one cluster at a time, so almost every component is a cache hit.
+
+    With pruning active, each re-homing's full-scope badness floor
+    (:class:`~repro.perf.prune.RepairBound`) is checked first: a
+    candidate whose floor is already >= the incumbent's badness can
+    neither be feasible (its floor then has >= 1 miss/overload) nor
+    strictly improve, so it is skipped without scheduling.
     """
+    repair_bound = (
+        RepairBound(spec, assoc, clustering) if pruning_active(config) else None
+    )
     for _ in range(max_rounds):
         if current.report.all_met:
             break
@@ -255,6 +265,14 @@ def _repair(
                         continue
                     tracer.incr("perf.cow.applies")
                     try:
+                        if repair_bound is not None:
+                            floor = repair_bound.badness_floor(stripped)
+                            if floor >= current.badness():
+                                tracer.incr("prune.cut")
+                                tracer.incr("prune.cut.repair")
+                                continue
+                            tracer.incr("prune.kept")
+                            tracer.incr("prune.kept.repair")
                         verdict = evaluate_architecture(
                             spec,
                             assoc,
@@ -286,6 +304,14 @@ def _repair(
                         )
                     except AllocationError:
                         continue
+                    if repair_bound is not None:
+                        floor = repair_bound.badness_floor(trial)
+                        if floor >= current.badness():
+                            tracer.incr("prune.cut")
+                            tracer.incr("prune.cut.repair")
+                            continue
+                        tracer.incr("prune.kept")
+                        tracer.incr("prune.kept.repair")
                     verdict = evaluate_architecture(
                         spec,
                         assoc,
@@ -397,12 +423,15 @@ def crusade(
     arch = Architecture(library)
     priorities = _compute_priorities(spec, pessimistic)
     fast = config.use_fast_inner_loop(spec.total_tasks)
+    prune_on = pruning_active(config)
     allocation_feasible = True
-    scorer: Optional[ParallelScorer] = None
-    worker_tracer = tracer
-    if config.parallel_eval > 0:
-        scorer = ParallelScorer(config.parallel_eval)
-        worker_tracer = wrap_tracer(tracer)
+    scorer: Optional[ProcessPoolScorer] = None
+    if config.parallel_eval >= 2:
+        # 0 and 1 both mean the serial path: a 1-worker pool can never
+        # beat it (see repro.perf.procpool).
+        scorer = ProcessPoolScorer(
+            config.parallel_eval, use_engine=engine is not None
+        )
     # Allocation-aware priorities reuse previous values for graphs the
     # placement cannot have perturbed -- but only once the previous
     # values were themselves allocation-aware (the pessimistic
@@ -414,8 +443,52 @@ def crusade(
         for cluster in clustering.ordered_by_priority():
             tracer.incr("alloc.clusters")
             chosen: Optional[EvalResult] = None
-            fallback: Optional[EvalResult] = None
             chosen_touched: Optional[Set[str]] = None
+            pruner = (
+                CandidatePruner(spec, assoc, clustering, cluster)
+                if prune_on
+                else None
+            )
+            # Least-infeasible bookkeeping.  The serial loop's strict
+            # improvement rule is the argmin of (badness, seq), where
+            # seq numbers candidates in consideration order across
+            # strategies; tracking the key explicitly lets pruned
+            # candidates (which carry admissible badness *floors*) and
+            # the pool path (which ships verdict summaries, not
+            # architectures) reconstruct the identical choice.
+            fallback: Optional[EvalResult] = None
+            fallback_key: Optional[tuple] = None
+            fallback_lazy: Optional[tuple] = None
+            pruned: List[tuple] = []
+            seq = 0
+            gen_token: Optional[int] = None
+
+            def evaluate_cloned(option, strategy):
+                """Evaluate one candidate locally on a cloned arch."""
+                trial = arch.clone()
+                try:
+                    apply_option(
+                        option, trial, cluster, clustering, spec, strategy
+                    )
+                except AllocationError:
+                    return None
+                graphs = (
+                    _coupled_graphs(trial, clustering, cluster.graph)
+                    if fast
+                    else None
+                )
+                return evaluate_architecture(
+                    spec,
+                    assoc,
+                    clustering,
+                    trial,
+                    priorities,
+                    preemption=config.preemption,
+                    graphs=graphs,
+                    tracer=tracer,
+                    engine=engine,
+                )
+
             for strategy in config.link_strategies:
                 options = build_allocation_array(
                     cluster,
@@ -430,47 +503,57 @@ def crusade(
                 )
                 if not options:
                     continue
-                if scorer is not None:
-
-                    def evaluate_candidate(option, strategy=strategy):
-                        trial = arch.clone()
-                        try:
-                            apply_option(
-                                option, trial, cluster, clustering, spec,
-                                strategy,
-                            )
-                        except AllocationError:
-                            return None
-                        graphs = (
-                            _coupled_graphs(trial, clustering, cluster.graph)
-                            if fast
-                            else None
-                        )
-                        return evaluate_architecture(
-                            spec,
-                            assoc,
-                            clustering,
-                            trial,
-                            priorities,
-                            preemption=config.preemption,
-                            graphs=graphs,
-                            tracer=worker_tracer,
-                            engine=engine,
-                        )
-
-                    chosen, strategy_fallback = scorer.score(
-                        options, evaluate_candidate, tracer
-                    )
-                    if strategy_fallback is not None and (
-                        fallback is None
-                        or strategy_fallback.badness() < fallback.badness()
-                    ):
-                        fallback = strategy_fallback
+                if scorer is not None and scorer.worth_pool(len(options)):
+                    if gen_token is None:
+                        gen_token = scorer.begin_cluster({
+                            "spec": spec,
+                            "assoc": assoc,
+                            "clustering": clustering,
+                            "arch": arch,
+                            "cluster": cluster,
+                            "priorities": priorities,
+                            "preemption": config.preemption,
+                            "fast": fast,
+                            "prune": prune_on,
+                        })
+                    records = scorer.score(gen_token, options, strategy, tracer)
+                    # Decision counters on the consuming side, in index
+                    # order, exactly like the serial paths; records past
+                    # the first feasible one (same wave) are drained
+                    # without counting, matching the documented
+                    # deterministic evaluation-counter overshoot.
+                    for offset, record in enumerate(records):
+                        kind, badness, floor, reason = record
+                        option = options[offset]
+                        tracer.incr("alloc.options.considered")
+                        seq += 1
+                        if kind == "apply_failed":
+                            tracer.incr("alloc.options.apply_failed")
+                            continue
+                        if kind == "pruned":
+                            tracer.incr("prune.cut")
+                            tracer.incr("prune.cut." + reason)
+                            pruned.append((tuple(floor), seq, option, strategy))
+                            continue
+                        if prune_on:
+                            tracer.incr("prune.kept")
+                        if kind == "feasible":
+                            # Workers ship verdict summaries, not
+                            # schedules; materialize the winner locally.
+                            chosen = evaluate_cloned(option, strategy)
+                            break
+                        tracer.incr("alloc.options.infeasible")
+                        key = (tuple(badness), seq)
+                        if fallback_key is None or key < fallback_key:
+                            fallback_key = key
+                            fallback_lazy = (option, strategy)
+                            fallback = None
                 elif engine is not None:
                     # Copy-on-write: apply each candidate to the
                     # working architecture and revert unless it wins.
                     for option in options:
                         tracer.incr("alloc.options.considered")
+                        seq += 1
                         try:
                             handle = apply_option_cow(
                                 option, arch, cluster, clustering, spec,
@@ -487,6 +570,16 @@ def crusade(
                                 if fast
                                 else None
                             )
+                            if pruner is not None:
+                                cut = pruner.bound(arch, option, graphs, tracer)
+                                if cut is not None:
+                                    tracer.incr("prune.cut")
+                                    tracer.incr("prune.cut." + cut.reason)
+                                    pruned.append(
+                                        (cut.floor, seq, option, strategy)
+                                    )
+                                    continue
+                                tracer.incr("prune.kept")
                             verdict = evaluate_architecture(
                                 spec,
                                 assoc,
@@ -504,13 +597,13 @@ def crusade(
                                 keep = True
                             else:
                                 tracer.incr("alloc.options.infeasible")
-                                if (
-                                    fallback is None
-                                    or verdict.badness() < fallback.badness()
-                                ):
+                                key = (verdict.badness(), seq)
+                                if fallback_key is None or key < fallback_key:
                                     fallback = replace(
                                         verdict, arch=arch.clone()
                                     )
+                                    fallback_key = key
+                                    fallback_lazy = None
                         finally:
                             if keep:
                                 tracer.incr("perf.cow.commits")
@@ -522,6 +615,7 @@ def crusade(
                 else:
                     for option in options:
                         tracer.incr("alloc.options.considered")
+                        seq += 1
                         trial = arch.clone()
                         try:
                             apply_option(
@@ -539,6 +633,16 @@ def crusade(
                             if fast
                             else None
                         )
+                        if pruner is not None:
+                            cut = pruner.bound(trial, option, graphs, tracer)
+                            if cut is not None:
+                                tracer.incr("prune.cut")
+                                tracer.incr("prune.cut." + cut.reason)
+                                pruned.append(
+                                    (cut.floor, seq, option, strategy)
+                                )
+                                continue
+                            tracer.incr("prune.kept")
                         verdict = evaluate_architecture(
                             spec,
                             assoc,
@@ -553,13 +657,41 @@ def crusade(
                             chosen = verdict
                             break
                         tracer.incr("alloc.options.infeasible")
-                        if (
-                            fallback is None
-                            or verdict.badness() < fallback.badness()
-                        ):
+                        key = (verdict.badness(), seq)
+                        if fallback_key is None or key < fallback_key:
                             fallback = verdict
+                            fallback_key = key
+                            fallback_lazy = None
                 if chosen is not None:
                     break
+            if chosen is None and pruned:
+                # Deferred least-infeasible reconstruction.  Pruned
+                # candidates are provably infeasible but may still be
+                # the least-infeasible fallback; their floors are
+                # admissible badness lower bounds, so evaluating them
+                # best-bound-first and skipping any whose (floor, seq)
+                # cannot beat the incumbent (badness, seq) yields the
+                # exhaustive loop's exact choice.
+                pruned.sort(key=lambda item: (item[0], item[1]))
+                for floor, pseq, option, pstrategy in pruned:
+                    if fallback_key is not None and (
+                        (tuple(floor), pseq) >= fallback_key
+                    ):
+                        tracer.incr("prune.fallback_skipped")
+                        continue
+                    tracer.incr("prune.fallback_evals")
+                    verdict = evaluate_cloned(option, pstrategy)
+                    if verdict is None:
+                        continue
+                    key = (verdict.badness(), pseq)
+                    if fallback_key is None or key < fallback_key:
+                        fallback = verdict
+                        fallback_key = key
+                        fallback_lazy = None
+            if chosen is None and fallback is None and fallback_lazy is not None:
+                # Pool path: the incumbent was tracked lazily; build
+                # its full verdict now.
+                fallback = evaluate_cloned(*fallback_lazy)
             if chosen is None:
                 if fallback is None:
                     raise SynthesisError(
@@ -691,6 +823,7 @@ def crusade(
                 evaluator,
                 combine_modes=config.combine_modes,
                 tracer=tracer,
+                prune=prune_on,
             )
             stats = {
                 "accepted": outcome.merges_accepted,
@@ -723,6 +856,7 @@ def crusade(
                 link_strategies=config.link_strategies,
                 incremental=config.incremental,
                 parallel_eval=config.parallel_eval,
+                prune=config.prune,
             )
             baseline = crusade(
                 spec, library=library, config=baseline_config,

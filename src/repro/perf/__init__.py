@@ -1,9 +1,10 @@
-"""Incremental evaluation engine for the synthesis inner loop.
+"""Performance layer for the synthesis inner loop.
 
-Four cooperating pieces, all observable through ``perf.*`` tracer
-counters and all killable via ``CrusadeConfig.incremental=False`` or
-``REPRO_NO_INCREMENTAL=1`` (the parallel scorer is opt-in via
-``CrusadeConfig.parallel_eval``):
+Cooperating pieces, all observable through ``perf.*`` / ``prune.*`` /
+``pool.*`` tracer counters and each individually killable
+(``CrusadeConfig.incremental=False`` / ``REPRO_NO_INCREMENTAL=1``,
+``CrusadeConfig.prune=False`` / ``REPRO_NO_PRUNE=1``; the process
+pool is opt-in via ``CrusadeConfig.parallel_eval``):
 
 * :mod:`repro.perf.fingerprint` -- partitions the specification's
   graphs into resource-coupled components and fingerprints each
@@ -13,11 +14,15 @@ counters and all killable via ``CrusadeConfig.incremental=False`` or
   ``evaluate_architecture``;
 * :mod:`repro.perf.cow` -- copy-on-write application of allocation
   options (undo journals instead of architecture clones);
-* :mod:`repro.perf.parallel` -- the wave-based parallel candidate
-  scorer with deterministic first-feasible-by-index selection.
+* :mod:`repro.perf.prune` -- admissible candidate pruning: per-
+  candidate finish-time/demand lower bounds cut provably infeasible
+  candidates before the scheduler runs (pure dominance pruning);
+* :mod:`repro.perf.procpool` -- the wave-based multi-*process*
+  candidate scorer with deterministic first-feasible-by-index
+  selection and warm per-worker engine caches.
 
 All paths are byte-identical to the from-scratch pipeline; the
-property suite in ``tests/perf`` asserts it.
+property suites in ``tests/perf`` assert it.
 """
 
 from repro.perf.cow import AppliedOption, undo_journal
@@ -27,16 +32,31 @@ from repro.perf.engine import (
     resolve_engine,
 )
 from repro.perf.fingerprint import component_fingerprint, partition_components
-from repro.perf.parallel import LockedTracer, ParallelScorer, wrap_tracer
+from repro.perf.parallel import LockedTracer, wrap_tracer
+from repro.perf.procpool import MIN_FRONTIER_FACTOR, PoolError, ProcessPoolScorer
+from repro.perf.prune import (
+    CandidatePruner,
+    PruneVerdict,
+    RepairBound,
+    prune_disabled_by_env,
+    pruning_active,
+)
 
 __all__ = [
     "AppliedOption",
+    "CandidatePruner",
     "IncrementalEngine",
     "LockedTracer",
-    "ParallelScorer",
+    "MIN_FRONTIER_FACTOR",
+    "PoolError",
+    "ProcessPoolScorer",
+    "PruneVerdict",
+    "RepairBound",
     "component_fingerprint",
     "incremental_disabled_by_env",
     "partition_components",
+    "prune_disabled_by_env",
+    "pruning_active",
     "resolve_engine",
     "undo_journal",
     "wrap_tracer",

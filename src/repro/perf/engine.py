@@ -204,11 +204,19 @@ class IncrementalEngine:
             context=self.context,
         )
         schedule = build_schedule(request)
-        lateness = {
-            name: deadline_lateness(schedule, spec, assoc, [name])
-            for name in component
-        }
-        demand = resource_demand(schedule, assoc, set(component))
+        # The planned scheduler emits both verdict by-products inline
+        # (same insertion orders, same float accumulation -- see
+        # build_schedule_planned); recompute only when a request fell
+        # back to the legacy path.
+        lateness = getattr(schedule, "planned_lateness", None)
+        if lateness is None:
+            lateness = {
+                name: deadline_lateness(schedule, spec, assoc, [name])
+                for name in component
+            }
+        demand = getattr(schedule, "planned_demand", None)
+        if demand is None:
+            demand = resource_demand(schedule, assoc, set(component))
         return Fragment(schedule, lateness, demand)
 
     # ------------------------------------------------------------------

@@ -54,9 +54,15 @@ PLAN_CACHE_MAX_ENTRIES = 128
 class _Plan:
     """Spec-derived constants for one (spec, assoc, filter) triple."""
 
-    __slots__ = ("records", "roots", "indegree", "total", "keepalive", "wcet")
+    __slots__ = (
+        "records", "roots", "indegree", "total", "keepalive", "wcet",
+        "deadline_rows", "ncopies",
+    )
 
-    def __init__(self, records, roots, indegree, total, keepalive):
+    def __init__(
+        self, records, roots, indegree, total, keepalive,
+        deadline_rows, ncopies,
+    ):
         #: key -> (arrival, preds, succs, task, cluster_name); preds
         #: are (pred_key, bytes, edge_key) in ``graph.predecessors``
         #: order, succs are (succ_key, succ_name) in
@@ -69,10 +75,19 @@ class _Plan:
         self.total = total
         #: strong refs pinning the id()-keyed cache inputs alive.
         self.keepalive = keepalive
-        #: (task key, PE type name) -> worst-case execution time.
-        #: Static per plan (execution times never change), and most
+        #: (task object id, PE type name) -> worst-case execution
+        #: time.  Static per plan (execution times never change, and
+        #: ``keepalive`` pins the spec's task objects), and most
         #: placements are stable across the runs sharing a plan.
         self.wcet: Dict[tuple, float] = {}
+        #: graph name -> ((instance key, absolute deadline), ...) in
+        #: the exact insertion order of
+        #: :func:`repro.sched.finish_time.deadline_lateness`
+        #: (explicit copy major, deadline task minor); the absolute
+        #: deadline is the same ``arrival + relative`` float.
+        self.deadline_rows = deadline_rows
+        #: graph name -> association copy count (demand multiplier).
+        self.ncopies = ncopies
 
 
 def _build_plan(request) -> _Plan:
@@ -110,9 +125,29 @@ def _build_plan(request) -> _Plan:
             indegree[key] = len(preds)
             if not preds:
                 roots.append(key)
+    deadline_rows: Dict[str, tuple] = {}
+    ncopies: Dict[str, int] = {}
+    for name in spec.graph_names():
+        if request.graphs is not None and name not in request.graphs:
+            continue
+        graph = spec.graph(name)
+        deadline_tasks = [
+            (t, graph.effective_deadline(t)) for t in graph.deadline_tasks()
+        ]
+        rows = []
+        for instance in request.assoc.explicit_copies(name):
+            arrival = instance.arrival
+            for task_name, rel_deadline in deadline_tasks:
+                rows.append((
+                    (name, instance.copy, task_name),
+                    arrival + rel_deadline,
+                ))
+        deadline_rows[name] = tuple(rows)
+        ncopies[name] = request.assoc.n_copies(name)
     return _Plan(
         records, roots, indegree, len(records),
         (spec, request.assoc, clustering),
+        deadline_rows, ncopies,
     )
 
 
@@ -241,12 +276,14 @@ def build_schedule_planned(request, context: SchedulerContext):
     # boot_time_fn purity).
     route_table = context.route_table(arch)
     comm_cache = context._comm
-    allowed_memo: Dict[tuple, dict] = {}
+    #: (pe id, cluster) -> ({mode: boot}, sorted items) for PPE hosts.
+    allowed_memo: Dict[tuple, tuple] = {}
     boot_memo: Dict[tuple, float] = {}
 
     plan = context.plan_for(request)
     records = plan.records
     wcet_memo = plan.wcet
+    ncopies = plan.ncopies
     indegree = dict(plan.indegree)
     heap: List[Tuple[float, float, tuple]] = []
     for key in plan.roots:
@@ -259,6 +296,18 @@ def build_schedule_planned(request, context: SchedulerContext):
     tasks = schedule.tasks
     edges = schedule.edges
     scheduled_count = 0
+    # Per-run decision counters, flushed in one batch after the loop
+    # (identical totals, a fraction of the Tracer.incr call volume).
+    n_virtual = 0
+    n_real = 0
+    split_counts = [0, 0]
+    # Copy-0 hyperperiod demand, accumulated inline.  Per-resource
+    # accumulation order equals the post-pass
+    # :func:`repro.sched.finish_time.resource_demand` order (schedule
+    # insertion order; processor/PPE buckets touched only from task
+    # placements, link buckets only from edge placements), so the
+    # float sums are bit-identical; consumers sort the keys.
+    demand: Dict[str, float] = {}
     while heap:
         _, _, key = heapq.heappop(heap)
         graph_name, _, task_name = key
@@ -317,21 +366,26 @@ def build_schedule_planned(request, context: SchedulerContext):
                 duration = comm_cache[ckey] = link.comm_time(bytes_)
             start = timeline.earliest_fit(pred_finish, duration)
             start, finish = timeline.occupy(start, duration, edge_key)
+            link_id = link.id
             edges[edge_key] = ScheduledEdge(
-                key=edge_key, link_id=link.id, start=start, finish=finish
+                key=edge_key, link_id=link_id, start=start, finish=finish
             )
+            if key[1] == 0:
+                demand[link_id] = demand.get(link_id, 0.0) + (
+                    finish - start
+                ) * ncopies[graph_name]
             if finish > ready:
                 ready = finish
 
         # 2. Place the task on its resource.
         was_split = False
         if pe is None:
-            tracer.incr("sched.tasks.virtual")
+            n_virtual += 1
             start, finish = ready, ready + task.min_exec_time
         else:
-            tracer.incr("sched.tasks.real")
+            n_real += 1
             pe_type = pe.pe_type
-            wkey = (key, pe_type.name)
+            wkey = (id(task), pe_type.name)
             wcet = wcet_memo.get(wkey)
             if wcet is None:
                 wcet = wcet_memo[wkey] = task.wcet_on(pe_type.name)
@@ -339,8 +393,12 @@ def build_schedule_planned(request, context: SchedulerContext):
             if kind is PEKind.PROCESSOR:
                 start, finish, was_split = _place_on_processor(
                     schedule, request, pe, key, ready, wcet,
-                    timeline_cls=timeline_cls,
+                    timeline_cls=timeline_cls, split_counts=split_counts,
                 )
+                if key[1] == 0:
+                    demand[pe_id] = demand.get(pe_id, 0.0) + (
+                        finish - start
+                    ) * ncopies[graph_name]
             elif kind is PEKind.ASIC:
                 start, finish = ready, ready + wcet
             else:
@@ -348,19 +406,28 @@ def build_schedule_planned(request, context: SchedulerContext):
                 if timeline is None:
                     timeline = schedule.ppe_timelines[pe_id] = ppe_timeline_cls()
                 akey = (pe_id, cluster_name)
-                allowed = allowed_memo.get(akey)
-                if allowed is None:
-                    allowed = allowed_memo[akey] = {
+                entry = allowed_memo.get(akey)
+                if entry is None:
+                    allowed = {
                         m: boot_time_fn(pe, m)
                         for m in pe.modes_of_cluster(cluster_name)
                     }
+                    entry = allowed_memo[akey] = (
+                        allowed, sorted(allowed.items()),
+                    )
+                allowed, allowed_sorted = entry
                 bkey = (pe_id, mode)
                 boot = boot_memo.get(bkey)
                 if boot is None:
                     boot = boot_memo[bkey] = boot_time_fn(pe, mode)
                 start, finish = timeline.place(
-                    mode, ready, wcet, boot, allowed=allowed
+                    mode, ready, wcet, boot, allowed=allowed,
+                    allowed_sorted=allowed_sorted,
                 )
+                if key[1] == 0:
+                    demand[pe_id] = demand.get(pe_id, 0.0) + (
+                        finish - start
+                    ) * ncopies[graph_name]
         tasks[key] = ScheduledTask(
             key=key,
             pe_id=pe_id,
@@ -392,4 +459,26 @@ def build_schedule_planned(request, context: SchedulerContext):
             "scheduled %d of %d task instances; precedence graph is inconsistent"
             % (scheduled_count, plan.total)
         )
+    if n_real:
+        tracer.incr("sched.tasks.real", n_real)
+    if n_virtual:
+        tracer.incr("sched.tasks.virtual", n_virtual)
+    if split_counts[0]:
+        tracer.incr("sched.preemption.splits_declined", split_counts[0])
+    if split_counts[1]:
+        tracer.incr("sched.preemption.splits_taken", split_counts[1])
+
+    # Verdict by-products for the engine: per-graph lateness in the
+    # contract insertion order (the plan's rows) and the inline demand
+    # map -- both bit-identical to the post-pass recomputation.
+    lateness: Dict[str, dict] = {}
+    for name, rows in plan.deadline_rows.items():
+        per_graph: Dict[tuple, float] = {}
+        for row_key, absolute in rows:
+            placed = tasks.get(row_key)
+            if placed is not None:
+                per_graph[row_key] = placed.finish - absolute
+        lateness[name] = per_graph
+    schedule.planned_lateness = lateness
+    schedule.planned_demand = demand
     return schedule

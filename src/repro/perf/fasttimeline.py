@@ -231,13 +231,19 @@ class FastPpeModeTimeline(PpeModeTimeline):
         duration: float,
         boot_time: float,
         allowed: Optional[Dict[int, float]] = None,
+        allowed_sorted: Optional[list] = None,
     ) -> Tuple[float, float]:
+        """``allowed_sorted``, when given, must be
+        ``sorted(allowed.items())`` -- callers that memoize the allowed
+        map per (device, cluster) hoist the sort out of this hot path.
+        """
         if self._degraded:
             return super().place(mode, ready, duration, boot_time, allowed)
         if duration < 0 or boot_time < 0:
             raise SchedulingError("durations must be non-negative")
         if allowed is None:
             allowed = {mode: boot_time}
+            allowed_sorted = None
         for b in allowed.values():  # plain loop: no genexpr per call
             if b < 0:
                 raise SchedulingError("boot times must be non-negative")
@@ -279,7 +285,8 @@ class FastPpeModeTimeline(PpeModeTimeline):
         # ready - EPS closes before any candidate could finish; the
         # first viable gap is the one ending at windows[i0] (or the
         # open region when every window is past).
-        allowed_sorted = sorted(allowed.items())
+        if allowed_sorted is None:
+            allowed_sorted = sorted(allowed.items())
         for gap in range(i0 - 1 if i0 > 0 else -1, n):
             prev = windows[gap] if gap >= 0 else None
             if prev is not None and best is not None:

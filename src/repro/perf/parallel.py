@@ -1,27 +1,16 @@
-"""Opt-in parallel candidate scoring for the allocation inner loop.
+"""Thread-safety shims for tracers shared across worker threads.
 
-``CrusadeConfig.parallel_eval = N`` evaluates allocation-array options
-in waves of N worker threads.  Selection is deterministic and
-byte-identical to the serial loop: results are consumed strictly in
-option-index order, the first feasible option wins, and the fallback
-(least-infeasible) choice uses the same strict-improvement rule, so a
-later-indexed option can never displace an earlier equal one.
-
-Decision counters (``alloc.options.considered`` / ``apply_failed`` /
-``infeasible``) are incremented on the calling thread while consuming
-results in index order, so they match the serial run exactly.  The
-*evaluation* counters (``alloc.evaluations``, ``sched.runs``,
-``perf.schedule.*``) are incremented by the workers and may exceed the
-serial counts: a wave is always evaluated in full even when an early
-option in it turns out feasible.  The overshoot is deterministic (wave
-boundaries depend only on the option list and N).
+The wave-based *thread* scorer that used to live here is gone: the
+GIL serialized its evaluations, so it parallelized bookkeeping only.
+True multi-core candidate scoring now lives in
+:mod:`repro.perf.procpool` (worker *processes* with warm per-worker
+engine caches).  What remains is :class:`LockedTracer`, a lock-guarded
+view of a tracer for any code that still fans work out across threads.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Tuple
 
 from repro.obs.trace import Tracer
 
@@ -30,9 +19,9 @@ class LockedTracer(Tracer):
     """Serializes a tracer's mutation points for worker threads.
 
     Counter increments and event emission are read-modify-write on
-    shared dicts/lists; a single lock keeps them exact under the
-    parallel scorer.  Phase timers are only driven from the main
-    thread and stay unwrapped.
+    shared dicts/lists; a single lock keeps them exact under
+    multi-threaded callers.  Phase timers are only driven from the
+    main thread and stay unwrapped.
     """
 
     def __init__(self, inner: Tracer) -> None:
@@ -65,56 +54,3 @@ def wrap_tracer(tracer: Tracer) -> Tracer:
     if not tracer.enabled:
         return tracer
     return LockedTracer(tracer)
-
-
-class ParallelScorer:
-    """Wave-based scorer over one cluster's allocation options."""
-
-    def __init__(self, workers: int) -> None:
-        if workers < 1:
-            raise ValueError("parallel_eval workers must be >= 1")
-        self.workers = workers
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-eval"
-        )
-
-    def score(
-        self,
-        options: List,
-        evaluate_one: Callable,
-        tracer: Tracer,
-    ) -> Tuple[Optional[object], Optional[object]]:
-        """Evaluate options in waves; return ``(chosen, fallback)``.
-
-        ``evaluate_one(option)`` runs on a worker thread and returns an
-        :class:`~repro.alloc.evaluate.EvalResult` or None when the
-        option failed to apply.  ``chosen`` is the first feasible
-        verdict by option index (None when none is feasible);
-        ``fallback`` is the least-infeasible verdict seen before the
-        chosen one, matching the serial loop's bookkeeping.
-        """
-        chosen = None
-        fallback = None
-        for wave_start in range(0, len(options), self.workers):
-            wave = options[wave_start:wave_start + self.workers]
-            futures = [self._pool.submit(evaluate_one, option) for option in wave]
-            for future in futures:
-                verdict = future.result()
-                if chosen is not None:
-                    continue  # drain the wave; selection already made
-                tracer.incr("alloc.options.considered")
-                if verdict is None:
-                    tracer.incr("alloc.options.apply_failed")
-                    continue
-                if verdict.feasible:
-                    chosen = verdict
-                    continue
-                tracer.incr("alloc.options.infeasible")
-                if fallback is None or verdict.badness() < fallback.badness():
-                    fallback = verdict
-            if chosen is not None:
-                break
-        return chosen, fallback
-
-    def close(self) -> None:
-        self._pool.shutdown(wait=True)

@@ -1,0 +1,273 @@
+"""True multi-core candidate scoring: a persistent process pool.
+
+The GIL made the old thread-based scorer a bookkeeping exercise --
+every evaluation still serialized through one interpreter.  This
+module ships pickled (spec-scope, option) work units to persistent
+worker *processes*, each holding a warm per-worker
+:class:`~repro.perf.engine.IncrementalEngine` whose scheduler-context
+caches survive across clusters.
+
+Protocol
+--------
+
+The parent pickles one *generation* blob per cluster iteration (spec,
+association array, clustering, the working architecture, priorities,
+the cluster, and the evaluation knobs) and tags it with a monotonic
+token.  Work units carry only the token, the option, and the link
+strategy; a worker that has not yet seen the token receives the blob
+immediately before its first unit, so each worker deserializes each
+generation at most once.  Workers reply with a compact verdict --
+``(kind, badness, prune-floor, counter-deltas)`` -- never a schedule,
+so IPC stays small.
+
+Determinism
+-----------
+
+Options are dispatched in waves of ``workers`` and consumed strictly
+in option-index order; the first feasible option wins and the
+least-infeasible fallback uses the same earliest-minimum rule, so
+selection is byte-identical to the serial loop.  The parent
+re-evaluates only the winning (or fallback) option locally to
+materialize the full verdict.  Worker counter deltas are merged in
+index order over every dispatched wave, so totals are deterministic;
+as with the old thread scorer, *evaluation* counters may exceed the
+serial counts because a wave is always scored in full even when an
+early member is feasible.
+
+``CrusadeConfig.parallel_eval`` counts worker processes: ``0`` and
+``1`` both mean no pool (a 1-worker pool can never beat the serial
+path; see ``tests/perf/test_procpool.py``), and frontiers smaller
+than :data:`MIN_FRONTIER_FACTOR` x workers are scored serially by the
+caller rather than paying IPC for a handful of options.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import Tracer
+
+#: Frontiers below ``workers * MIN_FRONTIER_FACTOR`` options are not
+#: worth a round of IPC; the caller falls back to the serial path.
+MIN_FRONTIER_FACTOR = 2
+
+#: One scored option: kind is "apply_failed" | "pruned" | "feasible" |
+#: "infeasible"; badness is the verdict's badness tuple (None unless
+#: evaluated); floor and reason are the admissible prune floor and
+#: cut reason (None unless pruned).
+OptionRecord = Tuple[str, Optional[tuple], Optional[tuple], Optional[str]]
+
+
+def _score_one(gen: dict, pruner, engine, option, strategy):
+    """Score one allocation option inside a worker process."""
+    from repro.errors import AllocationError
+    from repro.alloc.evaluate import apply_option, evaluate_architecture
+    from repro.core.crusade import _coupled_graphs
+
+    tracer = Tracer()
+    cluster = gen["cluster"]
+    trial = gen["arch"].clone()
+    try:
+        apply_option(
+            option, trial, cluster, gen["clustering"], gen["spec"], strategy
+        )
+    except AllocationError:
+        return ("apply_failed", None, None, None, tracer.counters.as_dict())
+    graphs = (
+        _coupled_graphs(trial, gen["clustering"], cluster.graph)
+        if gen["fast"]
+        else None
+    )
+    if pruner is not None:
+        verdict = pruner.bound(trial, option, graphs, tracer)
+        if verdict is not None:
+            return (
+                "pruned", None, verdict.floor, verdict.reason,
+                tracer.counters.as_dict(),
+            )
+    result = evaluate_architecture(
+        gen["spec"],
+        gen["assoc"],
+        gen["clustering"],
+        trial,
+        gen["priorities"],
+        preemption=gen["preemption"],
+        graphs=graphs,
+        tracer=tracer,
+        engine=engine,
+    )
+    kind = "feasible" if result.feasible else "infeasible"
+    return (kind, result.badness(), None, None, tracer.counters.as_dict())
+
+
+def _worker_main(conn, use_engine: bool) -> None:
+    """Worker loop: install generations, score options, reply."""
+    from repro.perf.engine import IncrementalEngine
+    from repro.perf.prune import CandidatePruner
+
+    engine = IncrementalEngine() if use_engine else None
+    gen: Optional[dict] = None
+    gen_token = -1
+    pruner = None
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        if msg[0] == "stop":
+            break
+        if msg[0] == "gen":
+            gen_token = msg[1]
+            gen = pickle.loads(msg[2])
+            pruner = None
+            if gen["prune"]:
+                pruner = CandidatePruner(
+                    gen["spec"], gen["assoc"], gen["clustering"],
+                    gen["cluster"],
+                )
+            continue
+        # ("opt", token, index, option, strategy)
+        _, token, index, option, strategy = msg
+        if token != gen_token or gen is None:
+            conn.send((index, "stale", None, None, None, {}))
+            continue
+        try:
+            record = _score_one(gen, pruner, engine, option, strategy)
+        except Exception as exc:  # surfaced by the parent
+            conn.send((index, "error", repr(exc), None, None, {}))
+            continue
+        conn.send((index,) + record)
+    conn.close()
+
+
+class PoolError(RuntimeError):
+    """A worker failed or returned an inconsistent reply."""
+
+
+class ProcessPoolScorer:
+    """Wave-based multi-process scorer over allocation options."""
+
+    def __init__(self, workers: int, use_engine: bool = True) -> None:
+        if workers < 2:
+            raise ValueError(
+                "a process pool needs >= 2 workers; parallel_eval of 0 "
+                "or 1 must use the serial path"
+            )
+        self.workers = workers
+        self.use_engine = use_engine
+        self._ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self._procs: List = []
+        self._conns: List = []
+        self._worker_token: List[int] = []
+        self._token = 0
+        self._blob: Optional[bytes] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._procs:
+            return
+        for _ in range(self.workers):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self.use_engine),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            self._worker_token.append(-1)
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes exist yet (they start lazily)."""
+        return bool(self._procs)
+
+    def worth_pool(self, n_options: int) -> bool:
+        """Whether a frontier is large enough to pay for IPC."""
+        return n_options >= self.workers * MIN_FRONTIER_FACTOR
+
+    # ------------------------------------------------------------------
+    def begin_cluster(self, payload: dict) -> int:
+        """Pickle one cluster iteration's shared state; returns its
+        generation token (workers receive the blob lazily)."""
+        self._token += 1
+        self._blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        return self._token
+
+    def score(
+        self,
+        token: int,
+        options: List,
+        strategy: str,
+        tracer: Tracer,
+    ) -> List[OptionRecord]:
+        """Score ``options`` in waves; stop after the wave containing
+        the first feasible option.
+
+        Returns index-aligned records for every dispatched option (the
+        caller consumes them in order and stops at the first feasible
+        one).  Worker counter deltas are merged into ``tracer`` in
+        index order.
+        """
+        if token != self._token:
+            raise PoolError("stale generation token %r" % (token,))
+        self._ensure_started()
+        records: List[OptionRecord] = []
+        stop = False
+        for wave_start in range(0, len(options), self.workers):
+            wave = options[wave_start:wave_start + self.workers]
+            for offset, option in enumerate(wave):
+                conn = self._conns[offset]
+                if self._worker_token[offset] != token:
+                    conn.send(("gen", token, self._blob))
+                    self._worker_token[offset] = token
+                conn.send(("opt", token, wave_start + offset, option, strategy))
+            for offset in range(len(wave)):
+                reply = self._conns[offset].recv()
+                index, kind, badness, floor, reason, deltas = reply
+                if kind in ("error", "stale"):
+                    raise PoolError(
+                        "worker %d failed on option %d: %s"
+                        % (offset, index, badness)
+                    )
+                if index != wave_start + offset:
+                    raise PoolError("out-of-order reply %d" % (index,))
+                for name, value in sorted(deltas.items()):
+                    tracer.incr(name, value)
+                records.append((kind, badness, floor, reason))
+                if kind == "feasible":
+                    stop = True
+            if stop:
+                break
+        tracer.incr("pool.dispatched", len(records))
+        tracer.incr("pool.waves", (len(records) + self.workers - 1) // self.workers)
+        return records
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs = []
+        self._conns = []
+        self._worker_token = []

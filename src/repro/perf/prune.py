@@ -1,0 +1,345 @@
+"""Admissible candidate pruning for the synthesis inner loop.
+
+Most allocation candidates never win: they provably miss a deadline
+or provably overload a resource, and the scheduler run that proves it
+is the inner loop's dominant cost.  This module computes per-candidate
+*lower bounds* (via :mod:`repro.sched.bounds`) and discards candidates
+the bounds already condemn -- **pure dominance pruning**: a pruned
+candidate is one the full evaluation would necessarily have rejected,
+so the chosen candidate, the fallback, and the final architecture are
+byte-identical to the exhaustive run (property-tested in
+``tests/perf/test_prune.py``).
+
+Three bounds are used:
+
+* **Finish-time floor** -- the copy-0 critical path over the
+  best-case execution vector plus the PPE mode-switch reboot bound
+  (:func:`repro.sched.bounds.finish_time_floor`).  Bit-exactly
+  dominated by any real schedule, so ``floor - deadline > TIME_EPS``
+  proves a deadline miss with no margin at all.
+* **Demand floor** -- per-resource busy time over the hyperperiod
+  (:func:`repro.sched.bounds.demand_floor`).  Summation order differs
+  from the evaluator's, so a relative :data:`DEMAND_MARGIN` guards the
+  cut.
+* **Dollar-cost floor** -- an applied candidate's cost is exact, and
+  the interface-synthesis surcharge is non-negative, which lets the
+  merge loop skip trials that cannot beat the incumbent and lets the
+  fallback search skip pruned candidates that cannot beat the
+  incumbent least-infeasible choice.
+
+Kill switches: ``CrusadeConfig(prune=False)`` or the
+``REPRO_NO_PRUNE=1`` environment variable restore exhaustive
+evaluation.  Counter traffic: ``prune.cut`` / ``prune.kept`` plus
+per-reason ``prune.cut.deadline`` / ``prune.cut.overload`` /
+``prune.cut.repair`` / ``prune.cut.merge``, and
+``prune.fallback_evals`` / ``prune.fallback_skipped`` for the
+deferred least-infeasible reconstruction.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import Cluster, ClusteringResult
+from repro.graph.association import AssociationArray
+from repro.graph.spec import SystemSpec
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.resources.pe import PEKind
+from repro.sched.bounds import demand_floor, finish_time_floor
+from repro.sched.finish_time import _OVERLOAD_TOLERANCE
+from repro.units import TIME_EPS
+
+#: Environment kill switch: disable pruning, evaluate every candidate.
+KILL_SWITCH_ENV = "REPRO_NO_PRUNE"
+
+#: Relative margin applied to demand floors before calling a resource
+#: overloaded: the evaluator sums per-task busy times in schedule
+#: insertion order, the floor in cluster order, and float addition is
+#: not associative.
+DEMAND_MARGIN = 1e-6
+
+#: Deflation applied to summed lateness/excess floors (lower-bound
+#: components that aggregate many float terms in a different order
+#: than the evaluator).
+_SUM_DEFLATE = 1.0 - 1e-6
+
+
+def prune_disabled_by_env() -> bool:
+    """True when the environment kill switch is set (non-empty, not 0)."""
+    value = os.environ.get(KILL_SWITCH_ENV, "")
+    return value not in ("", "0")
+
+
+def pruning_active(config) -> bool:
+    """Whether the driver should prune under ``config``."""
+    return bool(getattr(config, "prune", True)) and not prune_disabled_by_env()
+
+
+class PruneVerdict:
+    """Why a candidate was cut, with its admissible badness floor.
+
+    ``floor`` is a valid lexicographic lower bound on the candidate's
+    :meth:`~repro.alloc.evaluate.EvalResult.badness` tuple; the
+    fallback reconstruction uses it to order and skip pruned
+    candidates against the incumbent.
+    """
+
+    __slots__ = ("reason", "floor")
+
+    def __init__(self, reason: str, floor: tuple) -> None:
+        self.reason = reason
+        self.floor = floor
+
+
+class CandidatePruner:
+    """Admissible pruning for one cluster's allocation candidates.
+
+    Built once per cluster iteration (the placements of every *other*
+    cluster are fixed for its lifetime); ``bound`` is called with the
+    architecture *after* the candidate option was applied and with the
+    same ``graphs`` scope the evaluation would use, and memoizes per
+    option identity -- the same option re-tried under another link
+    strategy lands on the same placement, and link choices affect
+    neither bound (communication floors are zero and demand ignores
+    links).
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        assoc: AssociationArray,
+        clustering: ClusteringResult,
+        cluster: Cluster,
+        boot_time_fn=None,
+    ) -> None:
+        self.spec = spec
+        self.assoc = assoc
+        self.clustering = clustering
+        self.cluster = cluster
+        self.boot_time_fn = boot_time_fn
+        self.graph = spec.graph(cluster.graph)
+        self._memo: Dict[tuple, Optional[PruneVerdict]] = {}
+
+    @staticmethod
+    def _option_key(option) -> tuple:
+        return (
+            option.kind,
+            option.pe_id,
+            option.pe_type_name,
+            option.mode_index,
+            option.replicate,
+        )
+
+    def bound(
+        self,
+        arch: Architecture,
+        option,
+        graphs: Optional[List[str]],
+        tracer: Tracer = NULL_TRACER,
+    ) -> Optional[PruneVerdict]:
+        """A :class:`PruneVerdict` when the applied candidate is
+        provably infeasible, else None (evaluate it)."""
+        key = self._option_key(option)
+        if key in self._memo:
+            return self._memo[key]
+        verdict = self._compute(arch, graphs, tracer)
+        self._memo[key] = verdict
+        return verdict
+
+    def _compute(
+        self, arch: Architecture, graphs: Optional[List[str]], tracer: Tracer
+    ) -> Optional[PruneVerdict]:
+        if graphs is None:
+            scoped_spec, scoped_assoc = self.spec, self.assoc
+        else:
+            from repro.alloc.evaluate import _scope
+
+            scoped_spec, scoped_assoc = _scope(
+                self.spec, self.assoc, graphs, tracer
+            )
+        pe_id, _ = arch.placement_of(self.cluster.name)
+        pe = arch.pe(pe_id)
+
+        overloads = 0
+        excess = 0.0
+        # Overload floor, restricted to the candidate's target PE: the
+        # only resource whose demand the option increased.  (Checking
+        # every PE would also be admissible but would condemn *all*
+        # candidates whenever an unrelated PE is already overloaded,
+        # sending the whole frontier to the fallback reconstruction.)
+        if pe.pe_type.kind is not PEKind.ASIC:
+            demand = demand_floor(
+                arch,
+                self.clustering,
+                scoped_spec,
+                scoped_assoc,
+                graph_names=scoped_spec.graph_names(),
+            ).get(pe_id, 0.0)
+            capacity = scoped_assoc.hyperperiod
+            if demand > capacity * _OVERLOAD_TOLERANCE * (1.0 + DEMAND_MARGIN):
+                overloads = 1
+                excess = (demand / capacity - 1.0) * _SUM_DEFLATE
+
+        misses = 0
+        lateness = 0.0
+        floor = finish_time_floor(
+            self.graph, arch, self.clustering, self.boot_time_fn
+        )
+        est = self.graph.est
+        for task_name in self.graph.deadline_tasks():
+            deadline = self.graph.effective_deadline(task_name)
+            late = floor[task_name] - (est + deadline)
+            if late > TIME_EPS:
+                misses += 1
+                lateness += late
+
+        if not misses and not overloads:
+            return None
+        reason = "deadline" if misses else "overload"
+        badness_floor = (
+            misses + overloads,
+            (lateness * _SUM_DEFLATE) + excess,
+            arch.cost,
+        )
+        return PruneVerdict(reason, badness_floor)
+
+
+class RepairBound:
+    """Full-scope lexicographic badness floor for repair re-homings.
+
+    Repair keeps a candidate only when it meets every deadline or
+    strictly improves the incumbent's badness; a candidate whose floor
+    is already >= the incumbent's badness can do neither (its first
+    floor component is then necessarily positive, ruling out
+    feasibility too), so it is skipped without scheduling.
+
+    Repair moves one cluster at a time, so between two trials the
+    deadline DP of almost every graph is computed from identical
+    inputs.  The per-graph (misses, lateness) pair is therefore
+    memoized under a placement signature capturing exactly what
+    :func:`~repro.sched.bounds.finish_time_floor` reads: each
+    cluster's hosting PE, its type, and -- for mode-windowed devices
+    -- the cluster's permitted mode set with its boot times.  The
+    per-graph partial sums are folded in a different float order than
+    the single running sum, which the existing :data:`_SUM_DEFLATE`
+    margin already covers.
+    """
+
+    #: Memo ceiling; repair sweeps revisit a few hundred placement
+    #: signatures per graph at most, this is a runaway guard.
+    _DP_MEMO_MAX = 8192
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        assoc: AssociationArray,
+        clustering: ClusteringResult,
+        boot_time_fn=None,
+    ) -> None:
+        from repro.reconfig.reboot import default_boot_time
+
+        self.spec = spec
+        self.assoc = assoc
+        self.clustering = clustering
+        self.boot_time_fn = boot_time_fn
+        self._boot_fn = boot_time_fn or default_boot_time
+        self._graph_clusters: Dict[str, List[str]] = {}
+        for name, cluster in clustering.clusters.items():
+            self._graph_clusters.setdefault(cluster.graph, []).append(name)
+        for names in self._graph_clusters.values():
+            names.sort()
+        self._dp_memo: Dict[tuple, Tuple[int, float]] = {}
+        self._demand_memo: Dict[tuple, Tuple[int, float]] = {}
+
+    def _graph_signature(self, graph_name: str, arch: Architecture) -> tuple:
+        """Everything the deadline DP of ``graph_name`` depends on."""
+        cluster_alloc = arch.cluster_alloc
+        boot_fn = self._boot_fn
+        parts = []
+        for cname in self._graph_clusters.get(graph_name, ()):
+            placement = cluster_alloc.get(cname)
+            if placement is None:
+                parts.append(None)
+                continue
+            pe_id, _ = placement
+            pe = arch.pe(pe_id)
+            kind = pe.pe_type.kind
+            if kind is PEKind.PROCESSOR or kind is PEKind.ASIC:
+                parts.append((pe_id, pe.pe_type.name))
+            else:
+                own = tuple(sorted(pe.modes_of_cluster(cname)))
+                parts.append((
+                    pe_id,
+                    pe.pe_type.name,
+                    own,
+                    tuple(boot_fn(pe, m) for m in own),
+                ))
+        return tuple(parts)
+
+    def _dp_stats(self, graph_name: str, arch: Architecture) -> Tuple[int, float]:
+        graph = self.spec.graph(graph_name)
+        floor = finish_time_floor(
+            graph, arch, self.clustering, self.boot_time_fn
+        )
+        est = graph.est
+        misses = 0
+        lateness = 0.0
+        for task_name in graph.deadline_tasks():
+            deadline = graph.effective_deadline(task_name)
+            late = floor[task_name] - (est + deadline)
+            if late > TIME_EPS:
+                misses += 1
+                lateness += late
+        return misses, lateness
+
+    def _overload_stats(self, arch: Architecture) -> Tuple[int, float]:
+        """(overload count, excess) of the full demand floor; memoized
+        under the exact (cluster -> PE, PE type) map the floor reads
+        (copy counts, context-switch times, and WCETs are fixed for
+        the bound's lifetime; the type name determines the rest)."""
+        cluster_alloc = arch.cluster_alloc
+        key = tuple(sorted(
+            (cname, placement[0], arch.pe(placement[0]).pe_type.name)
+            for cname, placement in cluster_alloc.items()
+        ))
+        stats = self._demand_memo.get(key)
+        if stats is not None:
+            return stats
+        overloads = 0
+        excess = 0.0
+        demand = demand_floor(arch, self.clustering, self.spec, self.assoc)
+        capacity = self.assoc.hyperperiod
+        threshold = capacity * _OVERLOAD_TOLERANCE * (1.0 + DEMAND_MARGIN)
+        for pe_id in sorted(demand):
+            if demand[pe_id] > threshold:
+                overloads += 1
+                excess += demand[pe_id] / capacity - 1.0
+        if len(self._demand_memo) >= self._DP_MEMO_MAX:
+            self._demand_memo.clear()
+        self._demand_memo[key] = (overloads, excess)
+        return overloads, excess
+
+    def badness_floor(self, arch: Architecture) -> Tuple[float, float, float]:
+        """A valid lower bound of ``EvalResult.badness()`` for any
+        full-scope evaluation of ``arch``."""
+        overloads, excess = self._overload_stats(arch)
+
+        misses = 0
+        lateness = 0.0
+        memo = self._dp_memo
+        for name in self.spec.graph_names():
+            key = (name, self._graph_signature(name, arch))
+            stats = memo.get(key)
+            if stats is None:
+                if len(memo) >= self._DP_MEMO_MAX:
+                    memo.clear()
+                stats = memo[key] = self._dp_stats(name, arch)
+            misses += stats[0]
+            lateness += stats[1]
+        return (
+            misses + overloads,
+            (lateness + excess) * _SUM_DEFLATE,
+            arch.cost,
+        )

@@ -331,6 +331,7 @@ def _place_on_processor(
     ready: float,
     wcet: float,
     timeline_cls: type = IntervalTimeline,
+    split_counts: Optional[list] = None,
 ) -> Tuple[float, float, bool]:
     """Place a task on a processor.
 
@@ -341,6 +342,11 @@ def _place_on_processor(
     paying the processor's preemption overhead per resumption
     (Section 5's restricted preemptive scheduling).  The split is used
     only when it strictly improves the task's finish time.
+
+    ``split_counts`` (a ``[declined, taken]`` pair) batches the split
+    decision counters for the planned fast path, which flushes them to
+    the tracer once per run; without it each decision is traced
+    directly.
     """
     processor = pe.pe_type
     assert isinstance(processor, ProcessorType)
@@ -356,15 +362,24 @@ def _place_on_processor(
         ready, duration, processor.preemption_overhead
     )
     if segments is None or len(segments) < 2:
-        request.tracer.incr("sched.preemption.splits_declined")
+        if split_counts is None:
+            request.tracer.incr("sched.preemption.splits_declined")
+        else:
+            split_counts[0] += 1
         return timeline.occupy(start, duration, key) + (False,)
     contiguous_finish = start + duration
     split_finish = segments[-1][1]
     if split_finish >= contiguous_finish:
-        request.tracer.incr("sched.preemption.splits_declined")
+        if split_counts is None:
+            request.tracer.incr("sched.preemption.splits_declined")
+        else:
+            split_counts[0] += 1
         return timeline.occupy(start, duration, key) + (False,)
     for seg_start, seg_end in segments:
         timeline.occupy(seg_start, seg_end - seg_start, key)
     schedule.preemptions += 1
-    request.tracer.incr("sched.preemption.splits_taken")
+    if split_counts is None:
+        request.tracer.incr("sched.preemption.splits_taken")
+    else:
+        split_counts[1] += 1
     return segments[0][0], split_finish, True

@@ -1,0 +1,96 @@
+"""The process pool parallelizes scoring, never selection.
+
+``parallel_eval`` counts worker *processes*: 0 and 1 both take the
+serial path (a 1-worker pool can never beat it -- this suite pins
+that no pool is created), >= 2 ships pickled work units to persistent
+workers.  Selection stays first-feasible-by-index, so the synthesized
+result is byte-identical to the serial loop.
+"""
+
+import json
+
+import pytest
+
+from repro import CrusadeConfig, GeneratorConfig, Tracer, crusade, generate_spec
+from repro.io.result_json import result_to_dict
+from repro.perf.procpool import MIN_FRONTIER_FACTOR, ProcessPoolScorer
+
+
+def make_spec(seed):
+    return generate_spec(GeneratorConfig(
+        seed=seed, n_graphs=2, tasks_per_graph=5, compat_group_size=2,
+        utilization=0.2, hw_only_fraction=0.35, mixed_fraction=0.15,
+    ))
+
+
+def canonical(seed, tracer=None, **config_kw):
+    config = CrusadeConfig(max_explicit_copies=2, **config_kw)
+    result = crusade(make_spec(seed), config=config, tracer=tracer)
+    payload = result_to_dict(result)
+    payload.pop("cpu_seconds", None)
+    payload.pop("stats", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def test_single_worker_never_builds_a_pool(monkeypatch):
+    """parallel_eval=1 must stay on the serial path: constructing any
+    pool for it would add IPC overhead for zero parallelism."""
+    import importlib
+
+    crusade_mod = importlib.import_module("repro.core.crusade")
+
+    def boom(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("parallel_eval=1 must not create a pool")
+
+    monkeypatch.setattr(crusade_mod, "ProcessPoolScorer", boom)
+    for workers in (0, 1):
+        result = crusade(
+            make_spec(0),
+            config=CrusadeConfig(max_explicit_copies=2, parallel_eval=workers),
+        )
+        assert result.feasible
+
+
+def test_pool_constructor_rejects_degenerate_worker_counts():
+    for workers in (-3, 0, 1):
+        with pytest.raises(ValueError):
+            ProcessPoolScorer(workers)
+
+
+def test_pool_equals_serial_and_dispatches():
+    tracer = Tracer()
+    pooled = canonical(3, tracer=tracer, parallel_eval=2)
+    serial = canonical(3, parallel_eval=0)
+    assert pooled == serial
+    counters = tracer.counters.as_dict()
+    assert counters.get("pool.dispatched", 0) > 0
+    assert counters.get("pool.waves", 0) > 0
+
+
+def test_pool_equals_serial_with_pruning_off():
+    assert canonical(5, parallel_eval=2, prune=False) == \
+        canonical(5, parallel_eval=0, prune=False)
+
+
+def test_small_frontiers_skip_ipc():
+    scorer = ProcessPoolScorer(4)
+    try:
+        assert not scorer.worth_pool(4 * MIN_FRONTIER_FACTOR - 1)
+        assert scorer.worth_pool(4 * MIN_FRONTIER_FACTOR)
+        # worth_pool is a pure predicate: no workers started by it.
+        assert not scorer.started
+    finally:
+        scorer.close()
+
+
+def test_parallel_eval_auto_resolves_cpu_count():
+    import os
+
+    from repro.cli import _parallel_eval_arg
+
+    assert _parallel_eval_arg("auto") == (os.cpu_count() or 1)
+    assert _parallel_eval_arg("3") == 3
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parallel_eval_arg("many")

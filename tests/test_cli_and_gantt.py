@@ -55,6 +55,32 @@ class TestCli:
         code = main(["synthesize", str(spec_file), "--no-reconfig", "--copies", "2"])
         assert code == 0
 
+    def test_synthesize_no_prune(self, spec_file, capsys):
+        code = main([
+            "synthesize", str(spec_file), "--copies", "2", "--no-prune",
+        ])
+        assert code == 0
+        assert "feasible: True" in capsys.readouterr().out
+
+    def test_synthesize_profile(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        code = main([
+            "synthesize", str(spec_file), "--copies", "2",
+            "--profile", "5", "--out", str(out),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "cumulative" in captured
+        assert "profile written to" in captured
+        assert (tmp_path / "profile.pstats").exists()
+
+    def test_synthesize_parallel_eval_accepts_auto(self, spec_file, capsys):
+        code = main([
+            "synthesize", str(spec_file), "--copies", "2",
+            "--parallel-eval", "auto",
+        ])
+        assert code == 0
+
     def test_synthesize_ft(self, spec_file, capsys):
         code = main(["synthesize", str(spec_file), "--ft", "--copies", "2"])
         captured = capsys.readouterr().out
