@@ -75,6 +75,14 @@ from repro.obs import (
 from repro.sched.gantt import render_gantt, utilization_summary
 from repro.sched.validate import validate_schedule
 from repro.arch.validate import validate_architecture
+from repro.campaign import (
+    CampaignOutcome,
+    CampaignSpec,
+    RetryPolicy,
+    Variant,
+    campaign_status,
+    run_campaign,
+)
 
 __version__ = "1.0.0"
 
@@ -128,5 +136,11 @@ __all__ = [
     "utilization_summary",
     "validate_schedule",
     "validate_architecture",
+    "CampaignOutcome",
+    "CampaignSpec",
+    "RetryPolicy",
+    "Variant",
+    "campaign_status",
+    "run_campaign",
     "__version__",
 ]

@@ -1,0 +1,129 @@
+"""Campaign manifests: the deterministic final aggregate.
+
+The manifest is the campaign's BENCH-style artifact -- the one file
+downstream tooling (CI artifact upload, EXPERIMENTS.md splicing,
+cross-run diffing) consumes.  It deliberately carries **only
+deterministic fields**: job parameters, statuses, and synthesis
+results.  Wall-clock times and attempt counts live in the checkpoint
+log (``jobs.jsonl``) and the obs event stream instead, so an
+interrupted-then-resumed campaign writes a manifest byte-identical
+to an uninterrupted run -- the property the resume acceptance test
+compares, byte for byte.
+
+Failed jobs appear in the manifest with their exception summary (one
+line, no traceback -- tracebacks hold absolute paths and line numbers
+that would break determinism across checkouts; the full text is in
+the checkpoint record).  Reports quoting ``BENCH_*`` numbers from a
+campaign must quote the manifest's ``summary.failed`` count alongside
+them; see EXPERIMENTS.md ("Campaign methodology").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.io.campaign_json import CAMPAIGN_SCHEMA_VERSION
+from repro.bench.runner import render_table
+from repro.campaign.grid import CampaignSpec
+from repro.campaign.jobs import Job
+
+
+def build_manifest(
+    spec: CampaignSpec,
+    jobs: Sequence[Job],
+    records: Mapping[str, Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Aggregate terminal records into the canonical manifest payload.
+
+    Every job must have a terminal record; entries are emitted in
+    sorted-job-id order regardless of completion order.
+    """
+    entries: List[Dict[str, Any]] = []
+    done = failed = 0
+    for job in sorted(jobs, key=lambda j: j.id):
+        record = records.get(job.id)
+        if record is None:
+            raise ValueError("job %r has no terminal record" % (job.id,))
+        entry: Dict[str, Any] = {
+            "id": job.id,
+            "kind": job.kind,
+            "example": job.example,
+            "scale": job.scale,
+            "variant": job.variant,
+            "status": record["status"],
+        }
+        if record["status"] == "done":
+            done += 1
+            entry["result"] = record.get("result")
+        else:
+            failed += 1
+            entry["error"] = record.get("error")
+        entries.append(entry)
+    return {
+        "schema": CAMPAIGN_SCHEMA_VERSION,
+        "campaign": spec.to_dict(),
+        "jobs": entries,
+        "summary": {"jobs": len(entries), "done": done, "failed": failed},
+    }
+
+
+def render_manifest(manifest: Mapping[str, Any]) -> str:
+    """Fixed-width table of a manifest, in the Table 2/3 layout.
+
+    Synthesis jobs get the paper's without/with columns (sans CPU
+    seconds, which the manifest deliberately omits); other kinds get
+    a compact status listing.  Failed jobs render their error summary
+    in place of numbers so they are visible next to the ``BENCH_*``
+    rows they would otherwise have produced.
+    """
+    campaign = manifest.get("campaign", {})
+    title = "Campaign %s (%s): %d jobs, %d done, %d failed" % (
+        campaign.get("name", "?"),
+        campaign.get("kind", "?"),
+        manifest["summary"]["jobs"],
+        manifest["summary"]["done"],
+        manifest["summary"]["failed"],
+    )
+    if campaign.get("kind") in ("table2", "table3"):
+        headers = [
+            "Job", "tasks", "PEs", "links", "Cost $",
+            "PEs'", "links'", "Cost' $", "Savings %", "status",
+        ]
+        rows = []
+        for entry in manifest["jobs"]:
+            if entry["status"] == "done":
+                result = entry["result"]
+                without, with_ = result["without"], result["with_reconfig"]
+                rows.append([
+                    entry["id"], result["tasks"],
+                    without["pes"], without["links"], "%.0f" % without["cost"],
+                    with_["pes"], with_["links"], "%.0f" % with_["cost"],
+                    "%.1f" % result["savings_pct"], "done",
+                ])
+            else:
+                rows.append([
+                    entry["id"], "-", "-", "-", "-", "-", "-", "-", "-",
+                    "FAILED: %s" % (entry.get("error") or "?",),
+                ])
+        return render_table(title, headers, rows)
+    headers = ["Job", "status", "detail"]
+    rows = []
+    for entry in manifest["jobs"]:
+        detail = (
+            entry.get("error") or ""
+            if entry["status"] != "done"
+            else ""
+        )
+        rows.append([entry["id"], entry["status"], detail])
+    return render_table(title, headers, rows)
+
+
+def error_summary(traceback_text: str) -> str:
+    """One deterministic line naming the failure.
+
+    The last non-empty traceback line is the ``ExceptionType:
+    message`` summary -- stable across checkouts, unlike the frames
+    above it.
+    """
+    lines = [ln.strip() for ln in traceback_text.strip().splitlines()]
+    return lines[-1] if lines else "unknown error"

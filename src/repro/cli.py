@@ -15,6 +15,10 @@ Commands
 ``experiments``
     Splice the latest ``benchmarks/results`` tables into
     EXPERIMENTS.md.
+``campaign run | resume | status``
+    Sharded, checkpointed, fault-tolerant benchmark campaigns over
+    the example x scale x variant grid (see :mod:`repro.campaign`
+    and README.md, "Campaigns").
 """
 
 from __future__ import annotations
@@ -114,6 +118,58 @@ def _add_tables(subparsers) -> None:
     subparsers.add_parser("figure2", help="run the Figure 2 example")
 
 
+def _add_campaign(subparsers) -> None:
+    from repro.campaign.grid import VARIANT_PRESETS
+    from repro.campaign.jobs import JOB_KINDS
+
+    p = subparsers.add_parser(
+        "campaign",
+        help="sharded, checkpointed, fault-tolerant benchmark campaigns",
+    )
+    sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    run = sub.add_parser(
+        "run", help="start a campaign in a fresh (or same-spec) directory"
+    )
+    run.add_argument("spec", nargs="?", default=None,
+                     help="campaign spec JSON (omit to build one from flags)")
+    run.add_argument("--dir", required=True, metavar="DIR",
+                     help="campaign directory (checkpoints, manifest)")
+    run.add_argument("--name", default=None,
+                     help="campaign name (defaults to the directory name)")
+    run.add_argument("--kind", choices=sorted(JOB_KINDS), default="table2",
+                     help="job kind for flag-built campaigns (default table2)")
+    run.add_argument("--examples", nargs="+", default=None, metavar="NAME",
+                     help="examples axis for flag-built campaigns")
+    run.add_argument("--scales", nargs="+", type=float, default=None,
+                     metavar="S", help="scales axis (default: REPRO_SCALE)")
+    run.add_argument("--variants", nargs="+", default=["default"],
+                     metavar="NAME", choices=sorted(VARIANT_PRESETS),
+                     help="config-variant axis (presets: %s)"
+                          % ", ".join(sorted(VARIANT_PRESETS)))
+    resume = sub.add_parser(
+        "resume", help="continue a killed or failed campaign from its log"
+    )
+    resume.add_argument("dir", metavar="DIR", help="campaign directory")
+    resume.add_argument("--keep-failed", action="store_true",
+                        help="do not re-attempt jobs already recorded failed")
+    status = sub.add_parser(
+        "status", help="summarize a campaign directory without running"
+    )
+    status.add_argument("dir", metavar="DIR", help="campaign directory")
+    for target in (run, resume):
+        target.add_argument("--workers", type=int, default=1, metavar="N",
+                            help="persistent worker processes (default 1)")
+        target.add_argument("--retries", type=int, default=None, metavar="K",
+                            help="per-job re-attempts before recording failure")
+        target.add_argument("--timeout", type=float, default=None, metavar="S",
+                            help="per-attempt wall-clock budget in seconds")
+        target.add_argument("--backoff", type=float, default=None, metavar="S",
+                            help="base retry backoff in seconds (exponential)")
+        target.add_argument("--stop-after", type=int, default=None, metavar="N",
+                            help="stop after N new terminal jobs (testing)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -124,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate(subparsers)
     _add_example(subparsers)
     _add_tables(subparsers)
+    _add_campaign(subparsers)
     experiments = subparsers.add_parser(
         "experiments",
         help="splice the latest benchmarks/results tables into EXPERIMENTS.md",
@@ -288,6 +345,129 @@ def _cmd_figure2(args) -> int:
     return 0
 
 
+def _campaign_policy(args, base):
+    """``base`` policy with any --retries/--timeout/--backoff overrides."""
+    from repro.campaign.grid import RetryPolicy
+
+    return RetryPolicy(
+        retries=base.retries if args.retries is None else args.retries,
+        backoff_s=base.backoff_s if args.backoff is None else args.backoff,
+        backoff_cap_s=base.backoff_cap_s,
+        timeout_s=base.timeout_s if args.timeout is None else args.timeout,
+    )
+
+
+def _campaign_exit(outcome) -> int:
+    """0 = complete and clean, 1 = complete with failed jobs,
+    3 = interrupted/incomplete.
+
+    Failed jobs are judged from the final manifest, not this
+    invocation's counters, so a resume that merely *skips* previously
+    failed jobs still exits 1.
+    """
+    if not outcome.complete:
+        return 3
+    failed = outcome.failed
+    if outcome.manifest is not None:
+        failed = outcome.manifest["summary"]["failed"]
+    return 0 if failed == 0 else 1
+
+
+def _report_outcome(outcome) -> None:
+    print(
+        "campaign %s: %d done, %d failed, %d skipped, %d retried"
+        % (
+            "complete" if outcome.complete else "INTERRUPTED",
+            outcome.done, outcome.failed, outcome.skipped, outcome.retried,
+        )
+    )
+    if outcome.complete:
+        print("manifest written to %s" % (outcome.directory / "manifest.json"))
+
+
+def _cmd_campaign_run(args) -> int:
+    import os.path
+
+    from repro.campaign.grid import CampaignSpec, RetryPolicy, spec_from_flags
+    from repro.campaign.runner import run_campaign
+    from repro.io.campaign_json import load_json
+
+    if args.spec is not None:
+        spec = CampaignSpec.from_dict(load_json(args.spec))
+        spec = CampaignSpec(
+            name=spec.name, kind=spec.kind, examples=spec.examples,
+            scales=spec.scales, variants=spec.variants,
+            policy=_campaign_policy(args, spec.policy), params=spec.params,
+        )
+    else:
+        if not args.examples:
+            print("campaign run: need a spec file or --examples",
+                  file=sys.stderr)
+            return 2
+        from repro.bench.table2 import bench_scale
+
+        scales = args.scales if args.scales else [bench_scale()]
+        spec = spec_from_flags(
+            name=args.name or os.path.basename(os.path.abspath(args.dir)),
+            kind=args.kind,
+            examples=args.examples,
+            scales=scales,
+            variant_names=args.variants,
+            policy=_campaign_policy(args, RetryPolicy()),
+        )
+    outcome = run_campaign(
+        args.dir, spec=spec, workers=args.workers,
+        stop_after=args.stop_after,
+    )
+    _report_outcome(outcome)
+    return _campaign_exit(outcome)
+
+
+def _cmd_campaign_resume(args) -> int:
+    from repro.campaign.checkpoint import CampaignDir
+    from repro.campaign.runner import run_campaign
+
+    stored = CampaignDir(args.dir).load_spec()
+    policy = _campaign_policy(args, stored.policy)
+    outcome = run_campaign(
+        args.dir, workers=args.workers, resume=True,
+        retry_failed=not args.keep_failed, stop_after=args.stop_after,
+        # Overrides apply to this invocation only; the stored spec
+        # (and so the manifest) keeps the original campaign.
+        policy_override=policy if policy != stored.policy else None,
+    )
+    _report_outcome(outcome)
+    return _campaign_exit(outcome)
+
+
+def _cmd_campaign_status(args) -> int:
+    from repro.campaign.runner import campaign_status
+
+    status = campaign_status(args.dir)
+    print("campaign %s (%s): %d jobs, %d done, %d failed, %d pending%s"
+          % (status["name"], status["kind"], status["jobs"], status["done"],
+             len(status["failed"]), len(status["pending"]),
+             " [complete]" if status["complete"] else ""))
+    for job_id in sorted(status["failed"]):
+        print("  FAILED %s: %s" % (job_id, status["failed"][job_id]))
+    for job_id in status["pending"][:10]:
+        print("  pending %s" % (job_id,))
+    if len(status["pending"]) > 10:
+        print("  ... and %d more pending" % (len(status["pending"]) - 10))
+    return 0 if status["complete"] else 3
+
+
+_CAMPAIGN_HANDLERS = {
+    "run": _cmd_campaign_run,
+    "resume": _cmd_campaign_resume,
+    "status": _cmd_campaign_status,
+}
+
+
+def _cmd_campaign(args) -> int:
+    return _CAMPAIGN_HANDLERS[args.campaign_command](args)
+
+
 _HANDLERS = {
     "synthesize": _cmd_synthesize,
     "generate": _cmd_generate,
@@ -297,6 +477,7 @@ _HANDLERS = {
     "table3": _cmd_table3,
     "figure2": _cmd_figure2,
     "experiments": _cmd_experiments,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -3,9 +3,17 @@
 Specifications round-trip through a stable JSON format so workloads
 can be authored, archived, and shared outside Python; synthesis
 results export to JSON for downstream tooling (dashboards, diffing
-architectures across runs).
+architectures across runs).  Campaign checkpoints and manifests
+(:mod:`repro.io.campaign_json`) add canonical-bytes JSON and an
+fsynced JSONL log for the fault-tolerant campaign runner.
 """
 
+from repro.io.campaign_json import (
+    CAMPAIGN_SCHEMA_VERSION,
+    canonical_dumps,
+    dump_canonical,
+    read_jsonl,
+)
 from repro.io.spec_json import (
     load_spec,
     load_spec_file,
@@ -20,6 +28,10 @@ from repro.io.result_json import (
 )
 
 __all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "canonical_dumps",
+    "dump_canonical",
+    "read_jsonl",
     "load_spec",
     "load_spec_file",
     "save_spec_file",

@@ -17,6 +17,14 @@ Every event serializes to one JSON object with a fixed envelope:
 
 Downstream consumers key on ``event`` + ``fields`` and must tolerate
 new event names appearing; the envelope keys themselves are stable.
+
+Well-known event families: ``phase.start``/``phase.end`` from
+:meth:`repro.obs.trace.Tracer.phase`; ``merge.*`` from the Figure 3
+merge procedure; and the campaign runner's lifecycle events
+(:data:`CAMPAIGN_EVENT_NAMES`), which stream per-job progress --
+start, completion with wall seconds, retries with their reason and
+backoff, and terminal failures -- to the campaign directory's
+``events.jsonl``.
 """
 
 from __future__ import annotations
@@ -29,6 +37,19 @@ SCHEMA_VERSION = 1
 
 #: Envelope keys every serialized event carries, in order.
 ENVELOPE_KEYS = ("v", "event", "seq", "t", "fields")
+
+#: Lifecycle events emitted by :mod:`repro.campaign.runner`, in the
+#: order a job can traverse them.  ``campaign.job.retry`` carries
+#: ``reason`` (``crash`` | ``timeout`` | ``error``) and ``backoff_s``;
+#: ``campaign.job.done`` carries per-job ``wall_s``.
+CAMPAIGN_EVENT_NAMES = (
+    "campaign.start",
+    "campaign.job.start",
+    "campaign.job.done",
+    "campaign.job.retry",
+    "campaign.job.failed",
+    "campaign.end",
+)
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,9 @@ pool is opt-in via ``CrusadeConfig.parallel_eval``):
   candidates before the scheduler runs (pure dominance pruning);
 * :mod:`repro.perf.procpool` -- the wave-based multi-*process*
   candidate scorer with deterministic first-feasible-by-index
-  selection and warm per-worker engine caches.
+  selection and warm per-worker engine caches, plus the supervised
+  :class:`JobWorker` process primitive the campaign runner
+  (:mod:`repro.campaign`) builds its crash/timeout recovery on.
 
 All paths are byte-identical to the from-scratch pipeline; the
 property suites in ``tests/perf`` assert it.
@@ -33,7 +35,13 @@ from repro.perf.engine import (
 )
 from repro.perf.fingerprint import component_fingerprint, partition_components
 from repro.perf.parallel import LockedTracer, wrap_tracer
-from repro.perf.procpool import MIN_FRONTIER_FACTOR, PoolError, ProcessPoolScorer
+from repro.perf.procpool import (
+    MIN_FRONTIER_FACTOR,
+    JobWorker,
+    PoolError,
+    ProcessPoolScorer,
+    WorkerCrash,
+)
 from repro.perf.prune import (
     CandidatePruner,
     PruneVerdict,
@@ -46,10 +54,12 @@ __all__ = [
     "AppliedOption",
     "CandidatePruner",
     "IncrementalEngine",
+    "JobWorker",
     "LockedTracer",
     "MIN_FRONTIER_FACTOR",
     "PoolError",
     "ProcessPoolScorer",
+    "WorkerCrash",
     "PruneVerdict",
     "RepairBound",
     "component_fingerprint",

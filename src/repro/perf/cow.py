@@ -97,6 +97,7 @@ class AppliedOption:
     def __init__(
         self, arch: Architecture, journal: Journal, pe: PEInstance
     ) -> None:
+        """Bind the applied option to its journal and target PE."""
         self.arch = arch
         self.journal = journal
         self.pe = pe

@@ -85,6 +85,7 @@ class Fragment:
         lateness: Dict[str, Dict[tuple, float]],
         demand: Dict[str, float],
     ) -> None:
+        """Freeze one component's schedule, lateness and demand."""
         self.schedule = schedule
         #: graph name -> {task key -> lateness}, per-graph insertion
         #: order identical to the from-scratch evaluation's.
@@ -102,6 +103,8 @@ class IncrementalEngine:
     """
 
     def __init__(self, max_entries: int = 32) -> None:
+        """Create an empty engine holding up to ``max_entries``
+        cached fragments (LRU beyond that)."""
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries

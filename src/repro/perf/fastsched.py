@@ -63,6 +63,7 @@ class _Plan:
         self, records, roots, indegree, total, keepalive,
         deadline_rows, ncopies,
     ):
+        """Freeze one (spec, assoc, filter) triple's plan tables."""
         #: key -> (arrival, preds, succs, task, cluster_name); preds
         #: are (pred_key, bytes, edge_key) in ``graph.predecessors``
         #: order, succs are (succ_key, succ_name) in
@@ -158,6 +159,7 @@ class SchedulerContext:
     ppe_timeline_cls = FastPpeModeTimeline
 
     def __init__(self) -> None:
+        """Create empty plan/route/transfer-time caches."""
         self._plans: "OrderedDict[tuple, _Plan]" = OrderedDict()
         self._lock = threading.Lock()
         #: Architecture -> [topo_version, {(pe_a, pe_b): link | None}].
@@ -168,6 +170,8 @@ class SchedulerContext:
 
     # ------------------------------------------------------------------
     def plan_for(self, request) -> _Plan:
+        """The cached (or freshly built) plan for a request's
+        (spec, assoc, clustering, graphs) identity."""
         key = (
             id(request.spec), id(request.assoc), id(request.clustering),
             request.graphs,
@@ -220,6 +224,7 @@ class SchedulerContext:
             self._best_comm = {}
 
     def comm_time(self, link, bytes_: int) -> float:
+        """Memoized transfer time of ``bytes_`` over ``link``."""
         # The instance transfer time depends on the *current* port
         # count (the paper's recomputed communication vectors).
         key = (link.link_type.name, max(2, link.ports_used), bytes_)

@@ -53,6 +53,7 @@ class FastTimeline(IntervalTimeline):
     """Drop-in :class:`IntervalTimeline` with bisected hot paths."""
 
     def __init__(self) -> None:
+        """Empty timeline with its bisect end-index."""
         super().__init__()
         self._ends: List[float] = []
         self._degraded = False
@@ -73,6 +74,8 @@ class FastTimeline(IntervalTimeline):
 
     # ------------------------------------------------------------------
     def earliest_fit(self, ready: float, duration: float) -> float:
+        """Earliest start >= ready with ``duration`` of free time
+        (bisects past every interval ending before ``ready``)."""
         if self._degraded:
             return super().earliest_fit(ready, duration)
         if duration < 0:
@@ -99,6 +102,7 @@ class FastTimeline(IntervalTimeline):
     def occupy(
         self, start: float, duration: float, owner: tuple
     ) -> Tuple[float, float]:
+        """Insert a busy interval, keeping the bisect indexes sorted."""
         if self._degraded:
             return super().occupy(start, duration, owner)
         end = start + duration
@@ -135,6 +139,8 @@ class FastTimeline(IntervalTimeline):
         overhead: float,
         max_segments: int = 4,
     ) -> Optional[List[Tuple[float, float]]]:
+        """Fit ``duration`` across free gaps (restricted preemption),
+        identical to the superclass minus a redundant sort."""
         # Same body as the superclass, minus the redundant sort: the
         # interval list is maintained in start order (and ``sorted`` is
         # stable, so the legacy call returned this exact order).  The
@@ -181,6 +187,8 @@ class FastTimeline(IntervalTimeline):
         overhead: float,
         new_owner: tuple,
     ) -> Tuple[Tuple[float, float], float]:
+        """Preempt ``victim`` at ``preempt_at``; delegates to the
+        superclass and rebuilds the end index."""
         # Delegate to the superclass, then rebuild the end index: the
         # base implementation deletes and re-inserts intervals through
         # ``_insert`` *and* raw ``del``, so the parallel list must be
@@ -219,6 +227,7 @@ class FastPpeModeTimeline(PpeModeTimeline):
     """
 
     def __init__(self) -> None:
+        """Empty mode-window timeline with its bisect indexes."""
         super().__init__()
         self._starts: List[float] = []
         self._wends: List[float] = []

@@ -79,12 +79,14 @@ def partition_components(
     parent: Dict[str, str] = {name: name for name in names}
 
     def find(x: str) -> str:
+        """Union-find root of ``x`` with path halving."""
         while parent[x] != x:
             parent[x] = parent[parent[x]]
             x = parent[x]
         return x
 
     def union(a: str, b: str) -> None:
+        """Merge the components of ``a`` and ``b``."""
         ra, rb = find(a), find(b)
         if ra != rb:
             parent[rb] = ra

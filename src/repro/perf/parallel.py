@@ -25,6 +25,7 @@ class LockedTracer(Tracer):
     """
 
     def __init__(self, inner: Tracer) -> None:
+        """Wrap ``inner``, sharing its counters and timers."""
         self._inner = inner
         self._lock = threading.Lock()
         self.enabled = inner.enabled
@@ -32,20 +33,26 @@ class LockedTracer(Tracer):
         self.timers = inner.timers
 
     def event(self, name: str, **fields) -> None:
+        """Emit an event under the lock."""
         with self._lock:
             self._inner.event(name, **fields)
 
     def incr(self, name: str, n: int = 1) -> None:
+        """Increment a counter under the lock."""
         with self._lock:
             self._inner.incr(name, n)
 
     def phase(self, name: str):
+        """Delegate phase timing to the wrapped tracer (main thread
+        only)."""
         return self._inner.phase(name)
 
     def stats(self, total_seconds=None):
+        """Snapshot the wrapped tracer's aggregates."""
         return self._inner.stats(total_seconds=total_seconds)
 
     def close(self) -> None:
+        """Close the wrapped tracer's sinks."""
         self._inner.close()
 
 

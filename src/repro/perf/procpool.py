@@ -39,15 +39,38 @@ early member is feasible.
 path; see ``tests/perf/test_procpool.py``), and frontiers smaller
 than :data:`MIN_FRONTIER_FACTOR` x workers are scored serially by the
 caller rather than paying IPC for a handful of options.
+
+Besides the candidate scorer, this module provides
+:class:`JobWorker`: a single supervised persistent worker process
+executing arbitrary ``fn(payload, attempt)`` jobs, with crash
+detection and respawn left to the parent.  It is the process-level
+building block of the campaign runner (:mod:`repro.campaign`), which
+layers per-job timeouts, bounded-backoff retries and durable
+checkpointing on top.
 """
 
 from __future__ import annotations
 
+import importlib
 import multiprocessing
 import pickle
+import traceback
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.trace import Tracer
+
+
+def _pool_context():
+    """The multiprocessing context every pool here uses.
+
+    ``fork`` where available (workers inherit the warm interpreter),
+    ``spawn`` otherwise.
+    """
+    return multiprocessing.get_context(
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
 
 #: Frontiers below ``workers * MIN_FRONTIER_FACTOR`` options are not
 #: worth a round of IPC; the caller falls back to the serial path.
@@ -146,10 +169,158 @@ class PoolError(RuntimeError):
     """A worker failed or returned an inconsistent reply."""
 
 
+class WorkerCrash(RuntimeError):
+    """A supervised worker process died while holding a job."""
+
+
+def _job_worker_main(conn, target: str) -> None:
+    """Generic persistent-worker loop for :class:`JobWorker`.
+
+    Resolves ``target`` (a ``"module:function"`` dotted name, so it
+    survives the ``spawn`` start method) and executes
+    ``fn(payload, attempt)`` per submitted job, replying
+    ``("ok", job_id, result)`` or ``("error", job_id, traceback)``.
+    Anything that escapes this loop entirely -- ``os._exit``, a
+    segfault, a kill -- is what the parent's supervision exists for.
+    """
+    module_name, _, fn_name = target.partition(":")
+    fn = getattr(importlib.import_module(module_name), fn_name)
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        if msg[0] == "stop":
+            break
+        _, job_id, attempt, payload = msg
+        try:
+            result = fn(payload, attempt)
+        except BaseException:
+            conn.send(("error", job_id, traceback.format_exc()))
+        else:
+            conn.send(("ok", job_id, result))
+    conn.close()
+
+
+class JobWorker:
+    """One supervised persistent worker process.
+
+    The campaign runner's unit of fault isolation: jobs are submitted
+    over a duplex pipe, results come back over the same pipe, and the
+    *parent* owns every judgement call -- per-job deadlines, crash
+    detection (via :attr:`sentinel`), kill and :meth:`respawn`.  A
+    worker holds at most one job at a time (:attr:`busy`), which keeps
+    supervision exact: a dead busy worker names exactly the job that
+    must be retried.
+
+    ``target`` is a ``"module:function"`` dotted name executed as
+    ``fn(payload, attempt)``; it is resolved inside the worker so the
+    class works under both ``fork`` and ``spawn``.
+    """
+
+    def __init__(self, target: str, ctx=None) -> None:
+        """Create an unspawned worker for ``target``; see the class
+        docstring for the execution contract."""
+        self.target = target
+        self._ctx = ctx if ctx is not None else _pool_context()
+        self._proc = None
+        self._conn = None
+        #: (job_id, attempt, payload) of the in-flight job, or None.
+        self.busy: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process exists and is running."""
+        return self._proc is not None and self._proc.is_alive()
+
+    @property
+    def connection(self):
+        """The parent end of the worker pipe (for ``wait()``)."""
+        return self._conn
+
+    @property
+    def sentinel(self):
+        """The process sentinel (ready when the worker dies)."""
+        return self._proc.sentinel if self._proc is not None else None
+
+    # ------------------------------------------------------------------
+    def spawn(self) -> None:
+        """Start the worker process (idempotent while alive)."""
+        if self.alive:
+            return
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_job_worker_main,
+            args=(child_conn, self.target),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._proc = proc
+        self._conn = parent_conn
+        self.busy = None
+
+    def submit(self, job_id: str, attempt: int, payload) -> None:
+        """Send one job to the (idle, alive) worker."""
+        if self.busy is not None:
+            raise PoolError("worker already holds job %r" % (self.busy[0],))
+        self._conn.send(("job", job_id, attempt, payload))
+        self.busy = (job_id, attempt, payload)
+
+    def recv(self) -> tuple:
+        """Receive the in-flight job's reply and mark the worker idle.
+
+        Raises :class:`WorkerCrash` if the pipe is dead (the worker
+        exited without replying).
+        """
+        try:
+            reply = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrash(
+                "worker died holding job %r"
+                % (self.busy[0] if self.busy else None,)
+            ) from exc
+        self.busy = None
+        return reply
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Terminate the worker process and drop its pipe."""
+        if self._proc is not None:
+            if self._proc.is_alive():
+                self._proc.terminate()
+            self._proc.join(timeout=5)
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        self._proc = None
+        self._conn = None
+        self.busy = None
+
+    def respawn(self) -> None:
+        """Kill whatever is left of the worker and start a fresh one."""
+        self.kill()
+        self.spawn()
+
+    def stop(self) -> None:
+        """Politely stop an idle worker (falls back to :meth:`kill`)."""
+        if self._conn is not None:
+            try:
+                self._conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        self.kill()
+
+
 class ProcessPoolScorer:
     """Wave-based multi-process scorer over allocation options."""
 
     def __init__(self, workers: int, use_engine: bool = True) -> None:
+        """Configure a pool of ``workers`` processes (spawned lazily);
+        ``use_engine`` gives each worker a warm IncrementalEngine."""
         if workers < 2:
             raise ValueError(
                 "a process pool needs >= 2 workers; parallel_eval of 0 "
@@ -157,11 +328,7 @@ class ProcessPoolScorer:
             )
         self.workers = workers
         self.use_engine = use_engine
-        self._ctx = multiprocessing.get_context(
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else "spawn"
-        )
+        self._ctx = _pool_context()
         self._procs: List = []
         self._conns: List = []
         self._worker_token: List[int] = []

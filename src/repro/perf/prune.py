@@ -89,6 +89,7 @@ class PruneVerdict:
     __slots__ = ("reason", "floor")
 
     def __init__(self, reason: str, floor: tuple) -> None:
+        """Record why a candidate was cut and its badness floor."""
         self.reason = reason
         self.floor = floor
 
@@ -114,6 +115,7 @@ class CandidatePruner:
         cluster: Cluster,
         boot_time_fn=None,
     ) -> None:
+        """Precompute this cluster iteration's bound inputs."""
         self.spec = spec
         self.assoc = assoc
         self.clustering = clustering
@@ -238,6 +240,7 @@ class RepairBound:
         clustering: ClusteringResult,
         boot_time_fn=None,
     ) -> None:
+        """Index clusters per graph and reset the DP/demand memos."""
         from repro.reconfig.reboot import default_boot_time
 
         self.spec = spec

@@ -1,0 +1,120 @@
+"""Resume determinism: interrupt + resume == uninterrupted, byte for byte."""
+
+from __future__ import annotations
+
+from repro.campaign import CampaignSpec, RetryPolicy, run_campaign
+from repro.campaign.checkpoint import CampaignDir
+from repro.campaign.grid import job_id
+
+
+def _spec(inject=None, retries=1):
+    params = {}
+    if inject:
+        params["jobs"] = {
+            job_id("selftest", ex, 0.05, "default"): {"inject": dict(m)}
+            for ex, m in inject.items()
+        }
+    return CampaignSpec(
+        name="determinism",
+        kind="selftest",
+        examples=("a", "b", "c", "d", "e"),
+        scales=(0.05,),
+        policy=RetryPolicy(
+            retries=retries, backoff_s=0.0, backoff_cap_s=0.0
+        ),
+        params=params,
+    )
+
+
+def _manifest_bytes(directory):
+    return CampaignDir(directory).manifest_path.read_bytes()
+
+
+def test_interrupted_then_resumed_manifest_is_byte_identical(tmp_path):
+    spec = _spec()
+
+    # reference: one uninterrupted run
+    ref = run_campaign(tmp_path / "ref", spec=spec)
+    assert ref.ok
+
+    # interrupted: stop after 2 terminal records (simulated kill)
+    partial = run_campaign(tmp_path / "cut", spec=spec, stop_after=2)
+    assert not partial.complete
+    assert partial.done == 2
+    assert CampaignDir(tmp_path / "cut").load_manifest() is None
+
+    # resume finishes only the remaining jobs
+    resumed = run_campaign(tmp_path / "cut", resume=True)
+    assert resumed.complete
+    assert resumed.skipped == 2
+    assert resumed.done == 3
+
+    assert _manifest_bytes(tmp_path / "cut") == _manifest_bytes(
+        tmp_path / "ref"
+    )
+
+
+def test_byte_identity_holds_with_a_permanently_failing_job(tmp_path):
+    # job "c" errors on every attempt in both runs
+    spec = _spec(inject={"c": {"error_attempts": 99}})
+
+    ref = run_campaign(tmp_path / "ref", spec=spec)
+    assert ref.complete and ref.failed == 1
+
+    partial = run_campaign(tmp_path / "cut", spec=spec, stop_after=3)
+    assert not partial.complete
+    resumed = run_campaign(tmp_path / "cut", resume=True)
+    assert resumed.complete
+
+    assert _manifest_bytes(tmp_path / "cut") == _manifest_bytes(
+        tmp_path / "ref"
+    )
+
+
+def test_resume_on_a_complete_campaign_rewrites_identical_bytes(tmp_path):
+    spec = _spec()
+    run_campaign(tmp_path / "c", spec=spec)
+    before = _manifest_bytes(tmp_path / "c")
+    again = run_campaign(tmp_path / "c", resume=True)
+    assert again.complete
+    assert again.skipped == 5 and again.done == 0
+    assert _manifest_bytes(tmp_path / "c") == before
+
+
+def test_resume_retries_failed_jobs_and_done_supersedes(tmp_path):
+    # "b" errors on its first attempt; retries=0 makes that terminal.
+    spec = _spec(inject={"b": {"error_attempts": 1}}, retries=0)
+    first = run_campaign(tmp_path / "c", spec=spec)
+    assert first.complete and first.failed == 1
+    jid = job_id("selftest", "b", 0.05, "default")
+
+    # retry_failed=False skips the failed job entirely
+    kept = run_campaign(tmp_path / "c", resume=True, retry_failed=False)
+    assert kept.complete and kept.skipped == 5 and kept.done == 0
+    assert CampaignDir(tmp_path / "c").load_records()[jid]["status"] == "failed"
+
+    # a default resume re-attempts it; with one retry allowed this
+    # invocation (policy_override), attempt 2 clears the injection and
+    # the done record supersedes the failed one (last record wins)
+    resumed = run_campaign(
+        tmp_path / "c",
+        resume=True,
+        policy_override=RetryPolicy(
+            retries=1, backoff_s=0.0, backoff_cap_s=0.0
+        ),
+    )
+    assert resumed.ok and resumed.done == 1 and resumed.retried == 1
+    records = CampaignDir(tmp_path / "c").load_records()
+    assert records[jid]["status"] == "done"
+    assert records[jid]["attempts"] == 2
+    # the stored spec keeps the original policy (manifest determinism)
+    assert CampaignDir(tmp_path / "c").load_spec().policy.retries == 0
+
+
+def test_interrupt_discards_in_flight_work_but_keeps_checkpoints(tmp_path):
+    spec = _spec()
+    run_campaign(tmp_path / "c", spec=spec, stop_after=1)
+    records = CampaignDir(tmp_path / "c").load_records()
+    assert len(records) == 1
+    (record,) = records.values()
+    assert record["status"] == "done"

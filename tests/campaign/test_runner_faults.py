@@ -1,0 +1,146 @@
+"""Fault-tolerance paths: crash retry, retry exhaustion, timeouts.
+
+All tests use synthesis-free ``selftest`` jobs with the fault
+injection hook in :mod:`repro.campaign.jobs`, so each run takes
+milliseconds; injection runs inside a worker subprocess, so an
+injected ``os._exit`` can never take the test process down.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MemorySink, Tracer
+from repro.campaign import CampaignSpec, RetryPolicy, run_campaign
+from repro.campaign.checkpoint import CampaignDir
+from repro.campaign.grid import job_id
+
+FAST = dict(backoff_s=0.0, backoff_cap_s=0.0)
+
+
+def _spec(examples, inject=None, retries=2, timeout_s=None, name="faults"):
+    """A selftest campaign over ``examples``; ``inject`` keys by example."""
+    params = {}
+    if inject:
+        params["jobs"] = {
+            job_id("selftest", ex, 0.05, "default"): {"inject": dict(m)}
+            for ex, m in inject.items()
+        }
+    return CampaignSpec(
+        name=name,
+        kind="selftest",
+        examples=tuple(examples),
+        scales=(0.05,),
+        policy=RetryPolicy(retries=retries, timeout_s=timeout_s, **FAST),
+        params=params,
+    )
+
+
+def _run(tmp_path, spec, **kwargs):
+    sink = MemorySink()
+    tracer = Tracer(sinks=[sink])
+    outcome = run_campaign(
+        tmp_path / "c", spec=spec, tracer=tracer, **kwargs
+    )
+    return outcome, tracer, sink
+
+
+def test_clean_campaign_completes_and_writes_manifest(tmp_path):
+    outcome, tracer, _ = _run(tmp_path, _spec(["a", "b", "c"]))
+    assert outcome.ok
+    assert (outcome.done, outcome.failed, outcome.retried) == (3, 0, 0)
+    assert tracer.counters.get("campaign.jobs.done") == 3
+    cdir = CampaignDir(tmp_path / "c")
+    manifest = cdir.load_manifest()
+    assert manifest["summary"] == {"jobs": 3, "done": 3, "failed": 0}
+    assert cdir.table_path.exists()
+
+
+def test_worker_crash_retries_then_succeeds(tmp_path):
+    spec = _spec(["a", "b"], inject={"a": {"crash_attempts": 1}})
+    outcome, tracer, sink = _run(tmp_path, spec, workers=2)
+    assert outcome.ok
+    assert outcome.done == 2
+    assert outcome.retried == 1
+    assert tracer.counters.get("campaign.jobs.retried") == 1
+    (retry,) = sink.named("campaign.job.retry")
+    assert retry.fields["reason"] == "crash"
+    # the crashed job's done record shows it took two attempts
+    records = CampaignDir(tmp_path / "c").load_records()
+    jid = job_id("selftest", "a", 0.05, "default")
+    assert records[jid]["status"] == "done"
+    assert records[jid]["attempts"] == 2
+
+
+def test_retry_exhaustion_degrades_to_a_failed_record(tmp_path):
+    spec = _spec(
+        ["a", "b"], inject={"a": {"error_attempts": 99}}, retries=1
+    )
+    outcome, tracer, sink = _run(tmp_path, spec)
+    # graceful degradation: campaign completes, one job is failed
+    assert outcome.complete and not outcome.ok
+    assert (outcome.done, outcome.failed, outcome.retried) == (1, 1, 1)
+    assert tracer.counters.get("campaign.jobs.failed") == 1
+    jid = job_id("selftest", "a", 0.05, "default")
+    record = CampaignDir(tmp_path / "c").load_records()[jid]
+    assert record["status"] == "failed"
+    assert record["attempts"] == 2  # retries=1 -> two attempts
+    assert record["reason"] == "error"
+    assert "injected failure" in record["traceback"]
+    assert "RuntimeError" in record["error"]
+    # the manifest keeps only the one-line summary, not the traceback
+    entry = [
+        e for e in outcome.manifest["jobs"] if e["id"] == jid
+    ][0]
+    assert entry["status"] == "failed"
+    assert "injected failure" in entry["error"]
+    assert "Traceback" not in entry["error"]
+
+
+def test_permanent_crash_degrades_without_killing_the_campaign(tmp_path):
+    spec = _spec(
+        ["a", "b", "c"], inject={"b": {"crash_attempts": 99}}, retries=1
+    )
+    outcome, _, _ = _run(tmp_path, spec)
+    assert outcome.complete and outcome.failed == 1 and outcome.done == 2
+    jid = job_id("selftest", "b", 0.05, "default")
+    assert outcome.manifest and any(
+        e["id"] == jid and e["status"] == "failed"
+        for e in outcome.manifest["jobs"]
+    )
+
+
+def test_hung_job_times_out_and_recovers(tmp_path):
+    spec = _spec(
+        ["a", "b"],
+        inject={"a": {"hang_attempts": 1, "hang_seconds": 30}},
+        timeout_s=0.4,
+    )
+    outcome, _, sink = _run(tmp_path, spec)
+    assert outcome.ok
+    assert outcome.retried == 1
+    (retry,) = sink.named("campaign.job.retry")
+    assert retry.fields["reason"] == "timeout"
+
+
+def test_events_stream_to_the_campaign_directory_by_default(tmp_path):
+    run_campaign(tmp_path / "c", spec=_spec(["a"]))
+    events_path = CampaignDir(tmp_path / "c").events_path
+    names = [
+        json.loads(line)["event"]
+        for line in events_path.read_text().splitlines()
+    ]
+    assert names[0] == "campaign.start"
+    assert names[-1] == "campaign.end"
+    assert "campaign.job.done" in names
+
+
+def test_done_records_carry_wall_time_but_results_do_not(tmp_path):
+    outcome, _, _ = _run(tmp_path, _spec(["a"]))
+    jid = job_id("selftest", "a", 0.05, "default")
+    record = CampaignDir(tmp_path / "c").load_records()[jid]
+    assert "wall_s" in record
+    assert "wall_s" not in record["result"]
+    assert "wall_s" not in json.dumps(outcome.manifest)
