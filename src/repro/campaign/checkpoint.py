@@ -16,11 +16,15 @@ retry exhaustion), and the write is flushed and fsynced before the
 runner moves on, so a killed campaign loses at most in-flight work.
 On load, the last record per job id wins -- a job that failed in one
 invocation and succeeded on resume is superseded by its ``done``
-record.
+record.  A kill landing *inside* a write leaves a newline-less
+partial tail: readers drop it, and the first append of the next
+invocation truncates it first so the log never fuses the fragment
+with a fresh record into a corrupt line.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Any, Dict, Optional, Union
 
@@ -111,8 +115,29 @@ class CampaignDir:
                 % (record.get("status"),)
             )
         if self._log_fh is None:
+            self._repair_partial_tail()
             self._log_fh = open(self.log_path, "a")
         append_jsonl(self._log_fh, dict(record, v=CAMPAIGN_SCHEMA_VERSION))
+
+    def _repair_partial_tail(self) -> None:
+        """Truncate a partial trailing line left by a mid-write kill.
+
+        :func:`~repro.io.campaign_json.read_jsonl` tolerates a
+        partial tail on load, but appending directly after it would
+        fuse the fragment and the next record into one malformed line
+        *followed by* valid ones -- the shape ``read_jsonl`` rejects
+        as corruption -- so the tail is cut back to the last complete
+        line before the log is reopened for append.
+        """
+        if not self.log_path.exists():
+            return
+        with open(self.log_path, "rb+") as fh:
+            data = fh.read()
+            if not data or data.endswith(b"\n"):
+                return
+            fh.truncate(data.rfind(b"\n") + 1)
+            fh.flush()
+            os.fsync(fh.fileno())
 
     def load_records(self) -> Dict[str, Dict[str, Any]]:
         """The last terminal record per job id (empty if no log)."""

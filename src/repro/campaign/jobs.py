@@ -34,7 +34,13 @@ worker*, keyed by the attempt number the supervisor sends along:
 * ``{"error_attempts": N}`` -- attempts ``<= N`` raise, simulating a
   job bug (the traceback is captured in the checkpoint record);
 * ``{"hang_attempts": N}`` -- attempts ``<= N`` sleep far past any
-  per-job timeout, simulating a wedged job.
+  per-job timeout, simulating a wedged job;
+* ``{"ignore_sigterm": true}`` -- the worker masks SIGTERM first,
+  simulating a wedged process that survives a polite ``terminate()``
+  (exercises the supervisor's SIGKILL escalation);
+* ``{"touch": path}`` -- touch ``path`` after the masks above are
+  installed (and before any hang), so tests can wait for the worker
+  to reach a known state instead of sleeping.
 
 Injection is honoured for every kind (the hook runs before the
 executor), but only tests and smoke campaigns should use it.
@@ -43,6 +49,8 @@ executor), but only tests and smoke campaigns should use it.
 from __future__ import annotations
 
 import os
+import pathlib
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping
@@ -103,6 +111,10 @@ def _apply_injection(params: Mapping[str, Any], attempt: int) -> None:
         return
     if attempt <= inject.get("crash_attempts", 0):
         os._exit(23)
+    if inject.get("ignore_sigterm"):
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    if inject.get("touch"):
+        pathlib.Path(inject["touch"]).touch()
     if attempt <= inject.get("hang_attempts", 0):
         time.sleep(float(inject.get("hang_seconds", _HANG_SECONDS)))
     if attempt <= inject.get("error_attempts", 0):

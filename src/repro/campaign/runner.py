@@ -50,6 +50,15 @@ JOB_TARGET = "repro.campaign.jobs:execute_job"
 #: Supervision tick: the longest the loop sleeps with work in flight.
 _TICK_S = 0.25
 
+#: Terminal-failure details for crash/timeout.  Deliberately
+#: **policy-independent** -- no attempt counts, no timeout budgets --
+#: because ``error_summary`` of this text lands in the manifest's
+#: per-job ``error`` field, and a resume under ``policy_override``
+#: must still produce byte-identical manifest output.  Attempt counts
+#: live in the checkpoint record and the obs events instead.
+_CRASH_DETAIL = "worker process died before replying"
+_TIMEOUT_DETAIL = "attempt exceeded the per-job timeout"
+
 
 @dataclass
 class CampaignOutcome:
@@ -273,8 +282,7 @@ def _supervise(
                 except WorkerCrash:
                     slot.worker.respawn()
                     terminal_this_run += _attempt_failed(
-                        slot, "crash",
-                        "worker process died (attempt %d)" % attempt,
+                        slot, "crash", _CRASH_DETAIL,
                         pending, policy, tracer, counts, finish, wall_s,
                     )
                 else:
@@ -303,16 +311,13 @@ def _supervise(
             elif slot.worker.sentinel in ready:
                 slot.worker.respawn()
                 terminal_this_run += _attempt_failed(
-                    slot, "crash",
-                    "worker process died (attempt %d)" % attempt,
+                    slot, "crash", _CRASH_DETAIL,
                     pending, policy, tracer, counts, finish, wall_s,
                 )
             elif slot.deadline is not None and now >= slot.deadline:
                 slot.worker.respawn()
                 terminal_this_run += _attempt_failed(
-                    slot, "timeout",
-                    "attempt %d exceeded %.3fs"
-                    % (attempt, policy.timeout_s),
+                    slot, "timeout", _TIMEOUT_DETAIL,
                     pending, policy, tracer, counts, finish, wall_s,
                 )
             if stop_after is not None and terminal_this_run >= stop_after:

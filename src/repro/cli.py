@@ -454,7 +454,12 @@ def _cmd_campaign_status(args) -> int:
         print("  pending %s" % (job_id,))
     if len(status["pending"]) > 10:
         print("  ... and %d more pending" % (len(status["pending"]) - 10))
-    return 0 if status["complete"] else 3
+    # Mirror _campaign_exit: a complete campaign with failed jobs is
+    # exit 1 from run/resume *and* status, so pollers agree with the
+    # run that produced the manifest.
+    if status["complete"]:
+        return 1 if status["failed"] else 0
+    return 3
 
 
 _CAMPAIGN_HANDLERS = {

@@ -165,6 +165,11 @@ def _worker_main(conn, use_engine: bool) -> None:
     conn.close()
 
 
+#: Seconds :meth:`JobWorker.kill` waits after SIGTERM before
+#: escalating to an unignorable SIGKILL.
+TERM_GRACE_S = 5.0
+
+
 class PoolError(RuntimeError):
     """A worker failed or returned an inconsistent reply."""
 
@@ -286,11 +291,20 @@ class JobWorker:
 
     # ------------------------------------------------------------------
     def kill(self) -> None:
-        """Terminate the worker process and drop its pipe."""
+        """Terminate the worker process and drop its pipe.
+
+        SIGTERM first; a worker still alive after
+        :data:`TERM_GRACE_S` (masked signal, uninterruptible state)
+        gets an unignorable SIGKILL, so a wedged worker can never be
+        leaked to run on beside its respawned replacement.
+        """
         if self._proc is not None:
             if self._proc.is_alive():
                 self._proc.terminate()
-            self._proc.join(timeout=5)
+            self._proc.join(timeout=TERM_GRACE_S)
+            if self._proc.is_alive():
+                self._proc.kill()
+                self._proc.join()
         if self._conn is not None:
             try:
                 self._conn.close()

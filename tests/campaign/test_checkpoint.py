@@ -67,6 +67,32 @@ def test_last_record_per_job_wins(tmp_path):
     assert records["j2"]["status"] == "done"
 
 
+def test_append_after_a_mid_write_kill_repairs_the_partial_tail(tmp_path):
+    cdir = CampaignDir(tmp_path / "c")
+    cdir.write_spec(_spec())
+    cdir.append_record({"job": "j1", "status": "done"})
+    cdir.close()
+    # a kill mid-write leaves a newline-less fragment at the tail;
+    # appending straight after it would fuse fragment and record into
+    # one malformed line that read_jsonl rejects as corruption
+    with open(cdir.log_path, "a") as fh:
+        fh.write('{"job": "j2", "sta')
+    resumed = CampaignDir(tmp_path / "c")
+    resumed.append_record({"job": "j3", "status": "done"})
+    resumed.close()
+    assert [r["job"] for r in read_jsonl(resumed.log_path)] == ["j1", "j3"]
+    assert set(resumed.load_records()) == {"j1", "j3"}
+
+
+def test_partial_tail_repair_when_the_fragment_is_the_whole_log(tmp_path):
+    cdir = CampaignDir(tmp_path / "c")
+    cdir.write_spec(_spec())
+    cdir.log_path.write_text('{"job": "j1", "sta')  # no complete line at all
+    cdir.append_record({"job": "j2", "status": "done"})
+    cdir.close()
+    assert [r["job"] for r in read_jsonl(cdir.log_path)] == ["j2"]
+
+
 def test_append_record_refuses_non_terminal_statuses(tmp_path):
     cdir = CampaignDir(tmp_path / "c")
     cdir.write_spec(_spec())

@@ -85,9 +85,23 @@ def test_status_lists_failed_jobs_with_error_summaries(tmp_path, capsys):
     main(["campaign", "run", str(spec_path), "--dir", str(tmp_path / "c")])
     capsys.readouterr()
     code = main(["campaign", "status", str(tmp_path / "c")])
-    assert code == 0  # complete (manifest exists), albeit with failures
+    assert code == 1  # complete with failed jobs: mirror run/resume
     out = capsys.readouterr().out
     assert "FAILED selftest:b@0.05:default: RuntimeError" in out
+
+
+def test_status_exit_code_agrees_with_the_run_that_produced_it(tmp_path, capsys):
+    """A poller scripting ``status`` must see the same verdict ``run``
+    reported: 1 for complete-with-failures, 0 only when clean."""
+    spec_path = _selftest_spec_file(
+        tmp_path, inject={"b": {"error_attempts": 99}}
+    )
+    run_code = main([
+        "campaign", "run", str(spec_path), "--dir", str(tmp_path / "c"),
+    ])
+    capsys.readouterr()
+    status_code = main(["campaign", "status", str(tmp_path / "c")])
+    assert run_code == status_code == 1
 
 
 def test_resume_keep_failed_skips_failed_jobs(tmp_path, capsys):

@@ -7,7 +7,7 @@ from repro.campaign.checkpoint import CampaignDir
 from repro.campaign.grid import job_id
 
 
-def _spec(inject=None, retries=1):
+def _spec(inject=None, retries=1, timeout_s=None):
     params = {}
     if inject:
         params["jobs"] = {
@@ -20,7 +20,8 @@ def _spec(inject=None, retries=1):
         examples=("a", "b", "c", "d", "e"),
         scales=(0.05,),
         policy=RetryPolicy(
-            retries=retries, backoff_s=0.0, backoff_cap_s=0.0
+            retries=retries, backoff_s=0.0, backoff_cap_s=0.0,
+            timeout_s=timeout_s,
         ),
         params=params,
     )
@@ -109,6 +110,64 @@ def test_resume_retries_failed_jobs_and_done_supersedes(tmp_path):
     assert records[jid]["attempts"] == 2
     # the stored spec keeps the original policy (manifest determinism)
     assert CampaignDir(tmp_path / "c").load_spec().policy.retries == 0
+
+
+def test_resume_after_a_kill_mid_checkpoint_write_is_byte_identical(tmp_path):
+    """A kill can land *inside* append_jsonl, leaving a newline-less
+    fragment; resume must repair the tail (not fuse it with the next
+    record), re-run the chopped job, and still match the reference."""
+    spec = _spec()
+    ref = run_campaign(tmp_path / "ref", spec=spec)
+    assert ref.ok
+
+    partial = run_campaign(tmp_path / "cut", spec=spec, stop_after=2)
+    assert not partial.complete
+    log = CampaignDir(tmp_path / "cut").log_path
+    data = log.read_bytes()
+    log.write_bytes(data[:-10])  # chop the 2nd record mid-line
+
+    resumed = run_campaign(tmp_path / "cut", resume=True)
+    assert resumed.complete
+    # only the first record survived the chop; its job alone is skipped
+    assert resumed.skipped == 1 and resumed.done == 4
+    assert _manifest_bytes(tmp_path / "cut") == _manifest_bytes(
+        tmp_path / "ref"
+    )
+    # and the repaired log parses clean end to end
+    records = CampaignDir(tmp_path / "cut").load_records()
+    assert len(records) == 5
+
+
+def test_policy_override_resume_keeps_failure_bytes_identical(tmp_path):
+    """Resuming under a different retry policy must not leak the
+    effective timeout/attempt numbers into the manifest's per-job
+    error text -- the byte-identity contract covers failed jobs too."""
+    spec = _spec(
+        inject={"c": {"hang_attempts": 99, "hang_seconds": 30}},
+        retries=1, timeout_s=0.3,
+    )
+    ref = run_campaign(tmp_path / "ref", spec=spec)
+    assert ref.complete and ref.failed == 1
+
+    partial = run_campaign(tmp_path / "cut", spec=spec, stop_after=2)
+    assert not partial.complete
+    resumed = run_campaign(
+        tmp_path / "cut", resume=True,
+        policy_override=RetryPolicy(
+            retries=3, backoff_s=0.0, backoff_cap_s=0.0, timeout_s=0.1
+        ),
+    )
+    assert resumed.complete and resumed.failed == 1
+
+    assert _manifest_bytes(tmp_path / "cut") == _manifest_bytes(
+        tmp_path / "ref"
+    )
+    jid = job_id("selftest", "c", 0.05, "default")
+    manifest = CampaignDir(tmp_path / "cut").load_manifest()
+    (entry,) = [e for e in manifest["jobs"] if e["id"] == jid]
+    # policy-independent by construction: no attempt counts, no budgets
+    assert entry["error"] == "attempt exceeded the per-job timeout"
+    assert not any(ch.isdigit() for ch in entry["error"])
 
 
 def test_interrupt_discards_in_flight_work_but_keeps_checkpoints(tmp_path):

@@ -94,3 +94,37 @@ def test_parallel_eval_auto_resolves_cpu_count():
 
     with pytest.raises(argparse.ArgumentTypeError):
         _parallel_eval_arg("many")
+
+
+def test_jobworker_kill_escalates_to_sigkill(tmp_path, monkeypatch):
+    """A wedged worker that masks SIGTERM must not outlive kill():
+    after the grace period the supervisor escalates to SIGKILL rather
+    than leaking the process beside its respawned replacement."""
+    import time
+
+    from repro.perf import procpool
+    from repro.campaign.jobs import Job
+
+    monkeypatch.setattr(procpool, "TERM_GRACE_S", 0.2)
+    worker = procpool.JobWorker("repro.campaign.jobs:execute_job")
+    worker.spawn()
+    ready = tmp_path / "wedged"
+    job = Job(
+        id="wedge", kind="selftest", example="a", scale=0.05,
+        variant="default",
+        params={"inject": {
+            "ignore_sigterm": True,
+            "touch": str(ready),
+            "hang_attempts": 1,
+            "hang_seconds": 60.0,
+        }},
+    )
+    worker.submit(job.id, 1, job.to_dict())
+    deadline = time.monotonic() + 10.0
+    while not ready.exists():  # wait until SIGTERM is masked
+        assert time.monotonic() < deadline, "worker never reached the hang"
+        time.sleep(0.01)
+    proc = worker._proc
+    worker.kill()
+    assert not proc.is_alive()
+    assert worker._proc is None and not worker.alive
