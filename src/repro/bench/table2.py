@@ -91,6 +91,7 @@ def run_table2_row(
         incremental=config.incremental,
         parallel_eval=config.parallel_eval,
         prune=config.prune,
+        policy=config.policy,
     )
     without = crusade(spec, library=library, config=baseline_config)
     with_reconfig = crusade(spec, library=library, config=config, baseline=without)

@@ -24,12 +24,16 @@ from repro.io.campaign_json import CAMPAIGN_SCHEMA_VERSION
 from repro.campaign.jobs import JOB_KINDS, Job
 
 #: Named config variants: CrusadeConfig knob overrides per name.
+#: ``largest-first`` is expressed purely through the pipeline's policy
+#: hooks (see :mod:`repro.core.stages.policies`): it re-orders cluster
+#: allocation biggest-first instead of by priority.
 VARIANT_PRESETS: Dict[str, Dict[str, Any]] = {
     "default": {},
     "pruned": {"prune": True, "incremental": True},
     "no-prune": {"prune": False},
     "no-incremental": {"incremental": False},
     "from-scratch": {"prune": False, "incremental": False},
+    "largest-first": {"policy": "largest-first"},
 }
 
 

@@ -72,6 +72,15 @@ class CrusadeConfig:
         architecture are byte-identical either way; ``False`` (or the
         ``REPRO_NO_PRUNE=1`` environment variable) restores exhaustive
         evaluation.
+    policy:
+        Name of the registered :class:`~repro.core.stages.policies.
+        SynthesisPolicy` steering the heuristic's open decision points
+        (cluster allocation order, candidate preference, merge
+        acceptance).  ``"default"`` reproduces the paper's rules
+        exactly; alternative policies (``"largest-first"``,
+        ``"reuse-first"``) are campaign-grid ablation axes.  A string
+        so configs stay picklable and JSON-serializable for the
+        campaign runner.
     """
 
     reconfiguration: bool = True
@@ -89,6 +98,7 @@ class CrusadeConfig:
     incremental: bool = True
     parallel_eval: int = 0
     prune: bool = True
+    policy: str = "default"
 
     def __post_init__(self) -> None:
         if self.parallel_eval < 0:

@@ -1,6 +1,6 @@
 """The CRUSADE co-synthesis algorithm (Section 5, Figure 5).
 
-Flow:
+Flow (each step is a stage in :mod:`repro.core.stages`):
 
 1. **Pre-processing** -- validate the specification, build the
    association array (hyperperiod copies), assign deadline-based
@@ -17,332 +17,38 @@ Flow:
    controller interface is synthesized (Section 4.4) and the Figure 3
    merge procedure folds compatible PPEs into multi-mode devices while
    deadlines and the boot-time requirement hold.
+
+This module is the public entry point; the stage objects, the shared
+:class:`~repro.core.stages.context.SynthesisContext` and the policy
+hooks live in :mod:`repro.core.stages`.
 """
 
 from __future__ import annotations
 
-import logging
-import time
-from dataclasses import replace
-from typing import Dict, List, Optional, Set
+from typing import Optional
 
-_log = logging.getLogger("repro.crusade")
-
-from repro.errors import AllocationError, SynthesisError
-from repro.arch.architecture import Architecture
-from repro.cluster.clustering import (
-    ClusteringResult,
-    cluster_spec,
-    trivial_clustering,
-)
-from repro.cluster.priority import (
-    PriorityContext,
-    compute_task_priorities,
-    recompute_priorities,
-)
+from repro.cluster.clustering import ClusteringResult
 from repro.core.config import CrusadeConfig
 from repro.core.report import CoSynthesisResult
-from repro.graph.association import AssociationArray
-from repro.graph.spec import SystemSpec
-from repro.graph.validate import validate_spec
-from repro.obs.trace import Tracer, resolve_tracer
-from repro.perf.engine import IncrementalEngine, resolve_engine
-from repro.perf.procpool import ProcessPoolScorer
-from repro.perf.prune import CandidatePruner, RepairBound, pruning_active
-from repro.reconfig.compatibility import CompatibilityAnalysis
-from repro.reconfig.interface import InterfacePlan, synthesize_interface
-from repro.reconfig.merge import merge_reconfigurable_pes
-from repro.resources.catalog import default_library
-from repro.resources.library import ResourceLibrary
-from repro.alloc.array import build_allocation_array
-from repro.alloc.evaluate import (
-    EvalResult,
-    apply_option,
-    apply_option_cow,
-    evaluate_architecture,
+from repro.core.stages.context import SynthesisContext
+from repro.core.stages.pipeline import synthesize
+from repro.core.stages.repair import repair_pass
+from repro.core.stages.support import (
+    allocation_aware_context,
+    compute_priorities,
+    coupled_graphs,
 )
+from repro.graph.spec import SystemSpec
+from repro.obs.trace import Tracer
+from repro.perf.engine import IncrementalEngine
+from repro.resources.library import ResourceLibrary
 
-
-def _allocation_aware_context(
-    library: ResourceLibrary,
-    arch: Architecture,
-    clustering: ClusteringResult,
-) -> PriorityContext:
-    """Priority estimators reflecting the current partial allocation.
-
-    Allocated tasks use their placement's actual execution time;
-    intra-cluster and same-PE edges cost zero; other edges fall back
-    to the pessimistic library maximum (Section 5: priority levels are
-    recomputed after each allocation and clustering step).
-    """
-    pessimistic = PriorityContext.pessimistic(library)
-
-    def exec_time(graph, task):
-        key = (graph.name, task.name)
-        cluster_name = clustering.task_to_cluster.get(key)
-        if cluster_name is not None and arch.is_allocated(cluster_name):
-            pe_id, _ = arch.placement_of(cluster_name)
-            return task.wcet_on(arch.pe(pe_id).pe_type.name)
-        return pessimistic.exec_time(graph, task)
-
-    def comm_time(graph, edge):
-        src_cluster = clustering.task_to_cluster.get((graph.name, edge.src))
-        dst_cluster = clustering.task_to_cluster.get((graph.name, edge.dst))
-        if src_cluster is not None and src_cluster == dst_cluster:
-            return 0.0
-        if (
-            src_cluster is not None
-            and dst_cluster is not None
-            and arch.is_allocated(src_cluster)
-            and arch.is_allocated(dst_cluster)
-        ):
-            src_pe, _ = arch.placement_of(src_cluster)
-            dst_pe, _ = arch.placement_of(dst_cluster)
-            if src_pe == dst_pe or edge.bytes_ == 0:
-                return 0.0
-            link = arch.find_link_between(src_pe, dst_pe)
-            if link is not None:
-                return link.comm_time(edge.bytes_)
-        return pessimistic.comm_time(graph, edge)
-
-    return PriorityContext(exec_time=exec_time, comm_time=comm_time)
-
-
-def _compute_priorities(
-    spec: SystemSpec, context: PriorityContext
-) -> Dict[str, Dict[str, float]]:
-    """Task priority levels for every graph under ``context``."""
-    return {
-        name: compute_task_priorities(spec.graph(name), context)
-        for name in spec.graph_names()
-    }
-
-
-def _coupled_graphs(
-    arch: Architecture, clustering: ClusteringResult, graph_name: str
-) -> List[str]:
-    """Graphs sharing any PE instance with ``graph_name`` (one hop).
-
-    The fast inner loop schedules only these; others cannot be
-    perturbed by the candidate placement.
-    """
-    pes_of_graph: Set[str] = set()
-    for cluster in clustering.clusters.values():
-        if cluster.graph == graph_name and arch.is_allocated(cluster.name):
-            pes_of_graph.add(arch.placement_of(cluster.name)[0])
-    coupled = {graph_name}
-    for cluster in clustering.clusters.values():
-        if arch.is_allocated(cluster.name):
-            if arch.placement_of(cluster.name)[0] in pes_of_graph:
-                coupled.add(cluster.graph)
-    return sorted(coupled)
-
-
-def _repair(
-    spec: SystemSpec,
-    assoc: AssociationArray,
-    clustering: ClusteringResult,
-    current: EvalResult,
-    priorities: Dict[str, Dict[str, float]],
-    compat,
-    config: CrusadeConfig,
-    tracer: Tracer,
-    max_rounds: int = 8,
-    candidates_per_round: int = 5,
-    engine: Optional[IncrementalEngine] = None,
-) -> EvalResult:
-    """Re-home clusters of deadline-missing tasks until feasible or
-    out of rounds.
-
-    Each round takes the latest full evaluation's worst offenders,
-    deallocates each offender's cluster on a cloned architecture, and
-    retries its allocation array under *full* (not subset) evaluation;
-    the first strictly-badness-reducing placement wins.  With the
-    incremental engine, each re-homing is applied as a copy-on-write
-    overlay on the stripped architecture (cloned only when kept) and
-    its evaluation reuses cached component fragments -- repair moves
-    one cluster at a time, so almost every component is a cache hit.
-
-    With pruning active, each re-homing's full-scope badness floor
-    (:class:`~repro.perf.prune.RepairBound`) is checked first: a
-    candidate whose floor is already >= the incumbent's badness can
-    neither be feasible (its floor then has >= 1 miss/overload) nor
-    strictly improve, so it is skipped without scheduling.
-    """
-    repair_bound = (
-        RepairBound(spec, assoc, clustering) if pruning_active(config) else None
-    )
-    for _ in range(max_rounds):
-        if current.report.all_met:
-            break
-        tracer.incr("repair.rounds")
-        late_keys = sorted(
-            (k for k, v in current.report.lateness.items() if v > 1e-12),
-            key=lambda k: -current.report.lateness[k],
-        )
-        offender_clusters: List[str] = []
-
-        def add_offender(graph_name: str, task_name: str) -> None:
-            cluster = clustering.cluster_of(graph_name, task_name)
-            if cluster.name not in offender_clusters:
-                offender_clusters.append(cluster.name)
-
-        for key in late_keys:
-            graph_name, copy_index, task_name = key
-            # The late task's own cluster, then the critical chain
-            # upstream: predecessors whose data arrival dominated the
-            # task's start are the actual bottleneck.
-            add_offender(graph_name, task_name)
-            graph = spec.graph(graph_name)
-            walker = task_name
-            for _ in range(3):
-                preds = graph.predecessors(walker)
-                if not preds:
-                    break
-                walker = max(
-                    preds,
-                    key=lambda p: current.schedule.finish_of(
-                        (graph_name, copy_index, p)
-                    ),
-                )
-                add_offender(graph_name, walker)
-            if len(offender_clusters) >= candidates_per_round:
-                break
-        # Oversubscribed resources (utilization > 1 over the
-        # hyperperiod) may carry no late *explicit* copy; shed load by
-        # re-homing their busiest clusters of the fastest graphs.
-        for resource in sorted(current.report.overloaded):
-            residents = [
-                name
-                for name, (pe_id, _) in current.arch.cluster_alloc.items()
-                if pe_id == resource
-            ]
-            residents.sort(
-                key=lambda name: (
-                    spec.graph(clustering.clusters[name].graph).period,
-                    -clustering.clusters[name].size,
-                    name,
-                )
-            )
-            for name in residents:
-                if name not in offender_clusters:
-                    offender_clusters.append(name)
-                if len(offender_clusters) >= 2 * candidates_per_round:
-                    break
-        round_best: Optional[EvalResult] = None
-        solved = False
-        for cluster_name in offender_clusters:
-            cluster = clustering.clusters[cluster_name]
-            stripped = current.arch.clone()
-            old_pe, _ = stripped.deallocate_cluster(
-                cluster_name,
-                gates=cluster.area_gates,
-                pins=cluster.pins,
-                memory=cluster.memory,
-            )
-            if not stripped.pe(old_pe).cluster_modes:
-                stripped.remove_pe(old_pe)
-            options = build_allocation_array(
-                cluster,
-                stripped,
-                clustering,
-                spec,
-                config.delay_policy,
-                compat=compat,
-                max_existing_options=config.max_existing_options,
-                allow_new_modes=config.reconfiguration,
-                tracer=tracer,
-            )
-            for option in options:
-                tracer.incr("repair.rehomings_tried")
-                if engine is not None:
-                    try:
-                        handle = apply_option_cow(
-                            option, stripped, cluster, clustering, spec,
-                            "fastest",
-                        )
-                    except AllocationError:
-                        continue
-                    tracer.incr("perf.cow.applies")
-                    try:
-                        if repair_bound is not None:
-                            floor = repair_bound.badness_floor(stripped)
-                            if floor >= current.badness():
-                                tracer.incr("prune.cut")
-                                tracer.incr("prune.cut.repair")
-                                continue
-                            tracer.incr("prune.kept")
-                            tracer.incr("prune.kept.repair")
-                        verdict = evaluate_architecture(
-                            spec,
-                            assoc,
-                            clustering,
-                            stripped,
-                            priorities,
-                            preemption=config.preemption,
-                            tracer=tracer,
-                            engine=engine,
-                        )
-                        # Materialize the applied state only for
-                        # verdicts the selection below will keep.
-                        if verdict.report.all_met or (
-                            verdict.badness() < current.badness()
-                            and (
-                                round_best is None
-                                or verdict.badness() < round_best.badness()
-                            )
-                        ):
-                            verdict = replace(verdict, arch=stripped.clone())
-                    finally:
-                        handle.revert()
-                        tracer.incr("perf.cow.reverts")
-                else:
-                    trial = stripped.clone()
-                    try:
-                        apply_option(
-                            option, trial, cluster, clustering, spec, "fastest"
-                        )
-                    except AllocationError:
-                        continue
-                    if repair_bound is not None:
-                        floor = repair_bound.badness_floor(trial)
-                        if floor >= current.badness():
-                            tracer.incr("prune.cut")
-                            tracer.incr("prune.cut.repair")
-                            continue
-                        tracer.incr("prune.kept")
-                        tracer.incr("prune.kept.repair")
-                    verdict = evaluate_architecture(
-                        spec,
-                        assoc,
-                        clustering,
-                        trial,
-                        priorities,
-                        preemption=config.preemption,
-                        tracer=tracer,
-                    )
-                if verdict.report.all_met:
-                    current = verdict
-                    solved = True
-                    tracer.incr("repair.rehomings_kept")
-                    tracer.event(
-                        "repair.solved", cluster=cluster_name,
-                        placement=option.describe(),
-                    )
-                    break
-                if verdict.badness() < current.badness() and (
-                    round_best is None or verdict.badness() < round_best.badness()
-                ):
-                    round_best = verdict
-            if solved:
-                break
-        if solved:
-            break
-        if round_best is None:
-            break
-        tracer.incr("repair.rehomings_kept")
-        current = round_best
-    return current
+# Pre-stage-refactor aliases: the helpers grew public homes in
+# repro.core.stages but callers (and tests) still reach them here.
+_allocation_aware_context = allocation_aware_context
+_compute_priorities = compute_priorities
+_coupled_graphs = coupled_graphs
+_repair = repair_pass
 
 
 def crusade(
@@ -384,558 +90,19 @@ def crusade(
     unset).  The nested baseline synthesis of route (b) shares its
     parent's engine, so fragments cached during the main allocation
     are reused there.  Engine or not, results are byte-identical.
+
+    ``config.policy`` names the :class:`~repro.core.stages.policies.
+    SynthesisPolicy` whose hooks steer the heuristic's open decision
+    points (cluster order, candidate preference, merge acceptance);
+    the default policy reproduces the paper's rules exactly.
     """
-    started = time.perf_counter()
-    tracer = resolve_tracer(tracer)
-    if library is None:
-        library = default_library()
-    if config is None:
-        config = CrusadeConfig()
-    engine = resolve_engine(config, engine)
-
-    # ------------------------------------------------------------- 1.
-    with tracer.phase("preprocess"):
-        library.validate()
-        warnings = validate_spec(spec, library)
-        assoc = AssociationArray(
-            spec, max_explicit_copies=config.max_explicit_copies
-        )
-        pessimistic = PriorityContext.pessimistic(library)
-
-    if clustering is None:
-        with tracer.phase("clustering"):
-            if config.clustering:
-                clustering = cluster_spec(
-                    spec,
-                    library,
-                    context=pessimistic,
-                    delay_policy=config.delay_policy,
-                    max_cluster_size=config.max_cluster_size,
-                )
-            else:
-                clustering = trivial_clustering(spec, library)
-
-    compat: Optional[CompatibilityAnalysis] = None
-    if config.reconfiguration and spec.has_explicit_compatibility:
-        compat = CompatibilityAnalysis.from_spec(spec)
-
-    # ------------------------------------------------------------- 2.
-    arch = Architecture(library)
-    priorities = _compute_priorities(spec, pessimistic)
-    fast = config.use_fast_inner_loop(spec.total_tasks)
-    prune_on = pruning_active(config)
-    allocation_feasible = True
-    scorer: Optional[ProcessPoolScorer] = None
-    if config.parallel_eval >= 2:
-        # 0 and 1 both mean the serial path: a 1-worker pool can never
-        # beat it (see repro.perf.procpool).
-        scorer = ProcessPoolScorer(
-            config.parallel_eval, use_engine=engine is not None
-        )
-    # Allocation-aware priorities reuse previous values for graphs the
-    # placement cannot have perturbed -- but only once the previous
-    # values were themselves allocation-aware (the pessimistic
-    # pre-allocation levels price intra-cluster edges differently).
-    allocation_aware = False
-
-    with tracer.phase("allocation"):
-      try:
-        for cluster in clustering.ordered_by_priority():
-            tracer.incr("alloc.clusters")
-            chosen: Optional[EvalResult] = None
-            chosen_touched: Optional[Set[str]] = None
-            pruner = (
-                CandidatePruner(spec, assoc, clustering, cluster)
-                if prune_on
-                else None
-            )
-            # Least-infeasible bookkeeping.  The serial loop's strict
-            # improvement rule is the argmin of (badness, seq), where
-            # seq numbers candidates in consideration order across
-            # strategies; tracking the key explicitly lets pruned
-            # candidates (which carry admissible badness *floors*) and
-            # the pool path (which ships verdict summaries, not
-            # architectures) reconstruct the identical choice.
-            fallback: Optional[EvalResult] = None
-            fallback_key: Optional[tuple] = None
-            fallback_lazy: Optional[tuple] = None
-            pruned: List[tuple] = []
-            seq = 0
-            gen_token: Optional[int] = None
-
-            def evaluate_cloned(option, strategy):
-                """Evaluate one candidate locally on a cloned arch."""
-                trial = arch.clone()
-                try:
-                    apply_option(
-                        option, trial, cluster, clustering, spec, strategy
-                    )
-                except AllocationError:
-                    return None
-                graphs = (
-                    _coupled_graphs(trial, clustering, cluster.graph)
-                    if fast
-                    else None
-                )
-                return evaluate_architecture(
-                    spec,
-                    assoc,
-                    clustering,
-                    trial,
-                    priorities,
-                    preemption=config.preemption,
-                    graphs=graphs,
-                    tracer=tracer,
-                    engine=engine,
-                )
-
-            for strategy in config.link_strategies:
-                options = build_allocation_array(
-                    cluster,
-                    arch,
-                    clustering,
-                    spec,
-                    config.delay_policy,
-                    compat=compat,
-                    max_existing_options=config.max_existing_options,
-                    allow_new_modes=config.reconfiguration,
-                    tracer=tracer,
-                )
-                if not options:
-                    continue
-                if scorer is not None and scorer.worth_pool(len(options)):
-                    if gen_token is None:
-                        gen_token = scorer.begin_cluster({
-                            "spec": spec,
-                            "assoc": assoc,
-                            "clustering": clustering,
-                            "arch": arch,
-                            "cluster": cluster,
-                            "priorities": priorities,
-                            "preemption": config.preemption,
-                            "fast": fast,
-                            "prune": prune_on,
-                        })
-                    records = scorer.score(gen_token, options, strategy, tracer)
-                    # Decision counters on the consuming side, in index
-                    # order, exactly like the serial paths; records past
-                    # the first feasible one (same wave) are drained
-                    # without counting, matching the documented
-                    # deterministic evaluation-counter overshoot.
-                    for offset, record in enumerate(records):
-                        kind, badness, floor, reason = record
-                        option = options[offset]
-                        tracer.incr("alloc.options.considered")
-                        seq += 1
-                        if kind == "apply_failed":
-                            tracer.incr("alloc.options.apply_failed")
-                            continue
-                        if kind == "pruned":
-                            tracer.incr("prune.cut")
-                            tracer.incr("prune.cut." + reason)
-                            pruned.append((tuple(floor), seq, option, strategy))
-                            continue
-                        if prune_on:
-                            tracer.incr("prune.kept")
-                        if kind == "feasible":
-                            # Workers ship verdict summaries, not
-                            # schedules; materialize the winner locally.
-                            chosen = evaluate_cloned(option, strategy)
-                            break
-                        tracer.incr("alloc.options.infeasible")
-                        key = (tuple(badness), seq)
-                        if fallback_key is None or key < fallback_key:
-                            fallback_key = key
-                            fallback_lazy = (option, strategy)
-                            fallback = None
-                elif engine is not None:
-                    # Copy-on-write: apply each candidate to the
-                    # working architecture and revert unless it wins.
-                    for option in options:
-                        tracer.incr("alloc.options.considered")
-                        seq += 1
-                        try:
-                            handle = apply_option_cow(
-                                option, arch, cluster, clustering, spec,
-                                strategy,
-                            )
-                        except AllocationError:
-                            tracer.incr("alloc.options.apply_failed")
-                            continue
-                        tracer.incr("perf.cow.applies")
-                        keep = False
-                        try:
-                            graphs = (
-                                _coupled_graphs(arch, clustering, cluster.graph)
-                                if fast
-                                else None
-                            )
-                            if pruner is not None:
-                                cut = pruner.bound(arch, option, graphs, tracer)
-                                if cut is not None:
-                                    tracer.incr("prune.cut")
-                                    tracer.incr("prune.cut." + cut.reason)
-                                    pruned.append(
-                                        (cut.floor, seq, option, strategy)
-                                    )
-                                    continue
-                                tracer.incr("prune.kept")
-                            verdict = evaluate_architecture(
-                                spec,
-                                assoc,
-                                clustering,
-                                arch,
-                                priorities,
-                                preemption=config.preemption,
-                                graphs=graphs,
-                                tracer=tracer,
-                                engine=engine,
-                            )
-                            if verdict.feasible:
-                                chosen = verdict
-                                chosen_touched = handle.touched_pes
-                                keep = True
-                            else:
-                                tracer.incr("alloc.options.infeasible")
-                                key = (verdict.badness(), seq)
-                                if fallback_key is None or key < fallback_key:
-                                    fallback = replace(
-                                        verdict, arch=arch.clone()
-                                    )
-                                    fallback_key = key
-                                    fallback_lazy = None
-                        finally:
-                            if keep:
-                                tracer.incr("perf.cow.commits")
-                            else:
-                                handle.revert()
-                                tracer.incr("perf.cow.reverts")
-                        if chosen is not None:
-                            break
-                else:
-                    for option in options:
-                        tracer.incr("alloc.options.considered")
-                        seq += 1
-                        trial = arch.clone()
-                        try:
-                            apply_option(
-                                option, trial, cluster, clustering, spec,
-                                strategy,
-                            )
-                        except AllocationError:
-                            tracer.incr("alloc.options.apply_failed")
-                            continue
-                        # Coupled graphs are computed on the *trial* so
-                        # the placement's new resource sharing is
-                        # verified too.
-                        graphs = (
-                            _coupled_graphs(trial, clustering, cluster.graph)
-                            if fast
-                            else None
-                        )
-                        if pruner is not None:
-                            cut = pruner.bound(trial, option, graphs, tracer)
-                            if cut is not None:
-                                tracer.incr("prune.cut")
-                                tracer.incr("prune.cut." + cut.reason)
-                                pruned.append(
-                                    (cut.floor, seq, option, strategy)
-                                )
-                                continue
-                            tracer.incr("prune.kept")
-                        verdict = evaluate_architecture(
-                            spec,
-                            assoc,
-                            clustering,
-                            trial,
-                            priorities,
-                            preemption=config.preemption,
-                            graphs=graphs,
-                            tracer=tracer,
-                        )
-                        if verdict.feasible:
-                            chosen = verdict
-                            break
-                        tracer.incr("alloc.options.infeasible")
-                        key = (verdict.badness(), seq)
-                        if fallback_key is None or key < fallback_key:
-                            fallback = verdict
-                            fallback_key = key
-                            fallback_lazy = None
-                if chosen is not None:
-                    break
-            if chosen is None and pruned:
-                # Deferred least-infeasible reconstruction.  Pruned
-                # candidates are provably infeasible but may still be
-                # the least-infeasible fallback; their floors are
-                # admissible badness lower bounds, so evaluating them
-                # best-bound-first and skipping any whose (floor, seq)
-                # cannot beat the incumbent (badness, seq) yields the
-                # exhaustive loop's exact choice.
-                pruned.sort(key=lambda item: (item[0], item[1]))
-                for floor, pseq, option, pstrategy in pruned:
-                    if fallback_key is not None and (
-                        (tuple(floor), pseq) >= fallback_key
-                    ):
-                        tracer.incr("prune.fallback_skipped")
-                        continue
-                    tracer.incr("prune.fallback_evals")
-                    verdict = evaluate_cloned(option, pstrategy)
-                    if verdict is None:
-                        continue
-                    key = (verdict.badness(), pseq)
-                    if fallback_key is None or key < fallback_key:
-                        fallback = verdict
-                        fallback_key = key
-                        fallback_lazy = None
-            if chosen is None and fallback is None and fallback_lazy is not None:
-                # Pool path: the incumbent was tracked lazily; build
-                # its full verdict now.
-                fallback = evaluate_cloned(*fallback_lazy)
-            if chosen is None:
-                if fallback is None:
-                    raise SynthesisError(
-                        "no allocation option exists for cluster %r"
-                        % (cluster.name,)
-                    )
-                chosen = fallback
-                chosen_touched = None
-                allocation_feasible = False
-                tracer.incr("alloc.clusters.fallback")
-                _log.debug(
-                    "cluster %s: NO feasible option, kept least-infeasible",
-                    cluster.name,
-                )
-            arch = chosen.arch
-            placement = arch.placement_of(cluster.name)
-            tracer.event(
-                "cluster.placed",
-                cluster=cluster.name,
-                graph=cluster.graph,
-                pe=placement[0],
-                mode=placement[1],
-                feasible=chosen is not fallback,
-            )
-            _log.debug(
-                "cluster %s (graph %s, %d gates, %d pins) -> %s mode %d",
-                cluster.name,
-                cluster.graph,
-                cluster.area_gates,
-                cluster.pins,
-                placement[0],
-                placement[1],
-            )
-            context = _allocation_aware_context(library, arch, clustering)
-            if engine is not None and allocation_aware and chosen_touched is not None:
-                dirty = {cluster.graph}
-                for name, (pe_id, _) in arch.cluster_alloc.items():
-                    if pe_id in chosen_touched:
-                        dirty.add(clustering.clusters[name].graph)
-                priorities = recompute_priorities(
-                    spec, context, priorities, dirty, tracer
-                )
-            else:
-                priorities = _compute_priorities(spec, context)
-            allocation_aware = True
-      finally:
-        if scorer is not None:
-            scorer.close()
-
-    # Full-system validation of the allocation-phase architecture.
-    with tracer.phase("full_check"):
-        full = evaluate_architecture(
-            spec, assoc, clustering, arch, priorities,
-            preemption=config.preemption, tracer=tracer, engine=engine,
-        )
-    if not full.report.all_met:
-        # The fast inner loop verifies only resource-coupled graphs, so
-        # transitive interference may surface only now; repair by
-        # re-homing the clusters of late tasks (a bounded re-allocation
-        # pass -- the heuristic still cannot guarantee optimality).
-        with tracer.phase("repair"):
-            full = _repair(
-                spec, assoc, clustering, full, priorities, compat, config,
-                tracer, engine=engine,
-            )
-        arch = full.arch
-        context = _allocation_aware_context(library, arch, clustering)
-        priorities = _compute_priorities(spec, context)
-        allocation_feasible = full.report.all_met
-
-    # ------------------------------------------------------------- 3.
-    interface: Optional[InterfacePlan] = None
-    merge_stats: Dict[str, int] = {}
-
-    def make_interface_evaluator(route_priorities):
-        """Trial evaluator bound to one route's priority levels:
-        interface synthesis + full schedule."""
-
-        def evaluate_with_interface(candidate: Architecture):
-            try:
-                plan = synthesize_interface(candidate, spec.boot_time_requirement)
-            except SynthesisError:
-                return None
-            verdict = evaluate_architecture(
-                spec,
-                assoc,
-                clustering,
-                candidate,
-                route_priorities,
-                boot_time_fn=plan.boot_time_fn(),
-                preemption=config.preemption,
-                tracer=tracer,
-                engine=engine,
-            )
-            verdict.interface = plan  # type: ignore[attr-defined]
-            return verdict
-
-        return evaluate_with_interface
-
-    best = full
-    if config.reconfiguration:
-        resolved_compat = compat
-        if resolved_compat is None:
-            resolved_compat = CompatibilityAnalysis.from_schedule(
-                spec, full.schedule
-            )
-
-        def merged_candidate(start_arch: Architecture):
-            """Interface-synthesize then Figure 3-merge an architecture.
-
-            Priority levels are recomputed for the start architecture:
-            routes carry different allocations, and the scheduler's
-            order must reflect the one it is verifying.
-            """
-            route_context = _allocation_aware_context(
-                library, start_arch, clustering
-            )
-            route_priorities = _compute_priorities(spec, route_context)
-            evaluator = make_interface_evaluator(route_priorities)
-            seeded = evaluator(start_arch)
-            if seeded is None or not seeded.feasible:
-                return None, {}
-            outcome = merge_reconfigurable_pes(
-                spec,
-                clustering,
-                resolved_compat,
-                config.delay_policy,
-                seeded,
-                evaluator,
-                combine_modes=config.combine_modes,
-                tracer=tracer,
-                prune=prune_on,
-            )
-            stats = {
-                "accepted": outcome.merges_accepted,
-                "rejected": outcome.merges_rejected,
-                "mode_combines": outcome.mode_combines,
-                "rounds": outcome.rounds,
-            }
-            return outcome.result, stats
-
-        # Route (a): the mode-aware allocation, merged (only worth
-        # pursuing when the allocation phase met every deadline).
-        candidate_a, stats_a = (None, {})
-        if full.feasible:
-            with tracer.phase("merge"):
-                candidate_a, stats_a = merged_candidate(arch)
-        # Route (b): the plain single-mode baseline, merged (Figure 3's
-        # entry when compatibility vectors were not specified).  The
-        # baseline synthesis re-enters the full pipeline and records
-        # its time under the ordinary phase names, not under "merge".
-        if baseline is None:
-            baseline_config = CrusadeConfig(
-                reconfiguration=False,
-                clustering=config.clustering,
-                max_explicit_copies=config.max_explicit_copies,
-                max_cluster_size=config.max_cluster_size,
-                delay_policy=config.delay_policy,
-                preemption=config.preemption,
-                max_existing_options=config.max_existing_options,
-                fast_inner_loop=config.fast_inner_loop,
-                link_strategies=config.link_strategies,
-                incremental=config.incremental,
-                parallel_eval=config.parallel_eval,
-                prune=config.prune,
-            )
-            baseline = crusade(
-                spec, library=library, config=baseline_config,
-                clustering=clustering, tracer=tracer, engine=engine,
-            )
-        candidate_b, stats_b = (None, {})
-        if baseline.feasible:
-            with tracer.phase("merge"):
-                candidate_b, stats_b = merged_candidate(baseline.arch.clone())
-
-        if _log.isEnabledFor(logging.DEBUG):
-            _log.debug(
-                "route a: %s; route b: %s",
-                "none" if candidate_a is None
-                else "$%.0f %s" % (candidate_a.cost, candidate_a.feasible),
-                "none" if candidate_b is None
-                else "$%.0f %s" % (candidate_b.cost, candidate_b.feasible),
-            )
-        chosen_route = None
-        for candidate, stats in ((candidate_a, stats_a), (candidate_b, stats_b)):
-            if candidate is None or not candidate.feasible:
-                continue
-            if chosen_route is None or candidate.cost < chosen_route[0].cost:
-                chosen_route = (candidate, stats)
-        if chosen_route is not None:
-            best, merge_stats = chosen_route
-            arch = best.arch
-            interface = getattr(best, "interface", None)
-
-    if interface is None:
-        # Either reconfiguration is off or merging never ran: still
-        # synthesize the interface for the final architecture, with
-        # the boot-time requirement tightened until the schedule
-        # absorbs the chosen boot times.
-        with tracer.phase("interface"):
-            requirement = spec.boot_time_requirement
-            for _ in range(config.interface_retries + 1):
-                try:
-                    plan = synthesize_interface(arch, requirement)
-                except SynthesisError:
-                    break
-                verdict = evaluate_architecture(
-                    spec,
-                    assoc,
-                    clustering,
-                    arch,
-                    priorities,
-                    boot_time_fn=plan.boot_time_fn(),
-                    preemption=config.preemption,
-                    tracer=tracer,
-                    engine=engine,
-                )
-                if verdict.feasible or not full.feasible:
-                    best = verdict
-                    interface = plan
-                    break
-                requirement /= 2.0
-
-    # Feasibility is judged on the architecture actually returned: the
-    # allocation phase may have dead-ended (allocation_feasible False)
-    # and still been rescued by repair or by the baseline-seeded merge
-    # route.
-    feasible = best.report.all_met
-    cpu_seconds = time.perf_counter() - started
-    result = CoSynthesisResult(
-        spec=spec,
-        arch=best.arch,
-        schedule=best.schedule,
-        report=best.report,
+    ctx = SynthesisContext.begin(
+        spec,
+        library=library,
+        config=config,
         clustering=clustering,
-        interface=interface,
-        feasible=feasible,
-        cpu_seconds=cpu_seconds,
-        reconfiguration_enabled=config.reconfiguration,
-        merge_stats=merge_stats,
-        warnings=warnings,
+        baseline=baseline,
+        tracer=tracer,
+        engine=engine,
     )
-    if tracer.enabled:
-        tracer.event("synthesis.done", system=spec.name, feasible=feasible,
-                     cost=best.arch.cost)
-        result.stats = tracer.stats(total_seconds=cpu_seconds)
-    return result
+    return synthesize(ctx)

@@ -65,6 +65,7 @@ class FtCoSynthesisResult:
 
     @property
     def spec(self) -> SystemSpec:
+        """The synthesized system specification."""
         return self.base.spec
 
     @property
@@ -84,10 +85,12 @@ class FtCoSynthesisResult:
 
     @property
     def n_links(self) -> int:
+        """Link count (spares attach to existing links)."""
         return self.base.n_links
 
     @property
     def cpu_seconds(self) -> float:
+        """Synthesis wall-clock time of the base run."""
         return self.base.cpu_seconds
 
     def table_row(self) -> Dict[str, object]:

@@ -1,0 +1,493 @@
+"""Allocation stage (Section 5, step 2: the synthesis inner loop).
+
+Clusters are allocated in policy order.  For each cluster an
+allocation array of candidate placements is built (cheapest first,
+re-ordered by the policy's candidate preference) and scored by one of
+three interchangeable paths -- the serial clone path, the
+copy-on-write engine path, or the process-pool path -- all feeding the
+same :class:`CandidateSelection` core, so the first-feasible /
+least-infeasible choice is byte-identical regardless of path.  The
+winning candidate is committed and priorities are recomputed with the
+new allocation.
+
+When no candidate is feasible the least-infeasible one is kept
+(heuristics can fail; the final result is flagged infeasible), with
+pruned candidates reconstructed best-bound-first so dominance pruning
+never changes the choice.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import replace
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import AllocationError, SynthesisError
+from repro.arch.architecture import Architecture
+from repro.cluster.clustering import Cluster
+from repro.cluster.priority import recompute_priorities
+from repro.core.stages.base import Stage
+from repro.core.stages.context import SynthesisContext
+from repro.core.stages.support import (
+    allocation_aware_context,
+    compute_priorities,
+    coupled_graphs,
+)
+from repro.perf.prune import CandidatePruner, pruning_active
+from repro.alloc.array import build_allocation_array
+from repro.alloc.evaluate import (
+    EvalResult,
+    apply_option,
+    apply_option_cow,
+    evaluate_architecture,
+)
+
+_log = logging.getLogger("repro.crusade")
+
+
+class CandidateSelection:
+    """First-feasible / least-infeasible bookkeeping for one cluster.
+
+    The serial loop's strict improvement rule is the argmin of
+    ``(badness, seq)``, where ``seq`` numbers candidates in
+    consideration order across strategies; tracking the key explicitly
+    lets pruned candidates (which carry admissible badness *floors*)
+    and the pool path (which ships verdict summaries, not
+    architectures) reconstruct the identical choice.
+    """
+
+    def __init__(self) -> None:
+        """Start with nothing chosen and nothing to fall back on."""
+        self.chosen: Optional[EvalResult] = None
+        self.chosen_touched: Optional[Set[str]] = None
+        #: Whether the final choice came from the fallback path.
+        self.from_fallback: bool = False
+        self.fallback: Optional[EvalResult] = None
+        self.fallback_key: Optional[tuple] = None
+        #: Unevaluated ``(option, strategy)`` incumbent (pool path).
+        self.fallback_lazy: Optional[tuple] = None
+        #: Deferred ``(floor, seq, option, strategy)`` pruned entries.
+        self.pruned: List[tuple] = []
+        self.seq = 0
+
+    @property
+    def done(self) -> bool:
+        """Whether a feasible candidate has been chosen."""
+        return self.chosen is not None
+
+    def advance(self) -> int:
+        """Number the next considered candidate; returns its seq."""
+        self.seq += 1
+        return self.seq
+
+    def choose(
+        self, verdict: Optional[EvalResult], touched: Optional[Set[str]] = None
+    ) -> None:
+        """Record the winning feasible candidate's verdict."""
+        self.chosen = verdict
+        self.chosen_touched = touched
+
+    def defer_pruned(self, floor: tuple, option, strategy) -> None:
+        """Park a pruned candidate for possible fallback evaluation."""
+        self.pruned.append((floor, self.seq, option, strategy))
+
+    def offer(self, badness: tuple, make_verdict=None, lazy=None) -> None:
+        """Offer an infeasible candidate at the current seq.
+
+        Keeps the argmin of ``(badness, seq)``.  ``make_verdict`` is
+        called only when the offer improves (the copy-on-write path
+        clones the applied architecture lazily); ``lazy`` instead
+        defers evaluation entirely (the pool path re-scores the
+        incumbent locally once, at the end).
+        """
+        key = (badness, self.seq)
+        if self.fallback_key is None or key < self.fallback_key:
+            self.fallback_key = key
+            self.fallback = make_verdict() if make_verdict is not None else None
+            self.fallback_lazy = lazy
+
+
+class Allocation(Stage):
+    """Place every cluster, cheapest feasible candidate first."""
+
+    name = "allocation"
+
+    def run(self, ctx: SynthesisContext) -> None:
+        """Allocate all clusters in policy order."""
+        ctx.arch = Architecture(ctx.library)
+        ctx.priorities = compute_priorities(ctx.spec, ctx.pessimistic)
+        ctx.fast = ctx.config.use_fast_inner_loop(ctx.spec.total_tasks)
+        ctx.prune_on = pruning_active(ctx.config)
+        ctx.allocation_feasible = True
+        # Allocation-aware priorities reuse previous values for graphs
+        # the placement cannot have perturbed -- but only once the
+        # previous values were themselves allocation-aware (the
+        # pessimistic pre-allocation levels price intra-cluster edges
+        # differently).
+        ctx.allocation_aware = False
+        with ctx.allocation_scorer() as scorer:
+            for cluster in ctx.policy.cluster_order(ctx.clustering):
+                ctx.tracer.incr("alloc.clusters")
+                selection = self.allocate_cluster(ctx, scorer, cluster)
+                self.commit(ctx, cluster, selection)
+
+    # -- candidate generation ------------------------------------------
+    def candidate_options(
+        self, ctx: SynthesisContext, cluster: Cluster
+    ) -> List:
+        """The cluster's allocation array, in policy preference order."""
+        options = build_allocation_array(
+            cluster,
+            ctx.arch,
+            ctx.clustering,
+            ctx.spec,
+            ctx.config.delay_policy,
+            compat=ctx.compat,
+            max_existing_options=ctx.config.max_existing_options,
+            allow_new_modes=ctx.config.reconfiguration,
+            tracer=ctx.tracer,
+        )
+        return ctx.policy.candidate_order(options, cluster)
+
+    # -- scoring -------------------------------------------------------
+    def allocate_cluster(
+        self, ctx: SynthesisContext, scorer, cluster: Cluster
+    ) -> CandidateSelection:
+        """Score candidates strategy by strategy until one is chosen."""
+        selection = CandidateSelection()
+        pruner = (
+            CandidatePruner(ctx.spec, ctx.assoc, ctx.clustering, cluster)
+            if ctx.prune_on
+            else None
+        )
+        gen_token: Optional[int] = None
+        for strategy in ctx.config.link_strategies:
+            options = self.candidate_options(ctx, cluster)
+            if not options:
+                continue
+            if scorer is not None and scorer.worth_pool(len(options)):
+                gen_token = self.score_with_pool(
+                    ctx, scorer, cluster, options, strategy, selection,
+                    gen_token,
+                )
+            elif ctx.engine is not None:
+                self.score_cow(ctx, cluster, options, strategy, selection,
+                               pruner)
+            else:
+                self.score_serial(ctx, cluster, options, strategy, selection,
+                                  pruner)
+            if selection.done:
+                break
+        self.resolve_fallback(ctx, cluster, selection)
+        return selection
+
+    def evaluate_candidate(
+        self, ctx: SynthesisContext, cluster: Cluster, option, strategy
+    ) -> Optional[EvalResult]:
+        """Evaluate one candidate locally on a cloned architecture."""
+        trial = ctx.arch.clone()
+        try:
+            apply_option(
+                option, trial, cluster, ctx.clustering, ctx.spec, strategy
+            )
+        except AllocationError:
+            return None
+        graphs = (
+            coupled_graphs(trial, ctx.clustering, cluster.graph)
+            if ctx.fast
+            else None
+        )
+        return evaluate_architecture(
+            ctx.spec,
+            ctx.assoc,
+            ctx.clustering,
+            trial,
+            ctx.priorities,
+            preemption=ctx.config.preemption,
+            graphs=graphs,
+            tracer=ctx.tracer,
+            engine=ctx.engine,
+        )
+
+    def score_with_pool(
+        self,
+        ctx: SynthesisContext,
+        scorer,
+        cluster: Cluster,
+        options: List,
+        strategy: str,
+        selection: CandidateSelection,
+        gen_token: Optional[int],
+    ) -> int:
+        """Score options on the worker pool (one generation/cluster).
+
+        Decision counters are incremented on the consuming side, in
+        index order, exactly like the serial paths; records past the
+        first feasible one (same wave) are drained without counting,
+        matching the documented deterministic evaluation-counter
+        overshoot.
+        """
+        if gen_token is None:
+            gen_token = scorer.begin_cluster({
+                "spec": ctx.spec,
+                "assoc": ctx.assoc,
+                "clustering": ctx.clustering,
+                "arch": ctx.arch,
+                "cluster": cluster,
+                "priorities": ctx.priorities,
+                "preemption": ctx.config.preemption,
+                "fast": ctx.fast,
+                "prune": ctx.prune_on,
+            })
+        records = scorer.score(gen_token, options, strategy, ctx.tracer)
+        for offset, record in enumerate(records):
+            kind, badness, floor, reason = record
+            option = options[offset]
+            ctx.tracer.incr("alloc.options.considered")
+            selection.advance()
+            if kind == "apply_failed":
+                ctx.tracer.incr("alloc.options.apply_failed")
+                continue
+            if kind == "pruned":
+                ctx.tracer.incr("prune.cut")
+                ctx.tracer.incr("prune.cut." + reason)
+                selection.defer_pruned(tuple(floor), option, strategy)
+                continue
+            if ctx.prune_on:
+                ctx.tracer.incr("prune.kept")
+            if kind == "feasible":
+                # Workers ship verdict summaries, not schedules;
+                # materialize the winner locally.
+                selection.choose(
+                    self.evaluate_candidate(ctx, cluster, option, strategy)
+                )
+                break
+            ctx.tracer.incr("alloc.options.infeasible")
+            selection.offer(tuple(badness), lazy=(option, strategy))
+        return gen_token
+
+    def score_cow(
+        self,
+        ctx: SynthesisContext,
+        cluster: Cluster,
+        options: List,
+        strategy: str,
+        selection: CandidateSelection,
+        pruner: Optional[CandidatePruner],
+    ) -> None:
+        """Score options as copy-on-write overlays on the working
+        architecture, reverting each unless it wins."""
+        for option in options:
+            ctx.tracer.incr("alloc.options.considered")
+            selection.advance()
+            try:
+                handle = apply_option_cow(
+                    option, ctx.arch, cluster, ctx.clustering, ctx.spec,
+                    strategy,
+                )
+            except AllocationError:
+                ctx.tracer.incr("alloc.options.apply_failed")
+                continue
+            ctx.tracer.incr("perf.cow.applies")
+            keep = False
+            try:
+                graphs = (
+                    coupled_graphs(ctx.arch, ctx.clustering, cluster.graph)
+                    if ctx.fast
+                    else None
+                )
+                if pruner is not None:
+                    cut = pruner.bound(ctx.arch, option, graphs, ctx.tracer)
+                    if cut is not None:
+                        ctx.tracer.incr("prune.cut")
+                        ctx.tracer.incr("prune.cut." + cut.reason)
+                        selection.defer_pruned(cut.floor, option, strategy)
+                        continue
+                    ctx.tracer.incr("prune.kept")
+                verdict = evaluate_architecture(
+                    ctx.spec,
+                    ctx.assoc,
+                    ctx.clustering,
+                    ctx.arch,
+                    ctx.priorities,
+                    preemption=ctx.config.preemption,
+                    graphs=graphs,
+                    tracer=ctx.tracer,
+                    engine=ctx.engine,
+                )
+                if verdict.feasible:
+                    selection.choose(verdict, touched=handle.touched_pes)
+                    keep = True
+                else:
+                    ctx.tracer.incr("alloc.options.infeasible")
+                    selection.offer(
+                        verdict.badness(),
+                        make_verdict=lambda: replace(
+                            verdict, arch=ctx.arch.clone()
+                        ),
+                    )
+            finally:
+                if keep:
+                    ctx.tracer.incr("perf.cow.commits")
+                else:
+                    handle.revert()
+                    ctx.tracer.incr("perf.cow.reverts")
+            if selection.done:
+                break
+
+    def score_serial(
+        self,
+        ctx: SynthesisContext,
+        cluster: Cluster,
+        options: List,
+        strategy: str,
+        selection: CandidateSelection,
+        pruner: Optional[CandidatePruner],
+    ) -> None:
+        """Score options serially, each on its own cloned architecture."""
+        for option in options:
+            ctx.tracer.incr("alloc.options.considered")
+            selection.advance()
+            trial = ctx.arch.clone()
+            try:
+                apply_option(
+                    option, trial, cluster, ctx.clustering, ctx.spec, strategy
+                )
+            except AllocationError:
+                ctx.tracer.incr("alloc.options.apply_failed")
+                continue
+            # Coupled graphs are computed on the *trial* so the
+            # placement's new resource sharing is verified too.
+            graphs = (
+                coupled_graphs(trial, ctx.clustering, cluster.graph)
+                if ctx.fast
+                else None
+            )
+            if pruner is not None:
+                cut = pruner.bound(trial, option, graphs, ctx.tracer)
+                if cut is not None:
+                    ctx.tracer.incr("prune.cut")
+                    ctx.tracer.incr("prune.cut." + cut.reason)
+                    selection.defer_pruned(cut.floor, option, strategy)
+                    continue
+                ctx.tracer.incr("prune.kept")
+            verdict = evaluate_architecture(
+                ctx.spec,
+                ctx.assoc,
+                ctx.clustering,
+                trial,
+                ctx.priorities,
+                preemption=ctx.config.preemption,
+                graphs=graphs,
+                tracer=ctx.tracer,
+            )
+            if verdict.feasible:
+                selection.choose(verdict)
+                break
+            ctx.tracer.incr("alloc.options.infeasible")
+            selection.offer(verdict.badness(), make_verdict=lambda: verdict)
+
+    # -- fallback resolution -------------------------------------------
+    def resolve_fallback(
+        self,
+        ctx: SynthesisContext,
+        cluster: Cluster,
+        selection: CandidateSelection,
+    ) -> None:
+        """Settle the least-infeasible choice when nothing was feasible.
+
+        Pruned candidates are provably infeasible but may still be the
+        least-infeasible fallback; their floors are admissible badness
+        lower bounds, so evaluating them best-bound-first and skipping
+        any whose ``(floor, seq)`` cannot beat the incumbent
+        ``(badness, seq)`` yields the exhaustive loop's exact choice.
+        """
+        if selection.chosen is None and selection.pruned:
+            selection.pruned.sort(key=lambda item: (item[0], item[1]))
+            for floor, pseq, option, pstrategy in selection.pruned:
+                if selection.fallback_key is not None and (
+                    (tuple(floor), pseq) >= selection.fallback_key
+                ):
+                    ctx.tracer.incr("prune.fallback_skipped")
+                    continue
+                ctx.tracer.incr("prune.fallback_evals")
+                verdict = self.evaluate_candidate(
+                    ctx, cluster, option, pstrategy
+                )
+                if verdict is None:
+                    continue
+                key = (verdict.badness(), pseq)
+                if selection.fallback_key is None or key < selection.fallback_key:
+                    selection.fallback = verdict
+                    selection.fallback_key = key
+                    selection.fallback_lazy = None
+        if (
+            selection.chosen is None
+            and selection.fallback is None
+            and selection.fallback_lazy is not None
+        ):
+            # Pool path: the incumbent was tracked lazily; build its
+            # full verdict now.
+            selection.fallback = self.evaluate_candidate(
+                ctx, cluster, *selection.fallback_lazy
+            )
+        if selection.chosen is None:
+            if selection.fallback is None:
+                raise SynthesisError(
+                    "no allocation option exists for cluster %r"
+                    % (cluster.name,)
+                )
+            selection.chosen = selection.fallback
+            selection.chosen_touched = None
+            selection.from_fallback = True
+            ctx.allocation_feasible = False
+            ctx.tracer.incr("alloc.clusters.fallback")
+            _log.debug(
+                "cluster %s: NO feasible option, kept least-infeasible",
+                cluster.name,
+            )
+
+    # -- commit --------------------------------------------------------
+    def commit(
+        self,
+        ctx: SynthesisContext,
+        cluster: Cluster,
+        selection: CandidateSelection,
+    ) -> None:
+        """Adopt the chosen architecture and refresh priority levels."""
+        ctx.arch = selection.chosen.arch
+        placement = ctx.arch.placement_of(cluster.name)
+        ctx.tracer.event(
+            "cluster.placed",
+            cluster=cluster.name,
+            graph=cluster.graph,
+            pe=placement[0],
+            mode=placement[1],
+            feasible=not selection.from_fallback,
+        )
+        _log.debug(
+            "cluster %s (graph %s, %d gates, %d pins) -> %s mode %d",
+            cluster.name,
+            cluster.graph,
+            cluster.area_gates,
+            cluster.pins,
+            placement[0],
+            placement[1],
+        )
+        context = allocation_aware_context(ctx.library, ctx.arch,
+                                           ctx.clustering)
+        if (
+            ctx.engine is not None
+            and ctx.allocation_aware
+            and selection.chosen_touched is not None
+        ):
+            dirty = {cluster.graph}
+            for name, (pe_id, _) in ctx.arch.cluster_alloc.items():
+                if pe_id in selection.chosen_touched:
+                    dirty.add(ctx.clustering.clusters[name].graph)
+            ctx.priorities = recompute_priorities(
+                ctx.spec, context, ctx.priorities, dirty, ctx.tracer
+            )
+        else:
+            ctx.priorities = compute_priorities(ctx.spec, context)
+        ctx.allocation_aware = True

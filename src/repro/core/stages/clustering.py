@@ -1,0 +1,35 @@
+"""Clustering stage (Section 5: critical-path task clustering).
+
+Skipped entirely when the caller donated a clustering -- CRUSADE-FT
+substitutes its fault-tolerance-level clustering (Section 6) and times
+it under its own ``ft_clustering`` phase.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.clustering import cluster_spec, trivial_clustering
+from repro.core.stages.base import Stage
+from repro.core.stages.context import SynthesisContext
+
+
+class Clustering(Stage):
+    """Fold tasks into clusters along deadline-critical paths."""
+
+    name = "clustering"
+
+    def should_run(self, ctx: SynthesisContext) -> bool:
+        """Only when no clustering was donated by the caller."""
+        return ctx.clustering is None
+
+    def run(self, ctx: SynthesisContext) -> None:
+        """Cluster the specification (or trivially, when disabled)."""
+        if ctx.config.clustering:
+            ctx.clustering = cluster_spec(
+                ctx.spec,
+                ctx.library,
+                context=ctx.pessimistic,
+                delay_policy=ctx.config.delay_policy,
+                max_cluster_size=ctx.config.max_cluster_size,
+            )
+        else:
+            ctx.clustering = trivial_clustering(ctx.spec, ctx.library)

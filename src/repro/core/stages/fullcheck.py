@@ -1,0 +1,27 @@
+"""Full-check stage: full-system validation of the allocation.
+
+The allocation stage's fast inner loop verifies only resource-coupled
+graphs; this stage schedules the complete system once so repair and
+the reconfiguration routes start from a trustworthy verdict.
+"""
+
+from __future__ import annotations
+
+from repro.core.stages.base import Stage
+from repro.core.stages.context import SynthesisContext
+from repro.alloc.evaluate import evaluate_architecture
+
+
+class FullCheck(Stage):
+    """Schedule the whole system on the allocated architecture."""
+
+    name = "full_check"
+
+    def run(self, ctx: SynthesisContext) -> None:
+        """Evaluate every graph; seed ``best`` with the verdict."""
+        ctx.full = evaluate_architecture(
+            ctx.spec, ctx.assoc, ctx.clustering, ctx.arch, ctx.priorities,
+            preemption=ctx.config.preemption, tracer=ctx.tracer,
+            engine=ctx.engine,
+        )
+        ctx.best = ctx.full

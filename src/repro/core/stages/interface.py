@@ -1,0 +1,51 @@
+"""Interface-synthesis stage (Section 4.4: the controller interface).
+
+Runs only when no merge route already produced an interface plan:
+either reconfiguration is off, or merging never accepted a route.  The
+final architecture still needs its reconfiguration controller
+interface, with the boot-time requirement tightened until the schedule
+absorbs the chosen boot times.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SynthesisError
+from repro.core.stages.base import Stage
+from repro.core.stages.context import SynthesisContext
+from repro.reconfig.interface import synthesize_interface
+from repro.alloc.evaluate import evaluate_architecture
+
+
+class InterfaceSynthesis(Stage):
+    """Synthesize the reconfiguration controller interface."""
+
+    name = "interface"
+
+    def should_run(self, ctx: SynthesisContext) -> bool:
+        """Only when no merge route already delivered a plan."""
+        return ctx.interface is None
+
+    def run(self, ctx: SynthesisContext) -> None:
+        """Synthesize a plan, halving the requirement until it fits."""
+        requirement = ctx.spec.boot_time_requirement
+        for _ in range(ctx.config.interface_retries + 1):
+            try:
+                plan = synthesize_interface(ctx.arch, requirement)
+            except SynthesisError:
+                break
+            verdict = evaluate_architecture(
+                ctx.spec,
+                ctx.assoc,
+                ctx.clustering,
+                ctx.arch,
+                ctx.priorities,
+                boot_time_fn=plan.boot_time_fn(),
+                preemption=ctx.config.preemption,
+                tracer=ctx.tracer,
+                engine=ctx.engine,
+            )
+            if verdict.feasible or not ctx.full.feasible:
+                ctx.best = verdict
+                ctx.interface = plan
+                break
+            requirement /= 2.0

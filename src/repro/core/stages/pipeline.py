@@ -1,0 +1,45 @@
+"""The canonical stage sequence and the pipeline entry point.
+
+``crusade()`` is a thin wrapper over :func:`synthesize`; CRUSADE-FT
+and the campaign runner go through ``crusade()`` unchanged.  This
+module exists (separately from the stage modules) so stages that
+re-enter the pipeline -- :class:`~repro.core.stages.modemerge.
+ModeMerge` synthesizes the route (b) baseline -- can import it lazily
+without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.report import CoSynthesisResult
+from repro.core.stages.base import Stage, run_stages
+from repro.core.stages.context import SynthesisContext
+from repro.core.stages.preprocess import Preprocess
+from repro.core.stages.clustering import Clustering
+from repro.core.stages.allocation import Allocation
+from repro.core.stages.fullcheck import FullCheck
+from repro.core.stages.repair import Repair
+from repro.core.stages.modemerge import ModeMerge
+from repro.core.stages.interface import InterfaceSynthesis
+from repro.core.stages.finalize import Finalize
+
+
+def default_stages() -> List[Stage]:
+    """The CRUSADE pipeline, in execution order (Figure 5)."""
+    return [
+        Preprocess(),
+        Clustering(),
+        Allocation(),
+        FullCheck(),
+        Repair(),
+        ModeMerge(),
+        InterfaceSynthesis(),
+        Finalize(),
+    ]
+
+
+def synthesize(ctx: SynthesisContext) -> CoSynthesisResult:
+    """Run the default pipeline over ``ctx`` and return its result."""
+    run_stages(ctx, default_stages())
+    return ctx.result

@@ -1,0 +1,129 @@
+"""The policy-hook surface of the staged synthesis pipeline.
+
+A :class:`SynthesisPolicy` bundles the three heuristic decision points
+the paper leaves open to variation, so ablation variants and new
+scheduling policies are one-line registrations instead of driver
+edits:
+
+``cluster_order``
+    The order clusters are allocated in (the paper uses decreasing
+    priority; Section 5).
+``candidate_order``
+    A re-ordering of each cluster's allocation array before scoring
+    (the array arrives cheapest-first; the first feasible candidate
+    wins, so preference *is* the ordering).
+``accept_merge``
+    The Figure 3 merge acceptance rule.  ``None`` keeps the paper's
+    rule -- feasible and strictly cost-decreasing -- which is also the
+    rule the admissible dollar-cost merge prune assumes; a custom rule
+    disables that prune cut (see
+    :func:`repro.reconfig.merge.merge_reconfigurable_pes`).
+
+Policies are named and registered in :data:`POLICIES`;
+``CrusadeConfig.policy`` selects one by name, which makes a policy a
+campaign-grid axis: ``repro.campaign.grid.VARIANT_PRESETS`` expresses
+the ``largest-first`` preset purely through this surface.
+
+Only the ``default`` policy carries the byte-identity guarantee
+against the pre-stage monolithic driver; alternative policies explore
+different (still valid) points of the heuristic's search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.cluster.clustering import Cluster, ClusteringResult
+from repro.errors import SpecificationError
+
+
+def _priority_order(clustering: ClusteringResult) -> List[Cluster]:
+    """The paper's allocation order: decreasing priority, name ties."""
+    return clustering.ordered_by_priority()
+
+
+def _largest_first_order(clustering: ClusteringResult) -> List[Cluster]:
+    """Biggest clusters first (size, then priority, then name).
+
+    Placing bulky clusters while the architecture is still cheap to
+    reshape is a classic bin-packing ordering; kept as a registered
+    ablation policy.
+    """
+    return sorted(
+        clustering.clusters.values(),
+        key=lambda c: (-c.size, -c.priority, c.name),
+    )
+
+
+def _array_order(
+    options: List, cluster: Cluster
+) -> List:
+    """The allocation array's own order (cheapest first) -- identity."""
+    return options
+
+
+def _reuse_first_order(options: List, cluster: Cluster) -> List:
+    """Prefer placements on already-purchased hardware.
+
+    Options that add no new PE instance are tried before options that
+    buy one, each group keeping its cheapest-first internal order
+    (``sorted`` is stable).
+    """
+    from repro.alloc.array import AllocationKind
+
+    return sorted(
+        options, key=lambda o: o.kind is AllocationKind.NEW_PE
+    )
+
+
+@dataclass(frozen=True)
+class SynthesisPolicy:
+    """One named bundle of pipeline decision hooks."""
+
+    name: str
+    #: ``ClusteringResult -> [Cluster]``: allocation order.
+    cluster_order: Callable[[ClusteringResult], List[Cluster]] = (
+        _priority_order
+    )
+    #: ``(options, cluster) -> options``: candidate preference.
+    candidate_order: Callable[[List, Cluster], List] = _array_order
+    #: ``(verdict, incumbent) -> bool`` merge acceptance, or ``None``
+    #: for the paper's feasible-and-cheaper rule.
+    accept_merge: Optional[Callable] = None
+
+
+#: Registered policies by name (``CrusadeConfig.policy`` values).
+POLICIES: Dict[str, SynthesisPolicy] = {}
+
+
+def register_policy(policy: SynthesisPolicy) -> SynthesisPolicy:
+    """Register ``policy`` under its name (later wins); returns it."""
+    POLICIES[policy.name] = policy
+    return policy
+
+
+def resolve_policy(
+    policy: Union[str, SynthesisPolicy, None]
+) -> SynthesisPolicy:
+    """A policy object for a name, a policy, or ``None`` (default)."""
+    if policy is None:
+        return POLICIES["default"]
+    if isinstance(policy, SynthesisPolicy):
+        return policy
+    try:
+        return POLICIES[policy]
+    except KeyError:
+        raise SpecificationError(
+            "unknown synthesis policy %r (registered: %s)"
+            % (policy, ", ".join(sorted(POLICIES)))
+        ) from None
+
+
+register_policy(SynthesisPolicy(name="default"))
+register_policy(
+    SynthesisPolicy(name="largest-first", cluster_order=_largest_first_order)
+)
+register_policy(
+    SynthesisPolicy(name="reuse-first", candidate_order=_reuse_first_order)
+)

@@ -1,0 +1,34 @@
+"""Pre-processing stage (Section 5, step 1 -- minus clustering).
+
+Validates the library and specification, builds the association array
+(hyperperiod copies), prepares the pessimistic priority context, and
+-- when the specification carries explicit compatibility vectors and
+reconfiguration is enabled -- the compatibility analysis the
+allocation and merge stages consult.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.priority import PriorityContext
+from repro.core.stages.base import Stage
+from repro.core.stages.context import SynthesisContext
+from repro.graph.association import AssociationArray
+from repro.graph.validate import validate_spec
+from repro.reconfig.compatibility import CompatibilityAnalysis
+
+
+class Preprocess(Stage):
+    """Validate inputs and derive the run's static artifacts."""
+
+    name = "preprocess"
+
+    def run(self, ctx: SynthesisContext) -> None:
+        """Validate, build the association array, prime priorities."""
+        ctx.library.validate()
+        ctx.warnings = validate_spec(ctx.spec, ctx.library)
+        ctx.assoc = AssociationArray(
+            ctx.spec, max_explicit_copies=ctx.config.max_explicit_copies
+        )
+        ctx.pessimistic = PriorityContext.pessimistic(ctx.library)
+        if ctx.config.reconfiguration and ctx.spec.has_explicit_compatibility:
+            ctx.compat = CompatibilityAnalysis.from_spec(ctx.spec)

@@ -147,6 +147,21 @@ def result_to_dict(result: CoSynthesisResult) -> Dict[str, Any]:
     return payload
 
 
+def canonical_result_json(result: CoSynthesisResult) -> str:
+    """Deterministic JSON text of a result, timing stripped.
+
+    Two synthesis runs on the same inputs must produce byte-identical
+    canonical text: ``cpu_seconds`` and the traced ``stats`` block (the
+    only legitimately run-varying fields) are removed, keys are sorted,
+    and the text ends with a single newline.  This is what the golden
+    regression fixtures under ``tests/core/golden/`` store.
+    """
+    payload = result_to_dict(result)
+    payload.pop("cpu_seconds", None)
+    payload.pop("stats", None)
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def stats_from_result_dict(payload: Dict[str, Any]) -> Union[SynthesisStats, None]:
     """The stats block of an exported result, or None for untraced
     runs (inverse of the ``"stats"`` key written by

@@ -35,12 +35,30 @@ Counter name prefixes and what they measure:
 ``scope.*``
     The fast-inner-loop sub-specification cache
     (``scope.hits`` / ``.misses`` / ``.evictions``).
+``stage.*``
+    The stage runner (:mod:`repro.core.stages.base`):
+    ``stage.<name>.runs`` / ``stage.<name>.skipped`` per pipeline
+    stage, feeding the ``--stats`` per-stage table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+#: Canonical pipeline order for the ``--stats`` stage table, matching
+#: :func:`repro.core.stages.pipeline.default_stages` (kept as data here
+#: so the observability layer stays import-independent of the core).
+PIPELINE_STAGE_ORDER = (
+    "preprocess",
+    "clustering",
+    "allocation",
+    "full_check",
+    "repair",
+    "merge",
+    "interface",
+    "finalize",
+)
 
 
 @dataclass
@@ -88,9 +106,43 @@ def stats_from_dict(payload: Dict[str, Any]) -> SynthesisStats:
     )
 
 
+def render_stage_table(stats: SynthesisStats) -> List[str]:
+    """The pipeline-stage rows of the ``--stats`` block.
+
+    One row per stage the runner saw, in canonical pipeline order:
+    run/skip counts, exclusive seconds, and the share of all phased
+    time.  Stages the run never reached are omitted; unphased stages
+    (finalize) and skipped stages show ``-`` for time.  A nested
+    baseline synthesis re-enters the pipeline, so run counts above 1
+    are expected for reconfiguration runs.
+    """
+    lines: List[str] = []
+    phase_total = stats.phase_total()
+    for name in PIPELINE_STAGE_ORDER:
+        runs = stats.counter("stage.%s.runs" % name)
+        skipped = stats.counter("stage.%s.skipped" % name)
+        seconds = stats.phase_seconds.get(name)
+        if not runs and not skipped and seconds is None:
+            continue
+        if seconds is None:
+            timing = "%10s  %5s" % ("-", "-")
+        else:
+            share = (seconds / phase_total * 100.0) if phase_total else 0.0
+            timing = "%9.4fs  %4.1f%%" % (seconds, share)
+        lines.append(
+            "    %-12s %4d run%s %4d skip  %s"
+            % (name, runs, "s" if runs != 1 else " ", skipped, timing)
+        )
+    return lines
+
+
 def render_stats(stats: SynthesisStats) -> str:
     """Human-readable stats block (the CLI's ``--stats`` output)."""
     lines: List[str] = ["Synthesis statistics:"]
+    stage_lines = render_stage_table(stats)
+    if stage_lines:
+        lines.append("  pipeline stages (runs/skips, exclusive time):")
+        lines.extend(stage_lines)
     lines.append("  phases (exclusive wall-clock):")
     if not stats.phase_seconds:
         lines.append("    (none recorded)")

@@ -87,7 +87,7 @@ def _score_one(gen: dict, pruner, engine, option, strategy):
     """Score one allocation option inside a worker process."""
     from repro.errors import AllocationError
     from repro.alloc.evaluate import apply_option, evaluate_architecture
-    from repro.core.crusade import _coupled_graphs
+    from repro.core.stages.support import coupled_graphs
 
     tracer = Tracer()
     cluster = gen["cluster"]
@@ -99,7 +99,7 @@ def _score_one(gen: dict, pruner, engine, option, strategy):
     except AllocationError:
         return ("apply_failed", None, None, None, tracer.counters.as_dict())
     graphs = (
-        _coupled_graphs(trial, gen["clustering"], cluster.graph)
+        coupled_graphs(trial, gen["clustering"], cluster.graph)
         if gen["fast"]
         else None
     )
@@ -374,6 +374,15 @@ class ProcessPoolScorer:
     def worth_pool(self, n_options: int) -> bool:
         """Whether a frontier is large enough to pay for IPC."""
         return n_options >= self.workers * MIN_FRONTIER_FACTOR
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ProcessPoolScorer":
+        """Enter the scorer's lifetime; workers still spawn lazily."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Shut the workers down, whatever ended the ``with`` block."""
+        self.close()
 
     # ------------------------------------------------------------------
     def begin_cluster(self, payload: dict) -> int:

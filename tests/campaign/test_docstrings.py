@@ -1,8 +1,10 @@
-"""Docstring coverage gate for repro.perf, repro.campaign and the API.
+"""Docstring coverage gate for the documented packages and the API.
 
-CI enforces the same contract with ruff's pydocstyle D1 rules (see
-pyproject.toml); this AST-based test keeps the gate verifiable in
-environments without ruff installed.
+Gated packages: repro.perf, repro.campaign, and the staged synthesis
+pipeline (repro.core plus repro.core.stages).  CI enforces the same
+contract with ruff's pydocstyle D1 rules (see pyproject.toml); this
+AST-based test keeps the gate verifiable in environments without ruff
+installed.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import pytest
 import repro
 
 SRC = pathlib.Path(repro.__file__).resolve().parent
-GATED_PACKAGES = ("perf", "campaign")
+GATED_PACKAGES = ("perf", "campaign", "core", "core/stages")
 
 
 def _gated_modules():

@@ -208,3 +208,31 @@ class TestSynthesisStats:
     def test_render_empty(self):
         text = render_stats(SynthesisStats())
         assert "(none recorded)" in text
+        assert "pipeline stages" not in text
+
+    def test_render_stage_table(self):
+        """Stages appear in canonical pipeline order with run/skip
+        counts; unreached stages are omitted, unphased ones show no
+        time."""
+        stats = SynthesisStats(
+            phase_seconds={"allocation": 3.0, "preprocess": 1.0},
+            counters={
+                "stage.preprocess.runs": 1,
+                "stage.allocation.runs": 1,
+                "stage.merge.skipped": 1,
+                "stage.finalize.runs": 1,
+            },
+            total_seconds=4.5,
+        )
+        text = render_stats(stats)
+        assert "pipeline stages" in text
+        lines = [
+            l for l in text.splitlines()
+            if l.startswith("    ") and "run" in l and "skip" in l
+        ]
+        names = [l.split()[0] for l in lines]
+        assert names == ["preprocess", "allocation", "merge", "finalize"]
+        alloc_row = lines[names.index("allocation")]
+        assert "75.0%" in alloc_row
+        merge_row = lines[names.index("merge")]
+        assert " 1 skip" in merge_row and "%" not in merge_row

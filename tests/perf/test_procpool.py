@@ -37,12 +37,12 @@ def test_single_worker_never_builds_a_pool(monkeypatch):
     pool for it would add IPC overhead for zero parallelism."""
     import importlib
 
-    crusade_mod = importlib.import_module("repro.core.crusade")
+    context_mod = importlib.import_module("repro.core.stages.context")
 
     def boom(*args, **kwargs):  # pragma: no cover - must not run
         raise AssertionError("parallel_eval=1 must not create a pool")
 
-    monkeypatch.setattr(crusade_mod, "ProcessPoolScorer", boom)
+    monkeypatch.setattr(context_mod, "ProcessPoolScorer", boom)
     for workers in (0, 1):
         result = crusade(
             make_spec(0),
@@ -81,6 +81,58 @@ def test_small_frontiers_skip_ipc():
         assert not scorer.started
     finally:
         scorer.close()
+
+
+def test_scorer_context_manager_closes_workers():
+    """Leaving the with block shuts every worker down, so the
+    allocation stage cannot leak processes past its lifetime."""
+    with ProcessPoolScorer(2) as scorer:
+        token = scorer.begin_cluster({"probe": True})
+        assert token == 1
+        # Force the lazy spawn so exit has something real to close.
+        scorer._ensure_started()
+        procs = list(scorer._procs)
+        assert procs and all(p.is_alive() for p in procs)
+    assert not scorer.started
+    assert all(not p.is_alive() for p in procs)
+
+
+def test_scorer_context_manager_closes_on_error():
+    """Workers are shut down even when the body raises -- the
+    hand-rolled try/finally this replaced guaranteed no less."""
+    with pytest.raises(RuntimeError, match="stage exploded"):
+        with ProcessPoolScorer(2) as scorer:
+            scorer._ensure_started()
+            procs = list(scorer._procs)
+            raise RuntimeError("stage exploded")
+    assert all(not p.is_alive() for p in procs)
+
+
+def test_scorer_context_manager_idle_exit_is_cheap():
+    """A scorer that never scored anything exits without ever having
+    spawned a process."""
+    with ProcessPoolScorer(3) as scorer:
+        assert not scorer.started
+    assert not scorer.started
+
+
+def test_context_releases_scorer_reference():
+    """SynthesisContext.allocation_scorer tracks the live scorer and
+    clears it on release, pool or no pool."""
+    from repro.core.stages.context import SynthesisContext
+
+    ctx = SynthesisContext.begin(
+        make_spec(0), config=CrusadeConfig(parallel_eval=2)
+    )
+    with ctx.allocation_scorer() as scorer:
+        assert scorer is not None and ctx.scorer is scorer
+    assert ctx.scorer is None
+    serial_ctx = SynthesisContext.begin(
+        make_spec(0), config=CrusadeConfig(parallel_eval=0)
+    )
+    with serial_ctx.allocation_scorer() as scorer:
+        assert scorer is None
+    assert serial_ctx.scorer is None
 
 
 def test_parallel_eval_auto_resolves_cpu_count():
