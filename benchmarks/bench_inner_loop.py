@@ -59,9 +59,11 @@ def _canonical(result) -> str:
     return json.dumps(payload, sort_keys=True)
 
 
-def _timed_run(spec, incremental: bool, prune: bool, parallel_eval: int = 0):
+def _timed_run(spec, incremental: bool, prune: bool, parallel_eval: int = 0,
+               timeline: str = "auto"):
     config = CrusadeConfig(
-        incremental=incremental, prune=prune, parallel_eval=parallel_eval
+        incremental=incremental, prune=prune, parallel_eval=parallel_eval,
+        timeline=timeline,
     )
     tracer = Tracer()
     started = time.perf_counter()
@@ -70,11 +72,11 @@ def _timed_run(spec, incremental: bool, prune: bool, parallel_eval: int = 0):
 
 
 def bench_example(name: str, scale: float, pool_workers: int = 0,
-                  skip_scratch: bool = False) -> dict:
+                  skip_scratch: bool = False, timeline: str = "auto") -> dict:
     """One record: the mode timings plus the identity checks."""
     spec = build_example(name, scale=scale)
     seconds_pruned, pruned, counters = _timed_run(
-        spec, incremental=True, prune=True
+        spec, incremental=True, prune=True, timeline=timeline
     )
     prune_cut = counters.get("prune.cut", 0)
     print("  pruned:       %.2fs (cost $%.0f, %s, prune.cut %d)" % (
@@ -83,6 +85,7 @@ def bench_example(name: str, scale: float, pool_workers: int = 0,
     record = {
         "example": name,
         "scale": scale,
+        "timeline": timeline,
         "tasks": spec.total_tasks,
         "seconds_from_scratch": None,
         "seconds_incremental": None,
@@ -102,7 +105,9 @@ def bench_example(name: str, scale: float, pool_workers: int = 0,
         spec, incremental=False, prune=False
     )
     print("  from-scratch: %.2fs" % (seconds_scratch,))
-    seconds_incr, incr, _ = _timed_run(spec, incremental=True, prune=False)
+    seconds_incr, incr, _ = _timed_run(
+        spec, incremental=True, prune=False, timeline=timeline
+    )
     print("  incremental:  %.2fs" % (seconds_incr,))
     canonical_scratch = _canonical(scratch)
     identical = (
@@ -120,7 +125,8 @@ def bench_example(name: str, scale: float, pool_workers: int = 0,
     })
     if pool_workers >= 2:
         seconds_pooled, pooled, _ = _timed_run(
-            spec, incremental=True, prune=True, parallel_eval=pool_workers
+            spec, incremental=True, prune=True, parallel_eval=pool_workers,
+            timeline=timeline,
         )
         print("  pooled (%d):   %.2fs" % (pool_workers, seconds_pooled))
         record["seconds_pooled"] = round(seconds_pooled, 3)
@@ -182,6 +188,11 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-scratch", action="store_true",
                         help="record only the pruned run (no baselines, "
                              "no speedup) -- for large workloads")
+    parser.add_argument("--timeline", choices=("auto", "list", "tree"),
+                        default="auto",
+                        help="timeline implementation for the engine legs "
+                             "(default auto; results are identical either "
+                             "way -- this is a timing axis)")
     parser.add_argument("--check-against", type=pathlib.Path, default=None,
                         metavar="BASELINE.json",
                         help="fail when speedup regresses vs this file")
@@ -194,7 +205,8 @@ def main(argv=None) -> int:
         print("%s @ scale %g" % (name, args.scale))
         record = bench_example(name, args.scale,
                                pool_workers=args.pool_workers,
-                               skip_scratch=args.skip_scratch)
+                               skip_scratch=args.skip_scratch,
+                               timeline=args.timeline)
         if record["speedup"] is not None:
             print("  speedup: %.2fx (engine only %.2fx), identical: %s" % (
                 record["speedup"], record["speedup_incremental"],

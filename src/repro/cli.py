@@ -80,6 +80,12 @@ def _add_synthesize(subparsers) -> None:
                    help="score allocation candidates with N worker processes "
                         "('auto' = os.cpu_count(); 0 or 1 = serial; results "
                         "are identical either way)")
+    p.add_argument("--timeline", choices=("auto", "list", "tree"),
+                   default="auto",
+                   help="scheduler timeline implementation: flat bisected "
+                        "lists ('list'), blocked index ('tree'), or "
+                        "length-switched ('auto', default); results are "
+                        "identical either way")
     p.add_argument("--profile", type=int, default=0, metavar="N",
                    help="run synthesis under cProfile, print the top-N "
                         "cumulative functions and write profile.pstats "
@@ -217,6 +223,7 @@ def _cmd_synthesize(args) -> int:
         incremental=not args.no_incremental,
         prune=not args.no_prune,
         parallel_eval=args.parallel_eval,
+        timeline=args.timeline,
     )
     tracer = _build_tracer(args)
     profiler = None

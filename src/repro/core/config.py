@@ -72,6 +72,21 @@ class CrusadeConfig:
         architecture are byte-identical either way; ``False`` (or the
         ``REPRO_NO_PRUNE=1`` environment variable) restores exhaustive
         evaluation.
+    timeline:
+        Timeline implementation for scheduler resources (see
+        :mod:`repro.perf.treetimeline`): ``"list"`` keeps the
+        bisect-indexed flat lists, ``"tree"`` uses the blocked index
+        from the first interval, and ``"auto"`` (default) starts flat
+        and converts a timeline to the blocked index when it grows
+        past the conversion threshold -- the right choice everywhere,
+        since short timelines pay zero overhead and the long,
+        fragmented timelines of full-scale workloads escape the O(n)
+        insert memmove.  All three are bit-for-bit interchangeable
+        (enforced by the differential oracle in ``tests/sched``); the
+        ``REPRO_TIMELINE`` environment variable overrides this knob as
+        a kill switch.  Only consulted on the engine path -- the
+        legacy from-scratch scheduler always uses the linear reference
+        timelines.
     policy:
         Name of the registered :class:`~repro.core.stages.policies.
         SynthesisPolicy` steering the heuristic's open decision points
@@ -98,11 +113,16 @@ class CrusadeConfig:
     incremental: bool = True
     parallel_eval: int = 0
     prune: bool = True
+    timeline: str = "auto"
     policy: str = "default"
 
     def __post_init__(self) -> None:
         if self.parallel_eval < 0:
             raise SpecificationError("parallel_eval must be >= 0")
+        if self.timeline not in ("list", "tree", "auto"):
+            raise SpecificationError(
+                "timeline must be one of 'list', 'tree', 'auto'"
+            )
         if self.max_explicit_copies < 1:
             raise SpecificationError("max_explicit_copies must be >= 1")
         if self.max_cluster_size < 1:

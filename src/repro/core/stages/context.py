@@ -137,7 +137,9 @@ class SynthesisContext:
             # 0 and 1 both mean the serial path: a 1-worker pool can
             # never beat it (see repro.perf.procpool).
             with ProcessPoolScorer(
-                self.config.parallel_eval, use_engine=self.engine is not None
+                self.config.parallel_eval,
+                use_engine=self.engine is not None,
+                timeline=self.config.timeline,
             ) as scorer:
                 self.scorer = scorer
                 try:

@@ -21,7 +21,13 @@ pool is opt-in via ``CrusadeConfig.parallel_eval``):
   candidate scorer with deterministic first-feasible-by-index
   selection and warm per-worker engine caches, plus the supervised
   :class:`JobWorker` process primitive the campaign runner
-  (:mod:`repro.campaign`) builds its crash/timeout recovery on.
+  (:mod:`repro.campaign`) builds its crash/timeout recovery on;
+* :mod:`repro.perf.fasttimeline` / :mod:`repro.perf.treetimeline` --
+  the fast implementations of the :class:`repro.sched.timeline`
+  abstract timelines: bisect-indexed flat lists, and the blocked
+  index for long fragmented timelines, selected per run by
+  ``CrusadeConfig.timeline`` (``REPRO_TIMELINE`` overrides) and held
+  byte-identical by the differential oracle in ``tests/sched``.
 
 All paths are byte-identical to the from-scratch pipeline; the
 property suites in ``tests/perf`` assert it.
@@ -49,6 +55,11 @@ from repro.perf.prune import (
     prune_disabled_by_env,
     pruning_active,
 )
+from repro.perf.treetimeline import (
+    TreePpeModeTimeline,
+    TreeTimeline,
+    resolve_timeline,
+)
 
 __all__ = [
     "AppliedOption",
@@ -68,6 +79,9 @@ __all__ = [
     "prune_disabled_by_env",
     "pruning_active",
     "resolve_engine",
+    "resolve_timeline",
+    "TreePpeModeTimeline",
+    "TreeTimeline",
     "undo_journal",
     "wrap_tracer",
 ]

@@ -102,18 +102,20 @@ class IncrementalEngine:
     consumers), so sharing them across evaluations is safe.
     """
 
-    def __init__(self, max_entries: int = 32) -> None:
+    def __init__(self, max_entries: int = 32, timeline: str = "auto") -> None:
         """Create an empty engine holding up to ``max_entries``
-        cached fragments (LRU beyond that)."""
+        cached fragments (LRU beyond that), scheduling onto
+        ``timeline``-mode timelines (``"list" | "tree" | "auto"``,
+        see :mod:`repro.perf.treetimeline`)."""
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._fragments: "OrderedDict[tuple, Fragment]" = OrderedDict()
         #: Cross-run scheduler caches (plans, routes, transfer times)
-        #: plus the fast-timeline factory -- the engine's second, and
+        #: plus the timeline factory pair -- the engine's second, and
         #: on workloads whose graphs all couple through shared
         #: resources its main, source of reuse.
-        self.context = SchedulerContext()
+        self.context = SchedulerContext(timeline=timeline)
         self._lock = threading.Lock()
         self._cluster_map: Optional[
             Tuple[ClusteringResult, Dict[str, list]]
@@ -284,4 +286,6 @@ def resolve_engine(config, engine: Optional[IncrementalEngine] = None):
     """
     if not getattr(config, "incremental", True) or incremental_disabled_by_env():
         return None
-    return engine if engine is not None else IncrementalEngine()
+    if engine is not None:
+        return engine
+    return IncrementalEngine(timeline=getattr(config, "timeline", "auto"))

@@ -45,6 +45,8 @@ from repro.errors import AllocationError, SchedulingError
 from repro.reconfig.reboot import default_boot_time
 from repro.resources.pe import PEKind
 from repro.perf.fasttimeline import FastPpeModeTimeline, FastTimeline
+from repro.perf.treetimeline import resolve_timeline
+from repro.sched import tlrecord
 
 #: Plans are tiny next to schedule fragments, but the scoped sub-spec
 #: cache they key off is itself LRU-bounded -- keep a little headroom.
@@ -153,13 +155,35 @@ def _build_plan(request) -> _Plan:
 
 
 class SchedulerContext:
-    """Cross-run scheduler caches owned by one incremental engine."""
+    """Cross-run scheduler caches owned by one incremental engine.
+
+    ``timeline`` selects the timeline implementation pair for every
+    schedule this context builds -- ``"list"`` (bisected flat lists),
+    ``"tree"`` (blocked index from the first interval) or ``"auto"``
+    (blocked past a length threshold); see
+    :func:`repro.perf.treetimeline.resolve_timeline` for the rules and
+    the ``REPRO_TIMELINE`` override.
+    """
 
     timeline_cls = FastTimeline
     ppe_timeline_cls = FastPpeModeTimeline
 
-    def __init__(self) -> None:
-        """Create empty plan/route/transfer-time caches."""
+    def __init__(self, timeline: str = "auto") -> None:
+        """Create empty plan/route/transfer-time caches building
+        ``timeline``-mode timelines."""
+        self.timeline_mode = timeline
+        self.timeline_cls, self.ppe_timeline_cls = resolve_timeline(timeline)
+        self.recorder = None
+        record_to = tlrecord.trace_path()
+        if record_to is not None:
+            # REPRO_TIMELINE_TRACE: wrap both factories so every
+            # timeline this context builds appends its operation
+            # stream (replayed by the differential oracle).
+            self.recorder = tlrecord.TimelineRecorder(record_to)
+            self.timeline_cls = self.recorder.wrap_serial(self.timeline_cls)
+            self.ppe_timeline_cls = self.recorder.wrap_ppe(
+                self.ppe_timeline_cls
+            )
         self._plans: "OrderedDict[tuple, _Plan]" = OrderedDict()
         self._lock = threading.Lock()
         #: Architecture -> [topo_version, {(pe_a, pe_b): link | None}].

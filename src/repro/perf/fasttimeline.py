@@ -106,22 +106,33 @@ class FastTimeline(IntervalTimeline):
         if self._degraded:
             return super().occupy(start, duration, owner)
         end = start + duration
-        index = bisect.bisect_right(self._starts, start)
+        starts = self._starts
+        ends = self._ends
+        index = bisect.bisect_right(starts, start)
         intervals = self._intervals
-        # Sorted + non-overlapping: a collision can only involve the
-        # insertion point's immediate neighbors.
-        for i in (index - 1, index):
-            if 0 <= i < len(intervals):
-                other = intervals[i]
-                # time_lt(start, other.end) and time_lt(other.start, end)
-                if start < other.end - TIME_EPS and other.start < end - TIME_EPS:
-                    raise SchedulingError(
-                        "overlap: [%g, %g) collides with [%g, %g) owned by %r"
-                        % (start, end, other.start, other.end, other.owner)
-                    )
+        # Any collider satisfies time_lt(start, other.end) and
+        # time_lt(other.start, end), which imply other.end > start and
+        # other.start < end outright -- so with both key lists sorted
+        # (non-degraded invariant) every possible collider lies in
+        # [bisect_right(ends, start), bisect_left(starts, end)).  For
+        # real placements that window is empty or a single neighbor;
+        # only epsilon-sliver populations widen it (the old
+        # two-neighbor check could bisect past a collider hiding
+        # behind a zero-length interval at ready + TIME_EPS -- the
+        # differential oracle's regression case).  Scanning the window
+        # in index order reproduces the linear scan's first-collider
+        # error exactly.
+        for i in range(bisect.bisect_right(ends, start),
+                       bisect.bisect_left(starts, end)):
+            other = intervals[i]
+            # time_lt(start, other.end) and time_lt(other.start, end)
+            if start < other.end - TIME_EPS and other.start < end - TIME_EPS:
+                raise SchedulingError(
+                    "overlap: [%g, %g) collides with [%g, %g) owned by %r"
+                    % (start, end, other.start, other.end, other.owner)
+                )
         # Inlined _insert at the already-bisected index (bisecting
         # _starts again would land on the same position).
-        ends = self._ends
         if (index > 0 and ends[index - 1] > end) or (
             index < len(ends) and end > ends[index]
         ):

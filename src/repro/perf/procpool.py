@@ -125,12 +125,12 @@ def _score_one(gen: dict, pruner, engine, option, strategy):
     return (kind, result.badness(), None, None, tracer.counters.as_dict())
 
 
-def _worker_main(conn, use_engine: bool) -> None:
+def _worker_main(conn, use_engine: bool, timeline: str = "auto") -> None:
     """Worker loop: install generations, score options, reply."""
     from repro.perf.engine import IncrementalEngine
     from repro.perf.prune import CandidatePruner
 
-    engine = IncrementalEngine() if use_engine else None
+    engine = IncrementalEngine(timeline=timeline) if use_engine else None
     gen: Optional[dict] = None
     gen_token = -1
     pruner = None
@@ -332,9 +332,12 @@ class JobWorker:
 class ProcessPoolScorer:
     """Wave-based multi-process scorer over allocation options."""
 
-    def __init__(self, workers: int, use_engine: bool = True) -> None:
+    def __init__(
+        self, workers: int, use_engine: bool = True, timeline: str = "auto"
+    ) -> None:
         """Configure a pool of ``workers`` processes (spawned lazily);
-        ``use_engine`` gives each worker a warm IncrementalEngine."""
+        ``use_engine`` gives each worker a warm IncrementalEngine
+        building ``timeline``-mode timelines."""
         if workers < 2:
             raise ValueError(
                 "a process pool needs >= 2 workers; parallel_eval of 0 "
@@ -342,6 +345,7 @@ class ProcessPoolScorer:
             )
         self.workers = workers
         self.use_engine = use_engine
+        self.timeline = timeline
         self._ctx = _pool_context()
         self._procs: List = []
         self._conns: List = []
@@ -357,7 +361,7 @@ class ProcessPoolScorer:
             parent_conn, child_conn = self._ctx.Pipe(duplex=True)
             proc = self._ctx.Process(
                 target=_worker_main,
-                args=(child_conn, self.use_engine),
+                args=(child_conn, self.use_engine, self.timeline),
                 daemon=True,
             )
             proc.start()

@@ -9,7 +9,13 @@ modes cannot overlap and switching charges the device boot time through
 an implicit ``reboot_task`` (Section 4.3).
 """
 
-from repro.sched.timeline import IntervalTimeline, ModeWindow, PpeModeTimeline
+from repro.sched.timeline import (
+    IntervalTimeline,
+    ModeTimeline,
+    ModeWindow,
+    PpeModeTimeline,
+    Timeline,
+)
 from repro.sched.scheduler import (
     ScheduledEdge,
     ScheduledTask,
@@ -21,8 +27,10 @@ from repro.sched.finish_time import DeadlineReport, evaluate_deadlines
 
 __all__ = [
     "IntervalTimeline",
+    "ModeTimeline",
     "ModeWindow",
     "PpeModeTimeline",
+    "Timeline",
     "ScheduledEdge",
     "ScheduledTask",
     "Schedule",

@@ -105,9 +105,14 @@ class ScheduleRequest:
         to schedule one resource-coupled component at a time.
     context:
         Optional :class:`repro.perf.fastsched.SchedulerContext`.  When
-        set, scheduling runs over the context's cached plan and fast
-        timelines (byte-identical results); None keeps the legacy
-        from-scratch path below.
+        set, scheduling runs over the context's cached plan and its
+        timeline factory pair -- any
+        :class:`~repro.sched.timeline.Timeline` /
+        :class:`~repro.sched.timeline.ModeTimeline` implementation
+        pair selected by ``CrusadeConfig.timeline`` (byte-identical
+        results, enforced by the differential oracle in
+        ``tests/sched``); None keeps the legacy from-scratch path
+        below on the linear reference timelines.
     """
 
     spec: SystemSpec
@@ -342,6 +347,11 @@ def _place_on_processor(
     paying the processor's preemption overhead per resumption
     (Section 5's restricted preemptive scheduling).  The split is used
     only when it strictly improves the task's finish time.
+
+    ``timeline_cls`` is any :class:`~repro.sched.timeline.Timeline`
+    factory; the legacy path passes the linear reference, the planned
+    fast path threads its context's configured implementation
+    (flat-bisected or blocked -- all bit-for-bit interchangeable).
 
     ``split_counts`` (a ``[declined, taken]`` pair) batches the split
     decision counters for the planned fast path, which flushes them to

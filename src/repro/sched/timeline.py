@@ -12,16 +12,115 @@ Two kinds of resources exist:
 
 ASICs execute their mapped tasks as independent circuit blocks, so
 they need no timeline at all.
+
+Both timeline kinds sit behind small abstract bases -- :class:`Timeline`
+and :class:`ModeTimeline` -- that name exactly the operations the
+scheduler and its consumers use.  Three implementations of each exist:
+the naive linear classes here (the reference semantics), the
+bisect-indexed flat-list classes in :mod:`repro.perf.fasttimeline`,
+and the blocked-index classes in :mod:`repro.perf.treetimeline` for
+the long, fragmented timelines of full-scale workloads.  They are
+selected per run by ``CrusadeConfig.timeline`` and are bit-for-bit
+interchangeable (enforced by the differential oracle in
+``tests/sched/oracle.py``).
 """
 
 from __future__ import annotations
 
+import abc
 import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SchedulingError
 from repro.units import TIME_EPS, time_leq, time_lt
+
+
+class Timeline(abc.ABC):
+    """Abstract busy-interval timeline of one serially used resource.
+
+    This is the contract the scheduler (:mod:`repro.sched.scheduler`)
+    and the planned fast path (:mod:`repro.perf.fastsched`) actually
+    program against: earliest-gap queries from a ready time, interval
+    inserts, the restricted-preemption gap-splitting sweep, and the
+    busy/span reductions the reporting layer reads after a run.
+    Implementations are swappable per run (see
+    ``CrusadeConfig.timeline``); the differential oracle in
+    ``tests/sched/oracle.py`` holds every registered implementation to
+    bit-identical answers, which is what makes swapping safe under the
+    repo's byte-identity contract.
+    """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of busy intervals."""
+
+    @property
+    @abc.abstractmethod
+    def intervals(self) -> List["BusyInterval"]:
+        """Busy intervals in time order (read-only view)."""
+
+    @abc.abstractmethod
+    def earliest_fit(self, ready: float, duration: float) -> float:
+        """Earliest start >= ``ready`` with ``duration`` of free time."""
+
+    @abc.abstractmethod
+    def occupy(self, start: float, duration: float, owner: tuple) -> Tuple[float, float]:
+        """Mark [start, start+duration) busy; returns (start, end)."""
+
+    @abc.abstractmethod
+    def split_fit(
+        self,
+        ready: float,
+        duration: float,
+        overhead: float,
+        max_segments: int = 4,
+    ) -> Optional[List[Tuple[float, float]]]:
+        """Segments running ``duration`` of work across free gaps, or
+        None when no split within ``max_segments`` completes it."""
+
+    @abc.abstractmethod
+    def busy_time(self) -> float:
+        """Total occupied time."""
+
+    @abc.abstractmethod
+    def span(self) -> Tuple[float, float]:
+        """(first start, last end), or (0, 0) when empty."""
+
+
+class ModeTimeline(abc.ABC):
+    """Abstract mode-window timeline of one programmable device.
+
+    The scheduler only ever calls :meth:`place`; the validation,
+    Gantt, JSON-export and sharing-analysis layers read
+    :attr:`windows` and the reboot reductions afterwards.  Like
+    :class:`Timeline`, implementations are swappable per run and held
+    to bit-identical placements by the differential oracle.
+    """
+
+    #: Mode windows in time order; implementations must expose a
+    #: list-like, index-addressable sequence (consumers zip and slice).
+    windows: List["ModeWindow"]
+
+    @abc.abstractmethod
+    def place(
+        self,
+        mode: int,
+        ready: float,
+        duration: float,
+        boot_time: float,
+        allowed: Optional[Dict[int, float]] = None,
+    ) -> Tuple[float, float]:
+        """Schedule a task at or after ``ready`` in any allowed mode;
+        returns (start, finish)."""
+
+    @abc.abstractmethod
+    def busy_time(self) -> float:
+        """Total window time (excludes reboot gaps)."""
+
+    @abc.abstractmethod
+    def span(self) -> Tuple[float, float]:
+        """(first start, last end), or (0, 0) when empty."""
 
 
 @dataclass
@@ -39,7 +138,7 @@ class BusyInterval:
             )
 
 
-class IntervalTimeline:
+class IntervalTimeline(Timeline):
     """Busy intervals of a serially used resource, kept sorted.
 
     Supports first-fit placement at or after a ready time, and the
@@ -251,7 +350,7 @@ class ModeWindow:
         return self.end - self.start
 
 
-class PpeModeTimeline:
+class PpeModeTimeline(ModeTimeline):
     """Mode windows of one programmable PE instance.
 
     Tasks of the *same* mode may overlap in time (separate circuit
