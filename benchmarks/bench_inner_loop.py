@@ -9,17 +9,23 @@ at the repository root:
   is rescheduled from scratch by the legacy scheduler;
 * ``seconds_incremental`` -- engine on, pruning off: per-component
   fragment caching, planned scheduling, copy-on-write application;
-* ``seconds_pruned`` -- engine on, pruning on: admissible candidate
-  pruning layered over the engine.  The headline ``speedup`` is
-  from-scratch over pruned.
+* ``seconds_pruned`` -- engine on, pruning on, bound aborts *off*:
+  admissible candidate pruning layered over the engine (directly
+  comparable to records from before the bound-abort layer existed).
+  The headline ``speedup`` is from-scratch over pruned;
+* ``seconds_bound_abort`` -- engine + pruning + incumbent-driven
+  bound aborts: the full optimized stack.  The record carries the
+  abort counters and ``abort_rate`` (``sched.abort / sched.runs``).
 
 ``--pool-workers N`` adds a ``seconds_pooled`` column (engine +
 pruning + an N-worker process pool); it is opt-in because on a
 single-CPU host the pool only adds IPC overhead.  ``--skip-scratch``
 records large workloads (e.g. ``NGXM`` at scale 0.25) without the
-slow baselines: the record carries ``seconds_pruned`` and
-``feasible`` with ``speedup: null``, and the regression check skips
-null-speedup records.
+slow baselines: the record carries the optimized legs and
+``feasible`` with ``speedup: null``.  The regression check falls back
+to comparing ``seconds_pruned`` against the baseline's
+``seconds_pruned`` for such records (pruned-vs-previous-pruned), so
+skip-scratch rows are still guarded rather than silently skipped.
 
 Run directly (not under pytest)::
 
@@ -60,10 +66,10 @@ def _canonical(result) -> str:
 
 
 def _timed_run(spec, incremental: bool, prune: bool, parallel_eval: int = 0,
-               timeline: str = "auto"):
+               timeline: str = "auto", bound_abort: bool = False):
     config = CrusadeConfig(
         incremental=incremental, prune=prune, parallel_eval=parallel_eval,
-        timeline=timeline,
+        timeline=timeline, bound_abort=bound_abort,
     )
     tracer = Tracer()
     started = time.perf_counter()
@@ -82,6 +88,18 @@ def bench_example(name: str, scale: float, pool_workers: int = 0,
     print("  pruned:       %.2fs (cost $%.0f, %s, prune.cut %d)" % (
         seconds_pruned, pruned.cost,
         "feasible" if pruned.feasible else "INFEASIBLE", prune_cut))
+    seconds_bound, bounded, bound_counters = _timed_run(
+        spec, incremental=True, prune=True, timeline=timeline,
+        bound_abort=True,
+    )
+    sched_abort = bound_counters.get("sched.abort", 0)
+    sched_runs = bound_counters.get("sched.runs", 0)
+    abort_rate = (
+        round(sched_abort / sched_runs, 4) if sched_runs else None
+    )
+    print("  bound-abort:  %.2fs (sched.abort %d / sched.runs %d)" % (
+        seconds_bound, sched_abort, sched_runs))
+    canonical_pruned = _canonical(pruned)
     record = {
         "example": name,
         "scale": scale,
@@ -90,12 +108,16 @@ def bench_example(name: str, scale: float, pool_workers: int = 0,
         "seconds_from_scratch": None,
         "seconds_incremental": None,
         "seconds_pruned": round(seconds_pruned, 3),
+        "seconds_bound_abort": round(seconds_bound, 3),
         "speedup": None,
         "speedup_incremental": None,
         "prune_cut": prune_cut,
+        "sched_abort": sched_abort,
+        "sched_runs": sched_runs,
+        "abort_rate": abort_rate,
         "cost": round(pruned.cost, 2),
         "feasible": pruned.feasible,
-        "identical": True,
+        "identical": canonical_pruned == _canonical(bounded),
     }
     if skip_scratch:
         print("  baselines skipped (--skip-scratch)")
@@ -111,8 +133,9 @@ def bench_example(name: str, scale: float, pool_workers: int = 0,
     print("  incremental:  %.2fs" % (seconds_incr,))
     canonical_scratch = _canonical(scratch)
     identical = (
-        canonical_scratch == _canonical(incr)
-        and canonical_scratch == _canonical(pruned)
+        record["identical"]
+        and canonical_scratch == _canonical(incr)
+        and canonical_scratch == canonical_pruned
     )
     record.update({
         "seconds_from_scratch": round(seconds_scratch, 3),
@@ -120,6 +143,9 @@ def bench_example(name: str, scale: float, pool_workers: int = 0,
         "speedup": round(seconds_scratch / max(seconds_pruned, 1e-9), 3),
         "speedup_incremental": round(
             seconds_scratch / max(seconds_incr, 1e-9), 3
+        ),
+        "speedup_bound_abort": round(
+            seconds_scratch / max(seconds_bound, 1e-9), 3
         ),
         "identical": identical,
     })
@@ -152,24 +178,41 @@ def check_regression(records: list, baseline_path: pathlib.Path,
                      max_regression: float) -> list:
     """Speedup regressions beyond tolerance vs. a committed baseline.
 
-    Records without a measured speedup (``--skip-scratch`` rows) are
-    skipped, as are baseline rows without one.
+    Records with a measured ``speedup`` compare it against the
+    baseline's.  Records without one (``--skip-scratch`` rows, where
+    the from-scratch leg is too slow to run) are *not* skipped: their
+    ``seconds_pruned`` wall time is compared against the previous
+    pruned wall time instead, failing when the new run is more than
+    ``max_regression`` slower.  A record is only ever skipped when the
+    baseline has no comparable leg at all.
     """
     baseline = json.loads(baseline_path.read_text()).get("records", [])
     reference = {(r["example"], r["scale"]): r for r in baseline}
     failures = []
     for record in records:
         ref = reference.get((record["example"], record["scale"]))
-        if ref is None or ref.get("speedup") is None:
+        if ref is None:
             continue
-        if record.get("speedup") is None:
+        if record.get("speedup") is not None and ref.get("speedup") is not None:
+            floor = ref["speedup"] * (1.0 - max_regression)
+            if record["speedup"] < floor:
+                failures.append(
+                    "%s@%s: speedup %.2fx below %.2fx (baseline %.2fx - %d%%)"
+                    % (record["example"], record["scale"], record["speedup"],
+                       floor, ref["speedup"], round(max_regression * 100))
+                )
             continue
-        floor = ref["speedup"] * (1.0 - max_regression)
-        if record["speedup"] < floor:
+        # Pruned-vs-previous-pruned fallback for skip-scratch rows.
+        seconds = record.get("seconds_pruned")
+        ref_seconds = ref.get("seconds_pruned")
+        if seconds is None or ref_seconds is None:
+            continue
+        ceiling = ref_seconds * (1.0 + max_regression)
+        if seconds > ceiling:
             failures.append(
-                "%s@%s: speedup %.2fx below %.2fx (baseline %.2fx - %d%%)"
-                % (record["example"], record["scale"], record["speedup"],
-                   floor, ref["speedup"], round(max_regression * 100))
+                "%s@%s: pruned %.2fs above %.2fs (baseline %.2fs + %d%%)"
+                % (record["example"], record["scale"], seconds,
+                   ceiling, ref_seconds, round(max_regression * 100))
             )
     return failures
 

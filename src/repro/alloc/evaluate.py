@@ -227,6 +227,7 @@ def evaluate_architecture(
     graphs: Optional[List[str]] = None,
     tracer: Tracer = NULL_TRACER,
     engine=None,
+    bound: Optional[tuple] = None,
 ) -> EvalResult:
     """Schedule ``arch`` and wrap the finish-time verdict.
 
@@ -235,7 +236,11 @@ def evaluate_architecture(
     architecture with the full graph set.  ``engine`` (an
     :class:`~repro.perf.engine.IncrementalEngine`) reuses cached
     per-component schedule fragments; the verdict is byte-identical to
-    the from-scratch path either way.
+    the from-scratch path either way.  ``bound`` (an incumbent badness
+    tuple) enables bounded search: scheduling raises
+    :class:`~repro.sched.scheduler.ScheduleAbort` the moment the
+    candidate provably loses to the incumbent -- callers passing a
+    bound must be prepared to discard the candidate on that exception.
     """
     tracer.incr("alloc.evaluations")
     if graphs is not None:
@@ -246,7 +251,7 @@ def evaluate_architecture(
     if engine is not None:
         schedule, report = engine.evaluate(
             scoped_spec, scoped_assoc, clustering, arch, priorities,
-            boot_time_fn, preemption, tracer,
+            boot_time_fn, preemption, tracer, bound=bound,
         )
     else:
         request = ScheduleRequest(
@@ -258,6 +263,7 @@ def evaluate_architecture(
             boot_time_fn=boot_time_fn,
             preemption=preemption,
             tracer=tracer,
+            bound=bound,
         )
         schedule = build_schedule(request)
         report = evaluate_deadlines(schedule, scoped_spec, scoped_assoc)

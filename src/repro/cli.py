@@ -75,6 +75,12 @@ def _add_synthesize(subparsers) -> None:
     p.add_argument("--no-prune", action="store_true",
                    help="disable admissible candidate pruning "
                         "(evaluate every allocation candidate)")
+    p.add_argument("--no-bound-abort", action="store_true",
+                   help="disable incumbent-driven bound aborts "
+                        "(evaluate every candidate to completion)")
+    p.add_argument("--pool-batch", type=int, default=4, metavar="N",
+                   help="candidate submissions per pool-worker message "
+                        "(default 4; 1 = the unbatched protocol)")
     p.add_argument("--parallel-eval", type=_parallel_eval_arg, default=0,
                    metavar="N|auto",
                    help="score allocation candidates with N worker processes "
@@ -88,8 +94,9 @@ def _add_synthesize(subparsers) -> None:
                         "identical either way")
     p.add_argument("--profile", type=int, default=0, metavar="N",
                    help="run synthesis under cProfile, print the top-N "
-                        "cumulative functions and write profile.pstats "
-                        "next to the result JSON (or the CWD)")
+                        "cumulative functions and write "
+                        "profile-<spec fingerprint>.pstats next to the "
+                        "result JSON (or the CWD)")
 
 
 def _add_generate(subparsers) -> None:
@@ -207,12 +214,27 @@ def _build_tracer(args):
     return Tracer(sinks=sinks)
 
 
-def _profile_path(args) -> str:
-    """``profile.pstats`` next to the result JSON, or in the CWD."""
+def _spec_fingerprint(spec) -> str:
+    """A stable short digest of the canonical spec JSON."""
+    import hashlib
+    import json
+
+    payload = json.dumps(spec_to_dict(spec), sort_keys=True).encode("utf-8")
+    return hashlib.sha1(payload).hexdigest()[:12]
+
+
+def _profile_path(args, spec) -> str:
+    """``profile-<spec fingerprint>.pstats`` next to the result JSON,
+    or in the CWD.
+
+    The fingerprint keeps two profiled runs sharing a working
+    directory from silently clobbering each other's dump.
+    """
+    name = "profile-%s.pstats" % _spec_fingerprint(spec)
     if args.out:
         directory = os.path.dirname(os.path.abspath(args.out))
-        return os.path.join(directory, "profile.pstats")
-    return "profile.pstats"
+        return os.path.join(directory, name)
+    return name
 
 
 def _cmd_synthesize(args) -> int:
@@ -222,7 +244,9 @@ def _cmd_synthesize(args) -> int:
         max_explicit_copies=args.copies,
         incremental=not args.no_incremental,
         prune=not args.no_prune,
+        bound_abort=not args.no_bound_abort,
         parallel_eval=args.parallel_eval,
+        pool_batch=args.pool_batch,
         timeline=args.timeline,
     )
     tracer = _build_tracer(args)
@@ -255,7 +279,7 @@ def _cmd_synthesize(args) -> int:
     if profiler is not None:
         import pstats
 
-        path = _profile_path(args)
+        path = _profile_path(args, spec)
         profiler.dump_stats(path)
         print()
         stats = pstats.Stats(profiler, stream=sys.stdout)

@@ -87,6 +87,24 @@ class CrusadeConfig:
         a kill switch.  Only consulted on the engine path -- the
         legacy from-scratch scheduler always uses the linear reference
         timelines.
+    bound_abort:
+        Incumbent-driven bounded search: candidate evaluations carry
+        the incumbent's badness tuple into the scheduler, which aborts
+        the moment the partial schedule's proven violation count
+        exceeds it (:class:`~repro.sched.scheduler.ScheduleAbort`).
+        Pure dominance -- aborted candidates provably lose to the
+        incumbent, so the chosen candidate and final architecture are
+        byte-identical either way; ``False`` (or the
+        ``REPRO_NO_BOUND_ABORT=1`` environment variable) evaluates
+        every candidate to completion.  Aborts are reported as
+        ``sched.abort`` / ``sched.abort.<reason>`` counters.
+    pool_batch:
+        Candidate submissions per pool-worker message in the parallel
+        scorer (:mod:`repro.perf.procpool`), amortizing pipe IPC; the
+        parent rebroadcasts the freshest incumbent bound between
+        batches.  ``1`` restores the PR-6 one-option-per-message
+        protocol exactly (the batched-pool kill switch).  Results are
+        byte-identical for any value.
     policy:
         Name of the registered :class:`~repro.core.stages.policies.
         SynthesisPolicy` steering the heuristic's open decision points
@@ -114,11 +132,15 @@ class CrusadeConfig:
     parallel_eval: int = 0
     prune: bool = True
     timeline: str = "auto"
+    bound_abort: bool = True
+    pool_batch: int = 4
     policy: str = "default"
 
     def __post_init__(self) -> None:
         if self.parallel_eval < 0:
             raise SpecificationError("parallel_eval must be >= 0")
+        if self.pool_batch < 1:
+            raise SpecificationError("pool_batch must be >= 1")
         if self.timeline not in ("list", "tree", "auto"):
             raise SpecificationError(
                 "timeline must be one of 'list', 'tree', 'auto'"

@@ -33,7 +33,8 @@ from repro.core.stages.support import (
     compute_priorities,
     coupled_graphs,
 )
-from repro.perf.prune import CandidatePruner, pruning_active
+from repro.perf.prune import CandidatePruner, bound_abort_active, pruning_active
+from repro.sched.scheduler import ScheduleAbort
 from repro.alloc.array import build_allocation_array
 from repro.alloc.evaluate import (
     EvalResult,
@@ -118,6 +119,7 @@ class Allocation(Stage):
         ctx.priorities = compute_priorities(ctx.spec, ctx.pessimistic)
         ctx.fast = ctx.config.use_fast_inner_loop(ctx.spec.total_tasks)
         ctx.prune_on = pruning_active(ctx.config)
+        ctx.bound_abort_on = bound_abort_active(ctx.config)
         ctx.allocation_feasible = True
         # Allocation-aware priorities reuse previous values for graphs
         # the placement cannot have perturbed -- but only once the
@@ -181,6 +183,28 @@ class Allocation(Stage):
         self.resolve_fallback(ctx, cluster, selection)
         return selection
 
+    @staticmethod
+    def incumbent_bound(
+        ctx: SynthesisContext, selection: CandidateSelection
+    ) -> Optional[tuple]:
+        """The badness tuple in-flight evaluations may abort against.
+
+        The current least-infeasible incumbent: an aborted candidate
+        provably exceeds its violation count, so it can neither be
+        feasible nor win the ``(badness, seq)`` argmin -- dropping it
+        changes nothing (see :class:`~repro.sched.scheduler.
+        ScheduleAbort`).  None disables aborting.
+        """
+        if ctx.bound_abort_on and selection.fallback_key is not None:
+            return selection.fallback_key[0]
+        return None
+
+    @staticmethod
+    def count_abort(ctx: SynthesisContext, reason: str) -> None:
+        """Book one aborted evaluation under its per-reason counter."""
+        ctx.tracer.incr("sched.abort")
+        ctx.tracer.incr("sched.abort." + reason)
+
     def evaluate_candidate(
         self, ctx: SynthesisContext, cluster: Cluster, option, strategy
     ) -> Optional[EvalResult]:
@@ -238,8 +262,12 @@ class Allocation(Stage):
                 "preemption": ctx.config.preemption,
                 "fast": ctx.fast,
                 "prune": ctx.prune_on,
+                "bound_abort": ctx.bound_abort_on,
             })
-        records = scorer.score(gen_token, options, strategy, ctx.tracer)
+        records = scorer.score(
+            gen_token, options, strategy, ctx.tracer,
+            bound=self.incumbent_bound(ctx, selection),
+        )
         for offset, record in enumerate(records):
             kind, badness, floor, reason = record
             option = options[offset]
@@ -255,6 +283,11 @@ class Allocation(Stage):
                 continue
             if ctx.prune_on:
                 ctx.tracer.incr("prune.kept")
+            if kind == "aborted":
+                # Worker-side bound abort: provably loses to an
+                # earlier-seq incumbent, dropped like the serial path.
+                self.count_abort(ctx, reason)
+                continue
             if kind == "feasible":
                 # Workers ship verdict summaries, not schedules;
                 # materialize the winner locally.
@@ -304,17 +337,24 @@ class Allocation(Stage):
                         selection.defer_pruned(cut.floor, option, strategy)
                         continue
                     ctx.tracer.incr("prune.kept")
-                verdict = evaluate_architecture(
-                    ctx.spec,
-                    ctx.assoc,
-                    ctx.clustering,
-                    ctx.arch,
-                    ctx.priorities,
-                    preemption=ctx.config.preemption,
-                    graphs=graphs,
-                    tracer=ctx.tracer,
-                    engine=ctx.engine,
-                )
+                try:
+                    verdict = evaluate_architecture(
+                        ctx.spec,
+                        ctx.assoc,
+                        ctx.clustering,
+                        ctx.arch,
+                        ctx.priorities,
+                        preemption=ctx.config.preemption,
+                        graphs=graphs,
+                        tracer=ctx.tracer,
+                        engine=ctx.engine,
+                        bound=self.incumbent_bound(ctx, selection),
+                    )
+                except ScheduleAbort as abort:
+                    # The finally block reverts the overlay (keep is
+                    # still False); the candidate is simply dropped.
+                    self.count_abort(ctx, abort.reason)
+                    continue
                 if verdict.feasible:
                     selection.choose(verdict, touched=handle.touched_pes)
                     keep = True
@@ -371,16 +411,21 @@ class Allocation(Stage):
                     selection.defer_pruned(cut.floor, option, strategy)
                     continue
                 ctx.tracer.incr("prune.kept")
-            verdict = evaluate_architecture(
-                ctx.spec,
-                ctx.assoc,
-                ctx.clustering,
-                trial,
-                ctx.priorities,
-                preemption=ctx.config.preemption,
-                graphs=graphs,
-                tracer=ctx.tracer,
-            )
+            try:
+                verdict = evaluate_architecture(
+                    ctx.spec,
+                    ctx.assoc,
+                    ctx.clustering,
+                    trial,
+                    ctx.priorities,
+                    preemption=ctx.config.preemption,
+                    graphs=graphs,
+                    tracer=ctx.tracer,
+                    bound=self.incumbent_bound(ctx, selection),
+                )
+            except ScheduleAbort as abort:
+                self.count_abort(ctx, abort.reason)
+                continue
             if verdict.feasible:
                 selection.choose(verdict)
                 break

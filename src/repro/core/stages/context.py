@@ -74,6 +74,7 @@ class SynthesisContext:
     scorer: Optional[ProcessPoolScorer] = None
     fast: bool = False
     prune_on: bool = False
+    bound_abort_on: bool = False
     allocation_feasible: bool = True
     #: Whether ``priorities`` already reflect a partial allocation
     #: (pre-allocation pessimistic levels price edges differently).
@@ -140,6 +141,7 @@ class SynthesisContext:
                 self.config.parallel_eval,
                 use_engine=self.engine is not None,
                 timeline=self.config.timeline,
+                batch=self.config.pool_batch,
             ) as scorer:
                 self.scorer = scorer
                 try:

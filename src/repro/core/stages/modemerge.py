@@ -31,6 +31,7 @@ from repro.core.stages.support import (
 from repro.reconfig.compatibility import CompatibilityAnalysis
 from repro.reconfig.interface import synthesize_interface
 from repro.reconfig.merge import merge_reconfigurable_pes
+from repro.sched.scheduler import ScheduleAbort
 from repro.alloc.evaluate import EvalResult, evaluate_architecture
 
 _log = logging.getLogger("repro.crusade")
@@ -141,6 +142,9 @@ class ModeMerge(Stage):
             incremental=ctx.config.incremental,
             parallel_eval=ctx.config.parallel_eval,
             prune=ctx.config.prune,
+            timeline=ctx.config.timeline,
+            bound_abort=ctx.config.bound_abort,
+            pool_batch=ctx.config.pool_batch,
             policy=ctx.config.policy,
         )
         ctx.baseline = synthesize(
@@ -196,7 +200,23 @@ class ModeMerge(Stage):
         self, ctx: SynthesisContext, route_priorities
     ) -> Callable[[Architecture], Optional[EvalResult]]:
         """Trial evaluator bound to one route's priority levels:
-        interface synthesis + full schedule."""
+        interface synthesis + full schedule.
+
+        Under the paper's feasible-and-cheaper acceptance rule every
+        consumer of this evaluator (the route seeding check, the
+        merge array, mode combining) rejects any verdict that is not
+        feasible, so a single proven violation dooms the trial: the
+        scheduler runs under a zero-violation bound and aborts early.
+        A custom ``accept_merge`` hook may accept infeasible
+        verdicts, so it disables the bound -- the same gating as the
+        merge loop's dollar-cost prune.  An aborted trial is rejected
+        as if interface synthesis had failed (reason counters book it
+        as ``interface`` rather than ``deadline``; the decision is
+        identical).
+        """
+        bound = None
+        if ctx.bound_abort_on and ctx.policy.accept_merge is None:
+            bound = (0, 0.0, 0.0)
 
         def evaluate_with_interface(candidate: Architecture):
             """Score a merge trial, boot times from a fresh interface."""
@@ -206,17 +226,23 @@ class ModeMerge(Stage):
                 )
             except SynthesisError:
                 return None
-            verdict = evaluate_architecture(
-                ctx.spec,
-                ctx.assoc,
-                ctx.clustering,
-                candidate,
-                route_priorities,
-                boot_time_fn=plan.boot_time_fn(),
-                preemption=ctx.config.preemption,
-                tracer=ctx.tracer,
-                engine=ctx.engine,
-            )
+            try:
+                verdict = evaluate_architecture(
+                    ctx.spec,
+                    ctx.assoc,
+                    ctx.clustering,
+                    candidate,
+                    route_priorities,
+                    boot_time_fn=plan.boot_time_fn(),
+                    preemption=ctx.config.preemption,
+                    tracer=ctx.tracer,
+                    engine=ctx.engine,
+                    bound=bound,
+                )
+            except ScheduleAbort as abort:
+                ctx.tracer.incr("sched.abort")
+                ctx.tracer.incr("sched.abort." + abort.reason)
+                return None
             verdict.interface = plan  # type: ignore[attr-defined]
             return verdict
 

@@ -26,7 +26,8 @@ from repro.graph.association import AssociationArray
 from repro.graph.spec import SystemSpec
 from repro.obs.trace import Tracer
 from repro.perf.engine import IncrementalEngine
-from repro.perf.prune import RepairBound, pruning_active
+from repro.perf.prune import RepairBound, bound_abort_active, pruning_active
+from repro.sched.scheduler import ScheduleAbort
 from repro.alloc.array import build_allocation_array
 from repro.alloc.evaluate import (
     EvalResult,
@@ -72,6 +73,23 @@ def repair_pass(
     repair_bound = (
         RepairBound(spec, assoc, clustering) if pruning_active(config) else None
     )
+    bounding = bound_abort_active(config)
+
+    def abort_bound(round_best: Optional[EvalResult]) -> Optional[tuple]:
+        """Badness an evaluation may abort against: the tightest
+        incumbent the keep rule compares with.  A kept re-homing must
+        beat *both* ``current`` and ``round_best`` (or meet every
+        deadline, impossible with > bound[0] >= 1 violations), so an
+        abort against their minimum is pure dominance."""
+        if not bounding:
+            return None
+        tightest = current.badness()
+        if round_best is not None:
+            challenger = round_best.badness()
+            if challenger < tightest:
+                tightest = challenger
+        return tightest
+
     for _ in range(max_rounds):
         if current.report.all_met:
             break
@@ -174,16 +192,22 @@ def repair_pass(
                                 continue
                             tracer.incr("prune.kept")
                             tracer.incr("prune.kept.repair")
-                        verdict = evaluate_architecture(
-                            spec,
-                            assoc,
-                            clustering,
-                            stripped,
-                            priorities,
-                            preemption=config.preemption,
-                            tracer=tracer,
-                            engine=engine,
-                        )
+                        try:
+                            verdict = evaluate_architecture(
+                                spec,
+                                assoc,
+                                clustering,
+                                stripped,
+                                priorities,
+                                preemption=config.preemption,
+                                tracer=tracer,
+                                engine=engine,
+                                bound=abort_bound(round_best),
+                            )
+                        except ScheduleAbort as abort:
+                            tracer.incr("sched.abort")
+                            tracer.incr("sched.abort." + abort.reason)
+                            continue
                         # Materialize the applied state only for
                         # verdicts the selection below will keep.
                         if verdict.report.all_met or (
@@ -213,15 +237,21 @@ def repair_pass(
                             continue
                         tracer.incr("prune.kept")
                         tracer.incr("prune.kept.repair")
-                    verdict = evaluate_architecture(
-                        spec,
-                        assoc,
-                        clustering,
-                        trial,
-                        priorities,
-                        preemption=config.preemption,
-                        tracer=tracer,
-                    )
+                    try:
+                        verdict = evaluate_architecture(
+                            spec,
+                            assoc,
+                            clustering,
+                            trial,
+                            priorities,
+                            preemption=config.preemption,
+                            tracer=tracer,
+                            bound=abort_bound(round_best),
+                        )
+                    except ScheduleAbort as abort:
+                        tracer.incr("sched.abort")
+                        tracer.incr("sched.abort." + abort.reason)
+                        continue
                 if verdict.report.all_met:
                     current = verdict
                     solved = True

@@ -66,9 +66,15 @@ from repro.sched.finish_time import (
     deadline_lateness,
     resource_demand,
 )
-from repro.sched.scheduler import Schedule, ScheduleRequest, build_schedule
+from repro.sched.scheduler import (
+    Schedule,
+    ScheduleAbort,
+    ScheduleRequest,
+    build_schedule,
+)
 from repro.perf.fastsched import SchedulerContext
 from repro.perf.fingerprint import component_fingerprint, partition_components
+from repro.units import TIME_EPS
 
 #: Environment kill switch: restore the from-scratch evaluation path.
 KILL_SWITCH_ENV = "REPRO_NO_INCREMENTAL"
@@ -77,13 +83,14 @@ KILL_SWITCH_ENV = "REPRO_NO_INCREMENTAL"
 class Fragment:
     """Cached verdict for one resource-coupled component."""
 
-    __slots__ = ("schedule", "lateness", "demand")
+    __slots__ = ("schedule", "lateness", "demand", "misses")
 
     def __init__(
         self,
         schedule: Schedule,
         lateness: Dict[str, Dict[tuple, float]],
         demand: Dict[str, float],
+        misses: int,
     ) -> None:
         """Freeze one component's schedule, lateness and demand."""
         self.schedule = schedule
@@ -91,6 +98,12 @@ class Fragment:
         #: order identical to the from-scratch evaluation's.
         self.lateness = lateness
         self.demand = demand
+        #: Count of missed deadline instances (lateness > TIME_EPS).
+        #: Stored because it is capacity-independent; the overload
+        #: contribution is *not* stored -- cached fragments can be
+        #: replayed under scoped associations with different
+        #: hyperperiods, so it is derived from ``demand`` per call.
+        self.misses = misses
 
 
 class IncrementalEngine:
@@ -148,14 +161,26 @@ class IncrementalEngine:
         boot_time_fn: Optional[Callable[[PEInstance, int], float]],
         preemption: bool,
         tracer: Tracer,
+        bound: Optional[tuple] = None,
     ) -> Tuple[Schedule, DeadlineReport]:
         """Schedule ``arch`` against ``spec``, reusing cached fragments
-        for components whose fingerprints are unchanged."""
+        for components whose fingerprints are unchanged.
+
+        ``bound`` enables bounded search: each fragment is scheduled
+        with the violations of all earlier fragments carried as its
+        ``bound_base``, and a cache-hit fragment that tips the running
+        count raises :class:`~repro.sched.scheduler.ScheduleAbort`
+        (reason ``"carried"``) -- so the abort decision matches a
+        monolithic run exactly.  Fragments completed before an abort
+        are cached normally (they are valid verdicts).
+        """
         names = spec.graph_names()
         clusters_of_graph = self._clusters_of_graph(clustering)
         boot_fn = boot_time_fn or default_boot_time
         components = partition_components(names, arch, clusters_of_graph)
 
+        base = 0
+        capacity = assoc.hyperperiod
         fragments: List[Fragment] = []
         for component in components:
             key = component_fingerprint(
@@ -173,6 +198,7 @@ class IncrementalEngine:
                 fragment = self._build_fragment(
                     component, spec, assoc, clustering, arch, priorities,
                     boot_time_fn, preemption, tracer,
+                    bound=bound, bound_base=base,
                 )
                 with self._lock:
                     self._fragments[key] = fragment
@@ -180,6 +206,13 @@ class IncrementalEngine:
                         self._fragments.popitem(last=False)
                         tracer.incr("perf.schedule.evictions")
             fragments.append(fragment)
+            if bound is not None:
+                base += fragment.misses
+                for load in fragment.demand.values():
+                    if load / capacity > _OVERLOAD_TOLERANCE:
+                        base += 1
+                if base > bound[0]:
+                    raise ScheduleAbort("carried")
 
         return self._merge(names, components, fragments, assoc)
 
@@ -195,6 +228,8 @@ class IncrementalEngine:
         boot_time_fn,
         preemption: bool,
         tracer: Tracer,
+        bound: Optional[tuple] = None,
+        bound_base: int = 0,
     ) -> Fragment:
         request = ScheduleRequest(
             spec=spec,
@@ -207,6 +242,8 @@ class IncrementalEngine:
             tracer=tracer,
             graphs=frozenset(component),
             context=self.context,
+            bound=bound,
+            bound_base=bound_base,
         )
         schedule = build_schedule(request)
         # The planned scheduler emits both verdict by-products inline
@@ -222,7 +259,12 @@ class IncrementalEngine:
         demand = getattr(schedule, "planned_demand", None)
         if demand is None:
             demand = resource_demand(schedule, assoc, set(component))
-        return Fragment(schedule, lateness, demand)
+        misses = 0
+        for per_graph in lateness.values():
+            for value in per_graph.values():
+                if value > TIME_EPS:
+                    misses += 1
+        return Fragment(schedule, lateness, demand, misses)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -47,6 +47,8 @@ from repro.resources.pe import PEKind
 from repro.perf.fasttimeline import FastPpeModeTimeline, FastTimeline
 from repro.perf.treetimeline import resolve_timeline
 from repro.sched import tlrecord
+from repro.sched.finish_time import _OVERLOAD_TOLERANCE
+from repro.units import TIME_EPS
 
 #: Plans are tiny next to schedule fragments, but the scoped sub-spec
 #: cache they key off is itself LRU-bounded -- keep a little headroom.
@@ -58,7 +60,7 @@ class _Plan:
 
     __slots__ = (
         "records", "roots", "indegree", "total", "keepalive", "wcet",
-        "deadline_rows", "ncopies",
+        "deadline_rows", "ncopies", "_deadline_by_key",
     )
 
     def __init__(
@@ -91,6 +93,22 @@ class _Plan:
         self.deadline_rows = deadline_rows
         #: graph name -> association copy count (demand multiplier).
         self.ncopies = ncopies
+        #: lazy flat view of ``deadline_rows`` for the bound-abort
+        #: deadline check (key -> absolute deadline).
+        self._deadline_by_key = None
+
+    def deadline_map(self) -> dict:
+        """Instance key -> absolute deadline, flattened lazily from
+        ``deadline_rows`` (same floats, so the inline deadline check
+        matches the post-pass lateness exactly)."""
+        flat = self._deadline_by_key
+        if flat is None:
+            flat = {}
+            for rows in self.deadline_rows.values():
+                for row_key, absolute in rows:
+                    flat[row_key] = absolute
+            self._deadline_by_key = flat
+        return flat
 
 
 def _build_plan(request) -> _Plan:
@@ -282,6 +300,7 @@ def build_schedule_planned(request, context: SchedulerContext):
     """
     from repro.sched.scheduler import (
         Schedule,
+        ScheduleAbort,
         ScheduledEdge,
         ScheduledTask,
         _place_on_processor,
@@ -313,6 +332,18 @@ def build_schedule_planned(request, context: SchedulerContext):
     records = plan.records
     wcet_memo = plan.wcet
     ncopies = plan.ncopies
+    # Bounded-search bookkeeping: the inline demand map below is
+    # already bit-identical to the post-pass recomputation, so the
+    # abort trigger (violations > bound[0]) only needs the crossing
+    # checks and the plan's absolute deadlines (see
+    # :class:`repro.sched.scheduler.ScheduleAbort`).
+    bound = request.bound
+    if bound is not None:
+        bound_limit = bound[0]
+        violations = request.bound_base
+        capacity = request.assoc.hyperperiod
+        crossed: set = set()
+        deadline_by_key = plan.deadline_map()
     indegree = dict(plan.indegree)
     heap: List[Tuple[float, float, tuple]] = []
     for key in plan.roots:
@@ -400,9 +431,19 @@ def build_schedule_planned(request, context: SchedulerContext):
                 key=edge_key, link_id=link_id, start=start, finish=finish
             )
             if key[1] == 0:
-                demand[link_id] = demand.get(link_id, 0.0) + (
+                load = demand.get(link_id, 0.0) + (
                     finish - start
                 ) * ncopies[graph_name]
+                demand[link_id] = load
+                if (
+                    bound is not None
+                    and link_id not in crossed
+                    and load / capacity > _OVERLOAD_TOLERANCE
+                ):
+                    crossed.add(link_id)
+                    violations += 1
+                    if violations > bound_limit:
+                        raise ScheduleAbort("overload")
             if finish > ready:
                 ready = finish
 
@@ -425,9 +466,19 @@ def build_schedule_planned(request, context: SchedulerContext):
                     timeline_cls=timeline_cls, split_counts=split_counts,
                 )
                 if key[1] == 0:
-                    demand[pe_id] = demand.get(pe_id, 0.0) + (
+                    load = demand.get(pe_id, 0.0) + (
                         finish - start
                     ) * ncopies[graph_name]
+                    demand[pe_id] = load
+                    if (
+                        bound is not None
+                        and pe_id not in crossed
+                        and load / capacity > _OVERLOAD_TOLERANCE
+                    ):
+                        crossed.add(pe_id)
+                        violations += 1
+                        if violations > bound_limit:
+                            raise ScheduleAbort("overload")
             elif kind is PEKind.ASIC:
                 start, finish = ready, ready + wcet
             else:
@@ -454,9 +505,19 @@ def build_schedule_planned(request, context: SchedulerContext):
                     allowed_sorted=allowed_sorted,
                 )
                 if key[1] == 0:
-                    demand[pe_id] = demand.get(pe_id, 0.0) + (
+                    load = demand.get(pe_id, 0.0) + (
                         finish - start
                     ) * ncopies[graph_name]
+                    demand[pe_id] = load
+                    if (
+                        bound is not None
+                        and pe_id not in crossed
+                        and load / capacity > _OVERLOAD_TOLERANCE
+                    ):
+                        crossed.add(pe_id)
+                        violations += 1
+                        if violations > bound_limit:
+                            raise ScheduleAbort("overload")
         tasks[key] = ScheduledTask(
             key=key,
             pe_id=pe_id,
@@ -466,6 +527,12 @@ def build_schedule_planned(request, context: SchedulerContext):
             preempted=was_split,
         )
         scheduled_count += 1
+        if bound is not None:
+            absolute = deadline_by_key.get(key)
+            if absolute is not None and finish - absolute > TIME_EPS:
+                violations += 1
+                if violations > bound_limit:
+                    raise ScheduleAbort("deadline")
 
         # 3. Release successors.
         if succs:

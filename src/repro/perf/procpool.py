@@ -13,26 +13,40 @@ Protocol
 The parent pickles one *generation* blob per cluster iteration (spec,
 association array, clustering, the working architecture, priorities,
 the cluster, and the evaluation knobs) and tags it with a monotonic
-token.  Work units carry only the token, the option, and the link
-strategy; a worker that has not yet seen the token receives the blob
-immediately before its first unit, so each worker deserializes each
-generation at most once.  Workers reply with a compact verdict --
-``(kind, badness, prune-floor, counter-deltas)`` -- never a schedule,
-so IPC stays small.
+token.  Work units carry the token, a *chunk* of up to ``batch``
+consecutive options, and the link strategy; a worker that has not yet
+seen the token receives the blob immediately before its first unit,
+so each worker deserializes each generation at most once.  Workers
+reply one list of compact verdicts per chunk -- each
+``(kind, badness, prune-floor, reason, counter-deltas)`` -- never a
+schedule, so IPC stays small, and batching amortizes the per-message
+pipe cost.  When the generation carries ``bound_abort``, the parent
+additionally broadcasts the freshest incumbent badness
+(``("bound", token, badness)``) to a worker right before dispatching
+to it, and each worker folds its own infeasible results into that
+*local* bound, so in-flight evaluations abort as early as the serial
+loop's would (see :class:`~repro.sched.scheduler.ScheduleAbort`);
+aborted evaluations come back as ``"aborted"`` records.
 
 Determinism
 -----------
 
-Options are dispatched in waves of ``workers`` and consumed strictly
+Chunks are dispatched in waves of ``workers`` and consumed strictly
 in option-index order; the first feasible option wins and the
 least-infeasible fallback uses the same earliest-minimum rule, so
-selection is byte-identical to the serial loop.  The parent
-re-evaluates only the winning (or fallback) option locally to
-materialize the full verdict.  Worker counter deltas are merged in
-index order over every dispatched wave, so totals are deterministic;
-as with the old thread scorer, *evaluation* counters may exceed the
-serial counts because a wave is always scored in full even when an
-early member is feasible.
+selection is byte-identical to the serial loop.  A bound a worker
+holds is always the badness of an *earlier-seq* candidate, so an
+abort only ever discards candidates that provably lose the
+``(badness, seq)`` argmin -- stale bounds abort a subset, never a
+different set.  The parent re-evaluates only the winning (or
+fallback) option locally to materialize the full verdict.  Worker
+counter deltas are merged in index order over every dispatched wave,
+so totals are deterministic; as with the old thread scorer,
+*evaluation* counters may exceed the serial counts because a wave is
+always scored in full even when an early member is feasible (workers
+do truncate their own chunk at its first feasible option).
+``batch=1`` restores the PR-6 one-option-per-message protocol
+exactly.
 
 ``CrusadeConfig.parallel_eval`` counts worker processes: ``0`` and
 ``1`` both mean no pool (a 1-worker pool can never beat the serial
@@ -77,17 +91,19 @@ def _pool_context():
 MIN_FRONTIER_FACTOR = 2
 
 #: One scored option: kind is "apply_failed" | "pruned" | "feasible" |
-#: "infeasible"; badness is the verdict's badness tuple (None unless
-#: evaluated); floor and reason are the admissible prune floor and
-#: cut reason (None unless pruned).
+#: "infeasible" | "aborted"; badness is the verdict's badness tuple
+#: (None unless evaluated to completion); floor and reason are the
+#: admissible prune floor and cut reason (None unless pruned) -- for
+#: "aborted" records, reason is the :class:`ScheduleAbort` reason.
 OptionRecord = Tuple[str, Optional[tuple], Optional[tuple], Optional[str]]
 
 
-def _score_one(gen: dict, pruner, engine, option, strategy):
+def _score_one(gen: dict, pruner, engine, option, strategy, bound=None):
     """Score one allocation option inside a worker process."""
     from repro.errors import AllocationError
     from repro.alloc.evaluate import apply_option, evaluate_architecture
     from repro.core.stages.support import coupled_graphs
+    from repro.sched.scheduler import ScheduleAbort
 
     tracer = Tracer()
     cluster = gen["cluster"]
@@ -110,23 +126,27 @@ def _score_one(gen: dict, pruner, engine, option, strategy):
                 "pruned", None, verdict.floor, verdict.reason,
                 tracer.counters.as_dict(),
             )
-    result = evaluate_architecture(
-        gen["spec"],
-        gen["assoc"],
-        gen["clustering"],
-        trial,
-        gen["priorities"],
-        preemption=gen["preemption"],
-        graphs=graphs,
-        tracer=tracer,
-        engine=engine,
-    )
+    try:
+        result = evaluate_architecture(
+            gen["spec"],
+            gen["assoc"],
+            gen["clustering"],
+            trial,
+            gen["priorities"],
+            preemption=gen["preemption"],
+            graphs=graphs,
+            tracer=tracer,
+            engine=engine,
+            bound=bound,
+        )
+    except ScheduleAbort as abort:
+        return ("aborted", None, None, abort.reason, tracer.counters.as_dict())
     kind = "feasible" if result.feasible else "infeasible"
     return (kind, result.badness(), None, None, tracer.counters.as_dict())
 
 
 def _worker_main(conn, use_engine: bool, timeline: str = "auto") -> None:
-    """Worker loop: install generations, score options, reply."""
+    """Worker loop: install generations, score option chunks, reply."""
     from repro.perf.engine import IncrementalEngine
     from repro.perf.prune import CandidatePruner
 
@@ -134,6 +154,12 @@ def _worker_main(conn, use_engine: bool, timeline: str = "auto") -> None:
     gen: Optional[dict] = None
     gen_token = -1
     pruner = None
+    bounding = False
+    #: Tightest incumbent badness this worker knows for the current
+    #: generation: the min of what the parent broadcast and the
+    #: worker's own infeasible results -- every contributor is an
+    #: earlier-seq candidate, so aborting against it is admissible.
+    local_bound: Optional[tuple] = None
     while True:
         try:
             msg = conn.recv()
@@ -145,23 +171,47 @@ def _worker_main(conn, use_engine: bool, timeline: str = "auto") -> None:
             gen_token = msg[1]
             gen = pickle.loads(msg[2])
             pruner = None
+            bounding = bool(gen.get("bound_abort", False))
+            local_bound = None
             if gen["prune"]:
                 pruner = CandidatePruner(
                     gen["spec"], gen["assoc"], gen["clustering"],
                     gen["cluster"],
                 )
             continue
-        # ("opt", token, index, option, strategy)
-        _, token, index, option, strategy = msg
+        if msg[0] == "bound":
+            # ("bound", token, badness)
+            if msg[1] == gen_token and msg[2] is not None:
+                incoming = tuple(msg[2])
+                if local_bound is None or incoming < local_bound:
+                    local_bound = incoming
+            continue
+        # ("opts", token, start, options_chunk, strategy)
+        _, token, start, chunk, strategy = msg
         if token != gen_token or gen is None:
-            conn.send((index, "stale", None, None, None, {}))
+            conn.send((start, "stale"))
             continue
-        try:
-            record = _score_one(gen, pruner, engine, option, strategy)
-        except Exception as exc:  # surfaced by the parent
-            conn.send((index, "error", repr(exc), None, None, {}))
-            continue
-        conn.send((index,) + record)
+        out = []
+        for option in chunk:
+            try:
+                record = _score_one(
+                    gen, pruner, engine, option, strategy,
+                    bound=local_bound if bounding else None,
+                )
+            except Exception as exc:  # surfaced by the parent
+                out.append(("error", repr(exc), None, None, {}))
+                break
+            out.append(record)
+            kind, badness = record[0], record[1]
+            if bounding and kind == "infeasible" and badness is not None:
+                tightened = tuple(badness)
+                if local_bound is None or tightened < local_bound:
+                    local_bound = tightened
+            if kind == "feasible":
+                # The generation is decided; the rest of the chunk
+                # could only be drained unread.
+                break
+        conn.send((start, out))
     conn.close()
 
 
@@ -333,25 +383,38 @@ class ProcessPoolScorer:
     """Wave-based multi-process scorer over allocation options."""
 
     def __init__(
-        self, workers: int, use_engine: bool = True, timeline: str = "auto"
+        self,
+        workers: int,
+        use_engine: bool = True,
+        timeline: str = "auto",
+        batch: int = 1,
     ) -> None:
         """Configure a pool of ``workers`` processes (spawned lazily);
         ``use_engine`` gives each worker a warm IncrementalEngine
-        building ``timeline``-mode timelines."""
+        building ``timeline``-mode timelines; ``batch`` options ride
+        in each worker message (1 = the PR-6 protocol)."""
         if workers < 2:
             raise ValueError(
                 "a process pool needs >= 2 workers; parallel_eval of 0 "
                 "or 1 must use the serial path"
             )
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
         self.workers = workers
         self.use_engine = use_engine
         self.timeline = timeline
+        self.batch = batch
         self._ctx = _pool_context()
         self._procs: List = []
         self._conns: List = []
         self._worker_token: List[int] = []
+        self._worker_bound: List[Optional[tuple]] = []
         self._token = 0
         self._blob: Optional[bytes] = None
+        #: Tightest incumbent badness of the current generation, from
+        #: the caller's initial bound plus consumed infeasible records.
+        self._gen_bound: Optional[tuple] = None
+        self._gen_bounding = False
 
     # ------------------------------------------------------------------
     def _ensure_started(self) -> None:
@@ -369,6 +432,7 @@ class ProcessPoolScorer:
             self._procs.append(proc)
             self._conns.append(parent_conn)
             self._worker_token.append(-1)
+            self._worker_bound.append(None)
 
     @property
     def started(self) -> bool:
@@ -394,7 +458,21 @@ class ProcessPoolScorer:
         generation token (workers receive the blob lazily)."""
         self._token += 1
         self._blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._gen_bound = None
+        self._gen_bounding = bool(payload.get("bound_abort", False))
         return self._token
+
+    def _maybe_send_bound(self, offset: int, token: int, tracer: Tracer) -> None:
+        """Broadcast the freshest incumbent to ``offset`` if it is
+        behind (right before dispatching to it, so the bound always
+        precedes the work it tightens)."""
+        if not self._gen_bounding or self._gen_bound is None:
+            return
+        if self._worker_bound[offset] == self._gen_bound:
+            return
+        self._conns[offset].send(("bound", token, self._gen_bound))
+        self._worker_bound[offset] = self._gen_bound
+        tracer.incr("pool.bound_broadcasts")
 
     def score(
         self,
@@ -402,47 +480,92 @@ class ProcessPoolScorer:
         options: List,
         strategy: str,
         tracer: Tracer,
+        bound: Optional[tuple] = None,
     ) -> List[OptionRecord]:
-        """Score ``options`` in waves; stop after the wave containing
-        the first feasible option.
+        """Score ``options`` in waves of ``workers`` chunks; stop
+        after the wave containing the first feasible option.
 
-        Returns index-aligned records for every dispatched option (the
+        Returns index-aligned records for the dispatched options (the
         caller consumes them in order and stops at the first feasible
-        one).  Worker counter deltas are merged into ``tracer`` in
-        index order.
+        one; a worker that finds a feasible option mid-chunk truncates
+        the chunk, and records of later chunks -- which could no
+        longer be index-aligned -- are dropped: everything past a
+        feasible record is unread overshoot either way).  Worker
+        counter deltas are merged into ``tracer`` in index order over
+        everything dispatched.  ``bound`` seeds the incumbent badness
+        workers abort against; infeasible results tighten it as they
+        are consumed.
         """
         if token != self._token:
             raise PoolError("stale generation token %r" % (token,))
         self._ensure_started()
+        if bound is not None and self._gen_bounding:
+            seed = tuple(bound)
+            if self._gen_bound is None or seed < self._gen_bound:
+                self._gen_bound = seed
+        chunks = [
+            (start, options[start:start + self.batch])
+            for start in range(0, len(options), self.batch)
+        ]
         records: List[OptionRecord] = []
+        aligned = True
         stop = False
-        for wave_start in range(0, len(options), self.workers):
-            wave = options[wave_start:wave_start + self.workers]
-            for offset, option in enumerate(wave):
+        dispatched = 0
+        waves = 0
+        next_chunk = 0
+        while next_chunk < len(chunks) and not stop:
+            wave = chunks[next_chunk:next_chunk + self.workers]
+            next_chunk += len(wave)
+            waves += 1
+            for offset, (start, chunk) in enumerate(wave):
                 conn = self._conns[offset]
                 if self._worker_token[offset] != token:
                     conn.send(("gen", token, self._blob))
                     self._worker_token[offset] = token
-                conn.send(("opt", token, wave_start + offset, option, strategy))
-            for offset in range(len(wave)):
+                    self._worker_bound[offset] = None
+                self._maybe_send_bound(offset, token, tracer)
+                conn.send(("opts", token, start, chunk, strategy))
+                dispatched += len(chunk)
+            for offset, (start, chunk) in enumerate(wave):
                 reply = self._conns[offset].recv()
-                index, kind, badness, floor, reason, deltas = reply
-                if kind in ("error", "stale"):
+                rstart, chunk_records = reply
+                if chunk_records == "stale":
                     raise PoolError(
-                        "worker %d failed on option %d: %s"
-                        % (offset, index, badness)
+                        "worker %d answered stale for chunk at %d"
+                        % (offset, start)
                     )
-                if index != wave_start + offset:
-                    raise PoolError("out-of-order reply %d" % (index,))
-                for name, value in sorted(deltas.items()):
-                    tracer.incr(name, value)
-                records.append((kind, badness, floor, reason))
-                if kind == "feasible":
-                    stop = True
-            if stop:
-                break
-        tracer.incr("pool.dispatched", len(records))
-        tracer.incr("pool.waves", (len(records) + self.workers - 1) // self.workers)
+                if rstart != start or len(chunk_records) > len(chunk):
+                    raise PoolError("out-of-order reply %d" % (rstart,))
+                for kind, badness, floor, reason, deltas in chunk_records:
+                    if kind == "error":
+                        raise PoolError(
+                            "worker %d failed on option in chunk %d: %s"
+                            % (offset, start, badness)
+                        )
+                    for name, value in sorted(deltas.items()):
+                        tracer.incr(name, value)
+                    if aligned:
+                        records.append((kind, badness, floor, reason))
+                    if kind == "infeasible" and badness is not None:
+                        tightened = tuple(badness)
+                        if self._gen_bound is None or tightened < self._gen_bound:
+                            self._gen_bound = tightened
+                    if kind == "feasible":
+                        stop = True
+                if len(chunk_records) < len(chunk):
+                    # Truncated chunk: its worker stopped at a
+                    # feasible option (anything else is a protocol
+                    # violation) and later indices were never scored.
+                    if not chunk_records or chunk_records[-1][0] not in (
+                        "feasible", "error"
+                    ):
+                        raise PoolError(
+                            "worker %d truncated chunk %d without a "
+                            "feasible option" % (offset, start)
+                        )
+                    aligned = False
+        tracer.incr("pool.dispatched", dispatched)
+        tracer.incr("pool.waves", waves)
         return records
 
     # ------------------------------------------------------------------

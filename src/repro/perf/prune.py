@@ -10,17 +10,24 @@ so the chosen candidate, the fallback, and the final architecture are
 byte-identical to the exhaustive run (property-tested in
 ``tests/perf/test_prune.py``).
 
-Three bounds are used:
+Four bounds are used:
 
 * **Finish-time floor** -- the copy-0 critical path over the
   best-case execution vector plus the PPE mode-switch reboot bound
-  (:func:`repro.sched.bounds.finish_time_floor`).  Bit-exactly
+  (:func:`repro.sched.bounds.deadline_floor_stats`, which runs the
+  same DP as a vectorized numpy kernel on large graphs).  Bit-exactly
   dominated by any real schedule, so ``floor - deadline > TIME_EPS``
   proves a deadline miss with no margin at all.
 * **Demand floor** -- per-resource busy time over the hyperperiod
-  (:func:`repro.sched.bounds.demand_floor`).  Summation order differs
-  from the evaluator's, so a relative :data:`DEMAND_MARGIN` guards the
-  cut.
+  (:func:`repro.sched.bounds.demand_floor`), checked on the
+  candidate's target PE and -- by pigeonhole -- on its whole PE
+  class: if the class total exceeds the combined capacity, perfect
+  balancing still overloads someone.  Summation order differs from
+  the evaluator's, so a relative :data:`DEMAND_MARGIN` guards the cut.
+* **Link-contention floor** -- per-link busy time from the cluster
+  graph's cross-PE payload edges around the target PE, catching the
+  span-driven overloads (full-scale NGXM) the exec-time demand floor
+  cannot see.
 * **Dollar-cost floor** -- an applied candidate's cost is exact, and
   the interface-synthesis surcharge is non-negative, which lets the
   merge loop skip trials that cannot beat the incumbent and lets the
@@ -29,8 +36,13 @@ Three bounds are used:
 
 Kill switches: ``CrusadeConfig(prune=False)`` or the
 ``REPRO_NO_PRUNE=1`` environment variable restore exhaustive
-evaluation.  Counter traffic: ``prune.cut`` / ``prune.kept`` plus
-per-reason ``prune.cut.deadline`` / ``prune.cut.overload`` /
+evaluation; ``REPRO_NO_NUMPY=1`` (or an absent numpy) drops the
+vectorized DP kernel for the bit-identical pure-python loop.  This
+module also hosts the activation predicate for incumbent-driven bound
+aborts (``CrusadeConfig(bound_abort=False)`` /
+``REPRO_NO_BOUND_ABORT=1``), which mirror the prune switch matrix.
+Counter traffic: ``prune.cut`` / ``prune.kept`` plus per-reason
+``prune.cut.deadline`` / ``prune.cut.overload`` /
 ``prune.cut.repair`` / ``prune.cut.merge``, and
 ``prune.fallback_evals`` / ``prune.fallback_skipped`` for the
 deferred least-infeasible reconstruction.
@@ -47,12 +59,18 @@ from repro.graph.association import AssociationArray
 from repro.graph.spec import SystemSpec
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.resources.pe import PEKind
-from repro.sched.bounds import demand_floor, finish_time_floor
+from repro.sched.bounds import (
+    deadline_floor_stats,
+    demand_floor,
+    numpy_disabled_by_env,  # noqa: F401  (re-exported kill-switch probe)
+)
 from repro.sched.finish_time import _OVERLOAD_TOLERANCE
-from repro.units import TIME_EPS
 
 #: Environment kill switch: disable pruning, evaluate every candidate.
 KILL_SWITCH_ENV = "REPRO_NO_PRUNE"
+
+#: Environment kill switch: disable incumbent-driven bound aborts.
+ABORT_KILL_SWITCH_ENV = "REPRO_NO_BOUND_ABORT"
 
 #: Relative margin applied to demand floors before calling a resource
 #: overloaded: the evaluator sums per-task busy times in schedule
@@ -75,6 +93,21 @@ def prune_disabled_by_env() -> bool:
 def pruning_active(config) -> bool:
     """Whether the driver should prune under ``config``."""
     return bool(getattr(config, "prune", True)) and not prune_disabled_by_env()
+
+
+def bound_abort_disabled_by_env() -> bool:
+    """True when the bound-abort kill switch is set (non-empty, not 0)."""
+    value = os.environ.get(ABORT_KILL_SWITCH_ENV, "")
+    return value not in ("", "0")
+
+
+def bound_abort_active(config) -> bool:
+    """Whether evaluations should carry incumbent bounds under
+    ``config`` (see :class:`repro.sched.scheduler.ScheduleAbort`)."""
+    return (
+        bool(getattr(config, "bound_abort", True))
+        and not bound_abort_disabled_by_env()
+    )
 
 
 class PruneVerdict:
@@ -166,39 +199,55 @@ class CandidatePruner:
 
         overloads = 0
         excess = 0.0
-        # Overload floor, restricted to the candidate's target PE: the
-        # only resource whose demand the option increased.  (Checking
-        # every PE would also be admissible but would condemn *all*
-        # candidates whenever an unrelated PE is already overloaded,
-        # sending the whole frontier to the fallback reconstruction.)
+        # Overload floor, restricted to the candidate's target PE and
+        # its resource class: the only demands the option increased.
+        # (Checking every PE would also be admissible but would
+        # condemn *all* candidates whenever an unrelated PE is already
+        # overloaded, sending the whole frontier to the fallback
+        # reconstruction.)
         if pe.pe_type.kind is not PEKind.ASIC:
-            demand = demand_floor(
+            demand_map = demand_floor(
                 arch,
                 self.clustering,
                 scoped_spec,
                 scoped_assoc,
                 graph_names=scoped_spec.graph_names(),
-            ).get(pe_id, 0.0)
+            )
+            demand = demand_map.get(pe_id, 0.0)
             capacity = scoped_assoc.hyperperiod
-            if demand > capacity * _OVERLOAD_TOLERANCE * (1.0 + DEMAND_MARGIN):
+            threshold = capacity * _OVERLOAD_TOLERANCE * (1.0 + DEMAND_MARGIN)
+            if demand > threshold:
                 overloads = 1
                 excess = (demand / capacity - 1.0) * _SUM_DEFLATE
+            else:
+                # Class pigeonhole: if the summed demand floor over
+                # every instance of the target's PE type exceeds their
+                # combined capacity, at least one of them is overloaded
+                # in any schedule -- even perfect balancing cannot
+                # absorb it -- and the total excess is at least the
+                # sum's overshoot.
+                type_name = pe.pe_type.name
+                total = 0.0
+                n_members = 0
+                for member in arch.pes.values():
+                    if member.pe_type.name == type_name:
+                        n_members += 1
+                        total += demand_map.get(member.id, 0.0)
+                if n_members > 1 and total * _SUM_DEFLATE > threshold * n_members:
+                    overloads = 1
+                    excess = (total / capacity - n_members) * _SUM_DEFLATE
 
-        misses = 0
-        lateness = 0.0
-        floor = finish_time_floor(
+        misses, lateness = deadline_floor_stats(
             self.graph, arch, self.clustering, self.boot_time_fn
         )
-        est = self.graph.est
-        for task_name in self.graph.deadline_tasks():
-            deadline = self.graph.effective_deadline(task_name)
-            late = floor[task_name] - (est + deadline)
-            if late > TIME_EPS:
-                misses += 1
-                lateness += late
 
         if not misses and not overloads:
-            return None
+            # Last-resort link-contention floor: span-driven workloads
+            # (full-scale NGXM) overload *links*, which the exec-time
+            # demand floor above cannot see.
+            overloads, excess = self._link_floor(arch, scoped_assoc, pe_id)
+            if not overloads:
+                return None
         reason = "deadline" if misses else "overload"
         badness_floor = (
             misses + overloads,
@@ -206,6 +255,71 @@ class CandidatePruner:
             arch.cost,
         )
         return PruneVerdict(reason, badness_floor)
+
+    def _graph_edges(self) -> tuple:
+        """Static (src, dst, bytes) rows of the cluster's graph with a
+        non-zero payload, in deterministic topological/pred order."""
+        edges = getattr(self, "_edges", None)
+        if edges is None:
+            graph = self.graph
+            rows = []
+            for name in graph.topological_order():
+                for pred in graph.predecessors(name):
+                    bytes_ = graph.edge(pred, name).bytes_
+                    if bytes_:
+                        rows.append((pred, name, bytes_))
+            edges = self._edges = tuple(rows)
+        return edges
+
+    def _link_floor(
+        self, arch: Architecture, scoped_assoc, pe_id: str
+    ) -> Tuple[int, float]:
+        """(overload count, excess floor) from link contention around
+        the target PE.
+
+        Every cross-PE edge of the cluster's own graph with payload is
+        routed by the scheduler over exactly
+        ``arch.find_link_between(pred_pe, succ_pe)`` and occupies it
+        for ``link.comm_time(bytes)``, extrapolated per copy -- so
+        summing those terms per link (restricted to links touching the
+        candidate's target PE, the demands this option changed) is a
+        true demand floor; the usual relative margins absorb the
+        summation-order float noise.
+        """
+        clustering = self.clustering
+        graph_name = self.graph.name
+        copies = scoped_assoc.n_copies(graph_name)
+        capacity = scoped_assoc.hyperperiod
+        threshold = capacity * _OVERLOAD_TOLERANCE * (1.0 + DEMAND_MARGIN)
+        task_to_cluster = clustering.task_to_cluster
+        cluster_alloc = arch.cluster_alloc
+        routes: Dict[tuple, object] = {}
+        demand: Dict[str, float] = {}
+        for src, dst, bytes_ in self._graph_edges():
+            src_place = cluster_alloc.get(task_to_cluster[(graph_name, src)])
+            dst_place = cluster_alloc.get(task_to_cluster[(graph_name, dst)])
+            if src_place is None or dst_place is None:
+                continue
+            src_pe, dst_pe = src_place[0], dst_place[0]
+            if src_pe == dst_pe or (src_pe != pe_id and dst_pe != pe_id):
+                continue
+            pair = (src_pe, dst_pe)
+            link = routes.get(pair, routes)
+            if link is routes:
+                link = routes[pair] = arch.find_link_between(src_pe, dst_pe)
+            if link is None:
+                continue
+            demand[link.id] = demand.get(link.id, 0.0) + (
+                link.comm_time(bytes_) * copies
+            )
+        overloads = 0
+        excess = 0.0
+        for link_id in sorted(demand):
+            load = demand[link_id]
+            if load * _SUM_DEFLATE > threshold:
+                overloads += 1
+                excess += (load / capacity - 1.0) * _SUM_DEFLATE
+        return overloads, excess
 
 
 class RepairBound:
@@ -283,19 +397,9 @@ class RepairBound:
 
     def _dp_stats(self, graph_name: str, arch: Architecture) -> Tuple[int, float]:
         graph = self.spec.graph(graph_name)
-        floor = finish_time_floor(
+        return deadline_floor_stats(
             graph, arch, self.clustering, self.boot_time_fn
         )
-        est = graph.est
-        misses = 0
-        lateness = 0.0
-        for task_name in graph.deadline_tasks():
-            deadline = graph.effective_deadline(task_name)
-            late = floor[task_name] - (est + deadline)
-            if late > TIME_EPS:
-                misses += 1
-                lateness += late
-        return misses, lateness
 
     def _overload_stats(self, arch: Architecture) -> Tuple[int, float]:
         """(overload count, excess) of the full demand floor; memoized

@@ -45,11 +45,37 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.reconfig.reboot import default_boot_time
 from repro.resources.pe import PEKind, ProcessorType
 from repro.sched.timeline import IntervalTimeline, PpeModeTimeline
+from repro.units import TIME_EPS
 
 #: (graph name, copy index, task name)
 TaskKey = Tuple[str, int, str]
 #: (graph name, copy index, src task, dst task)
 EdgeKey = Tuple[str, int, str, str]
+
+
+class ScheduleAbort(Exception):
+    """Bounded-search abort: the partial schedule already loses.
+
+    Raised (only when :attr:`ScheduleRequest.bound` is set) the moment
+    the number of *proven* violations -- deadline instances already
+    placed late, plus serial resources whose copy-0 demand already
+    crossed the overload tolerance, plus ``bound_base`` violations
+    carried from earlier schedule fragments -- exceeds the bound's
+    first badness component.  Violation counts only grow as scheduling
+    proceeds, so an aborted candidate's final badness would necessarily
+    compare greater than the bound: aborting is pure dominance, and
+    the caller may drop the candidate without changing the synthesized
+    result (see :mod:`repro.perf.prune` for the switch plumbing).
+
+    ``reason`` is ``"deadline"`` or ``"overload"`` for in-schedule
+    triggers, ``"carried"`` when the incremental engine's cross-
+    fragment accumulation tips the count between fragments.
+    """
+
+    def __init__(self, reason: str) -> None:
+        """Record which violation kind tipped the count."""
+        super().__init__(reason)
+        self.reason = reason
 
 
 @dataclass
@@ -113,6 +139,20 @@ class ScheduleRequest:
         results, enforced by the differential oracle in
         ``tests/sched``); None keeps the legacy from-scratch path
         below on the linear reference timelines.
+    bound:
+        Optional incumbent badness tuple (as returned by
+        ``DeadlineReport.badness()`` or ``EvalResult.badness()``;
+        only element 0, the violation count, is consulted).  When set,
+        scheduling raises :class:`ScheduleAbort` as soon as the number
+        of proven violations in the partial schedule *exceeds*
+        ``bound[0]`` -- the candidate then provably loses to the
+        incumbent and the caller may discard it.  None (the default)
+        disables the check entirely.
+    bound_base:
+        Violations already proven before this run starts; the
+        incremental engine carries deadline misses and overloads from
+        earlier schedule fragments here so the abort trigger matches
+        a monolithic run.
     """
 
     spec: SystemSpec
@@ -125,6 +165,8 @@ class ScheduleRequest:
     tracer: Tracer = NULL_TRACER
     graphs: Optional[frozenset] = None
     context: Optional[object] = None
+    bound: Optional[tuple] = None
+    bound_base: int = 0
 
 
 @dataclass
@@ -200,6 +242,23 @@ def build_schedule(request: ScheduleRequest) -> Schedule:
     tracer = request.tracer
     tracer.incr("sched.runs")
 
+    # Bounded-search bookkeeping (only when a bound is supplied): the
+    # copy-0 demand per serial resource and the absolute deadline per
+    # deadline-task instance are tracked inline, mirroring exactly what
+    # finish-time evaluation would recompute afterwards, so the abort
+    # trigger (violations > bound[0]) is a pure-dominance test.
+    bound = request.bound
+    if bound is not None:
+        from repro.sched.finish_time import _OVERLOAD_TOLERANCE
+
+        bound_limit = bound[0]
+        violations = request.bound_base
+        capacity = request.assoc.hyperperiod
+        crossed: set = set()
+        bound_demand: Dict[str, float] = {}
+        bound_ncopies: Dict[str, int] = {}
+        deadline_by_key: Dict[TaskKey, float] = {}
+
     # Build instance-level precedence bookkeeping.
     indegree: Dict[TaskKey, int] = {}
     arrival: Dict[TaskKey, float] = {}
@@ -208,6 +267,14 @@ def build_schedule(request: ScheduleRequest) -> Schedule:
         if request.graphs is not None and instance.graph not in request.graphs:
             continue
         graph = spec.graph(instance.graph)
+        if bound is not None:
+            bound_ncopies[instance.graph] = request.assoc.n_copies(
+                instance.graph
+            )
+            for task_name in graph.deadline_tasks():
+                deadline_by_key[(instance.graph, instance.copy, task_name)] = (
+                    instance.arrival + graph.effective_deadline(task_name)
+                )
         for task_name in graph.topological_order():
             key = (instance.graph, instance.copy, task_name)
             indegree[key] = len(graph.predecessors(task_name))
@@ -265,6 +332,19 @@ def build_schedule(request: ScheduleRequest) -> Schedule:
                 key=edge_key, link_id=link.id, start=start, finish=finish
             )
             ready = max(ready, finish)
+            if bound is not None and copy_index == 0:
+                load = bound_demand.get(link.id, 0.0) + (
+                    finish - start
+                ) * bound_ncopies[graph_name]
+                bound_demand[link.id] = load
+                if (
+                    link.id not in crossed
+                    and load / capacity > _OVERLOAD_TOLERANCE
+                ):
+                    crossed.add(link.id)
+                    violations += 1
+                    if violations > bound_limit:
+                        raise ScheduleAbort("overload")
 
         # 2. Place the task on its resource.
         was_split = False
@@ -294,6 +374,25 @@ def build_schedule(request: ScheduleRequest) -> Schedule:
                 start, finish = timeline.place(
                     mode, ready, wcet, boot_time_fn(pe, mode), allowed=allowed
                 )
+            if (
+                bound is not None
+                and copy_index == 0
+                and pe.pe_type.kind is not PEKind.ASIC
+            ):
+                # Serial resource (processor or PPE): accumulate the
+                # same per-PE demand finish-time evaluation sums.
+                load = bound_demand.get(pe.id, 0.0) + (
+                    finish - start
+                ) * bound_ncopies[graph_name]
+                bound_demand[pe.id] = load
+                if (
+                    pe.id not in crossed
+                    and load / capacity > _OVERLOAD_TOLERANCE
+                ):
+                    crossed.add(pe.id)
+                    violations += 1
+                    if violations > bound_limit:
+                        raise ScheduleAbort("overload")
         schedule.tasks[key] = ScheduledTask(
             key=key,
             pe_id=pe.id if pe is not None else None,
@@ -303,6 +402,12 @@ def build_schedule(request: ScheduleRequest) -> Schedule:
             preempted=was_split,
         )
         scheduled_count += 1
+        if bound is not None:
+            absolute = deadline_by_key.get(key)
+            if absolute is not None and finish - absolute > TIME_EPS:
+                violations += 1
+                if violations > bound_limit:
+                    raise ScheduleAbort("deadline")
 
         # 3. Release successors.
         priority_table = request.priorities[graph_name]

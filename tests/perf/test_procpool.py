@@ -72,6 +72,103 @@ def test_pool_equals_serial_with_pruning_off():
         canonical(5, parallel_eval=0, prune=False)
 
 
+def test_pool_equals_serial_across_batch_sizes():
+    """Chunked dispatch is a transport detail: any batch size yields
+    the serial result, and batch=1 is the unbatched protocol."""
+    serial = canonical(3, parallel_eval=0)
+    for batch in (1, 3):
+        assert canonical(3, parallel_eval=2, pool_batch=batch) == serial
+
+
+def test_pool_equals_serial_with_bound_abort():
+    """Worker-side bound aborts (seeded and rebroadcast between
+    chunks) never change the selection."""
+    tracer = Tracer()
+    pooled = canonical(
+        3, tracer=tracer, parallel_eval=2, pool_batch=4, bound_abort=True,
+    )
+    assert pooled == canonical(3, parallel_eval=0, bound_abort=False)
+    assert tracer.counters.as_dict().get("pool.dispatched", 0) > 0
+
+
+def test_pool_batch_constructor_rejects_degenerate():
+    with pytest.raises(ValueError):
+        ProcessPoolScorer(2, batch=0)
+    from repro.errors import SpecificationError
+
+    with pytest.raises(SpecificationError):
+        CrusadeConfig(pool_batch=0)
+
+
+def _direct_score_setup():
+    """A one-cluster generation whose only candidates are provably
+    infeasible: the smallest payload that exercises worker aborts."""
+    from repro import SystemSpec, Task, TaskGraph
+    from repro.arch.architecture import Architecture
+    from repro.cluster.clustering import trivial_clustering
+    from repro.cluster.priority import PriorityContext
+    from repro.core.crusade import _compute_priorities
+    from repro.delay.model import DelayPolicy
+    from repro.graph.association import AssociationArray
+    from repro.graph.task import MemoryRequirement
+    from repro.resources.catalog import default_library
+    from repro.alloc.array import build_allocation_array
+
+    library = default_library()
+    g = TaskGraph(name="late", period=0.01, deadline=1e-9)
+    g.add_task(Task(
+        name="only", exec_times={"MC68360": 0.0005},
+        memory=MemoryRequirement(program=1024, data=512, stack=128),
+    ))
+    spec = SystemSpec("late", [g])
+    clustering = trivial_clustering(spec, library)
+    arch = Architecture(library)
+    assoc = AssociationArray(spec, max_explicit_copies=2)
+    cluster = clustering.ordered_by_priority()[0]
+    priorities = _compute_priorities(
+        spec, PriorityContext.pessimistic(library)
+    )
+    options = build_allocation_array(
+        cluster, arch, clustering, spec, DelayPolicy()
+    )
+    assert options, "setup needs at least one candidate"
+    payload = {
+        "spec": spec, "assoc": assoc, "clustering": clustering,
+        "arch": arch, "cluster": cluster, "priorities": priorities,
+        "preemption": True, "fast": False, "prune": False,
+        "bound_abort": True,
+    }
+    return payload, options
+
+
+def test_fresh_and_stale_bounds_agree_on_decisions():
+    """A tight (fresh) bound turns completed infeasible verdicts into
+    aborts; a loose (stale) bound aborts nothing -- but both runs see
+    the same candidates in the same order, and an abort only ever
+    replaces an infeasible verdict (never a feasible one)."""
+    payload, options = _direct_score_setup()
+    with ProcessPoolScorer(2, batch=2) as scorer:
+        token = scorer.begin_cluster(payload)
+        stale = scorer.score(
+            token, options, "cheapest", Tracer(), bound=(10 ** 9, 0.0, 0.0),
+        )
+        token = scorer.begin_cluster(payload)
+        unbounded = scorer.score(token, options, "cheapest", Tracer())
+        token = scorer.begin_cluster(payload)
+        fresh_tracer = Tracer()
+        fresh = scorer.score(
+            token, options, "cheapest", fresh_tracer, bound=(0, 0.0, 0.0),
+        )
+    # A stale (loose) bound is a no-op: identical records.
+    assert stale == unbounded
+    assert all(kind == "infeasible" for kind, _, _, _ in unbounded)
+    # A fresh (tight) bound aborts exactly the infeasible evaluations.
+    assert len(fresh) == len(unbounded)
+    assert all(kind == "aborted" for kind, _, _, _ in fresh)
+    assert all(reason for _, _, _, reason in fresh)
+    assert fresh_tracer.counters.as_dict().get("pool.bound_broadcasts", 0) > 0
+
+
 def test_small_frontiers_skip_ipc():
     scorer = ProcessPoolScorer(4)
     try:

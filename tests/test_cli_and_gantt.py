@@ -72,7 +72,25 @@ class TestCli:
         assert code == 0
         assert "cumulative" in captured
         assert "profile written to" in captured
-        assert (tmp_path / "profile.pstats").exists()
+        dumps = list(tmp_path.glob("profile-*.pstats"))
+        assert len(dumps) == 1
+
+    def test_profile_paths_distinct_per_spec(self, spec_file, tmp_path):
+        """Two specs profiled into one directory must not collide."""
+        from repro.cli import _profile_path
+        from repro.io.spec_json import load_spec_file
+        from repro.graph.generator import GeneratorConfig, generate_spec
+
+        class Args:
+            out = str(tmp_path / "r.json")
+
+        spec_a = load_spec_file(str(spec_file))
+        spec_b = generate_spec(GeneratorConfig(seed=7, n_graphs=2,
+                                               tasks_per_graph=4))
+        path_a = _profile_path(Args, spec_a)
+        path_b = _profile_path(Args, spec_b)
+        assert path_a != path_b
+        assert _profile_path(Args, spec_a) == path_a
 
     def test_synthesize_parallel_eval_accepts_auto(self, spec_file, capsys):
         code = main([
