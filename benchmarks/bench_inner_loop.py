@@ -17,6 +17,16 @@ at the repository root:
   bound aborts: the full optimized stack.  The record carries the
   abort counters and ``abort_rate`` (``sched.abort / sched.runs``).
 
+* ``seconds_warm_start`` / ``seconds_exact_hit`` -- the cross-run
+  warm-start legs (:mod:`repro.perf.store`): a bound-abort run
+  populates a fresh store, one deadline is loosened via
+  :func:`repro.perf.warmstart.tweak_deadline`, and the tweaked spec is
+  synthesized cold (the denominator), then warm against the populated
+  store (``speedup_warm_start``), then resubmitted unchanged for the
+  full-result-tier hit latency.  Both warm results are checked
+  byte-identical to the cold tweaked run.  ``--skip-warm`` drops these
+  legs.
+
 ``--pool-workers N`` adds a ``seconds_pooled`` column (engine +
 pruning + an N-worker process pool); it is opt-in because on a
 single-CPU host the pool only adds IPC overhead.  ``--skip-scratch``
@@ -26,6 +36,11 @@ slow baselines: the record carries the optimized legs and
 to comparing ``seconds_pruned`` against the baseline's
 ``seconds_pruned`` for such records (pruned-vs-previous-pruned), so
 skip-scratch rows are still guarded rather than silently skipped.
+
+Every record carries the same key set (:data:`RECORD_SCHEMA`): legs a
+run skipped are ``null``, never absent, and ``merge_records``
+back-fills records written by older revisions of this script so the
+committed JSON stays schema-uniform.
 
 Run directly (not under pytest)::
 
@@ -44,6 +59,7 @@ import argparse
 import json
 import pathlib
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
@@ -53,8 +69,47 @@ from repro.core.config import CrusadeConfig  # noqa: E402
 from repro.core.crusade import crusade  # noqa: E402
 from repro.io.result_json import result_to_dict  # noqa: E402
 from repro.obs.trace import Tracer  # noqa: E402
+from repro.perf.warmstart import tweak_deadline  # noqa: E402
 
 DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_inner_loop.json"
+
+#: The uniform record shape.  Every record written by this script
+#: carries exactly these keys (plus nothing else); ``None`` means the
+#: leg was skipped or predates the key.  ``merge_records`` normalizes
+#: previously committed records against this schema.
+RECORD_SCHEMA = {
+    "example": None,
+    "scale": None,
+    "timeline": None,
+    "tasks": None,
+    "seconds_from_scratch": None,
+    "seconds_incremental": None,
+    "seconds_pruned": None,
+    "seconds_bound_abort": None,
+    "seconds_pooled": None,
+    "seconds_warm_start": None,
+    "seconds_exact_hit": None,
+    "speedup": None,
+    "speedup_incremental": None,
+    "speedup_bound_abort": None,
+    "speedup_warm_start": None,
+    "pool_workers": None,
+    "prune_cut": None,
+    "sched_abort": None,
+    "sched_runs": None,
+    "abort_rate": None,
+    "fragments_preloaded": None,
+    "cost": None,
+    "feasible": None,
+    "identical": None,
+}
+
+
+def normalize_record(record: dict) -> dict:
+    """``record`` back-filled to the full uniform key set."""
+    full = dict(RECORD_SCHEMA)
+    full.update(record)
+    return full
 
 
 def _canonical(result) -> str:
@@ -66,10 +121,11 @@ def _canonical(result) -> str:
 
 
 def _timed_run(spec, incremental: bool, prune: bool, parallel_eval: int = 0,
-               timeline: str = "auto", bound_abort: bool = False):
+               timeline: str = "auto", bound_abort: bool = False,
+               cache_dir=None):
     config = CrusadeConfig(
         incremental=incremental, prune=prune, parallel_eval=parallel_eval,
-        timeline=timeline, bound_abort=bound_abort,
+        timeline=timeline, bound_abort=bound_abort, cache_dir=cache_dir,
     )
     tracer = Tracer()
     started = time.perf_counter()
@@ -77,8 +133,65 @@ def _timed_run(spec, incremental: bool, prune: bool, parallel_eval: int = 0,
     return time.perf_counter() - started, result, tracer.counters.as_dict()
 
 
+def warm_start_legs(spec, timeline: str, store_parent=None) -> dict:
+    """The cross-run legs: populate, tweak one deadline, resubmit.
+
+    The denominator is a *cold* bound-abort run of the tweaked spec
+    (the store-less behavior a resubmitting user would otherwise get);
+    the warm run sees a store populated by the original spec and must
+    be byte-identical to the cold run.  A second, unchanged
+    resubmission measures the full-result-tier exact-hit latency.
+
+    The throwaway store lives under ``store_parent`` (default: next to
+    this script's output, i.e. the repository checkout) rather than the
+    system temp dir: on hosts where ``/tmp`` is a slow mount, placing a
+    write-heavy cache there would benchmark the wrong filesystem.
+    """
+    with tempfile.TemporaryDirectory(
+        prefix="crusade-store-",
+        dir=str(store_parent) if store_parent else None,
+    ) as cache_dir:
+        _, _, _ = _timed_run(
+            spec, incremental=True, prune=True, timeline=timeline,
+            bound_abort=True, cache_dir=cache_dir,
+        )
+        tweaked = tweak_deadline(spec)
+        seconds_cold, cold, _ = _timed_run(
+            tweaked, incremental=True, prune=True, timeline=timeline,
+            bound_abort=True,
+        )
+        print("  cold tweaked: %.2fs" % (seconds_cold,))
+        seconds_warm, warm, counters = _timed_run(
+            tweaked, incremental=True, prune=True, timeline=timeline,
+            bound_abort=True, cache_dir=cache_dir,
+        )
+        preloaded = counters.get("perf.store.fragments_preloaded", 0)
+        print("  warm-start:   %.2fs (%d fragments preloaded)" % (
+            seconds_warm, preloaded))
+        seconds_hit, hit, hit_counters = _timed_run(
+            tweaked, incremental=True, prune=True, timeline=timeline,
+            bound_abort=True, cache_dir=cache_dir,
+        )
+        print("  exact hit:    %.4fs (perf.store.hit %d)" % (
+            seconds_hit, hit_counters.get("perf.store.hit", 0)))
+        canonical_cold = _canonical(cold)
+        return {
+            "seconds_warm_start": round(seconds_warm, 3),
+            "seconds_exact_hit": round(seconds_hit, 4),
+            "speedup_warm_start": round(
+                seconds_cold / max(seconds_warm, 1e-9), 3
+            ),
+            "fragments_preloaded": preloaded,
+            "identical_warm": (
+                canonical_cold == _canonical(warm)
+                and canonical_cold == _canonical(hit)
+            ),
+        }
+
+
 def bench_example(name: str, scale: float, pool_workers: int = 0,
-                  skip_scratch: bool = False, timeline: str = "auto") -> dict:
+                  skip_scratch: bool = False, timeline: str = "auto",
+                  skip_warm: bool = False, store_parent=None) -> dict:
     """One record: the mode timings plus the identity checks."""
     spec = build_example(name, scale=scale)
     seconds_pruned, pruned, counters = _timed_run(
@@ -119,9 +232,15 @@ def bench_example(name: str, scale: float, pool_workers: int = 0,
         "feasible": pruned.feasible,
         "identical": canonical_pruned == _canonical(bounded),
     }
+    if not skip_warm:
+        warm = warm_start_legs(spec, timeline, store_parent=store_parent)
+        record["identical"] = (
+            record["identical"] and warm.pop("identical_warm")
+        )
+        record.update(warm)
     if skip_scratch:
         print("  baselines skipped (--skip-scratch)")
-        return record
+        return normalize_record(record)
 
     seconds_scratch, scratch, _ = _timed_run(
         spec, incremental=False, prune=False
@@ -160,17 +279,24 @@ def bench_example(name: str, scale: float, pool_workers: int = 0,
         record["identical"] = (
             record["identical"] and canonical_scratch == _canonical(pooled)
         )
-    return record
+    return normalize_record(record)
 
 
 def merge_records(path: pathlib.Path, fresh: list) -> list:
-    """Update ``path``'s records in place, keyed by (example, scale)."""
+    """Update ``path``'s records in place, keyed by (example, scale).
+
+    Every surviving record -- freshly measured or previously committed
+    -- is normalized against :data:`RECORD_SCHEMA`, so records written
+    before a leg existed gain its keys (as ``null``) instead of
+    leaving the file with drifting per-record shapes.
+    """
     existing = []
     if path.exists():
         existing = json.loads(path.read_text()).get("records", [])
-    by_key = {(r["example"], r["scale"]): r for r in existing}
+    by_key = {(r["example"], r["scale"]): normalize_record(r)
+              for r in existing}
     for record in fresh:
-        by_key[(record["example"], record["scale"])] = record
+        by_key[(record["example"], record["scale"])] = normalize_record(record)
     return [by_key[k] for k in sorted(by_key)]
 
 
@@ -231,6 +357,8 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-scratch", action="store_true",
                         help="record only the pruned run (no baselines, "
                              "no speedup) -- for large workloads")
+    parser.add_argument("--skip-warm", action="store_true",
+                        help="drop the warm-start / exact-hit legs")
     parser.add_argument("--timeline", choices=("auto", "list", "tree"),
                         default="auto",
                         help="timeline implementation for the engine legs "
@@ -249,11 +377,16 @@ def main(argv=None) -> int:
         record = bench_example(name, args.scale,
                                pool_workers=args.pool_workers,
                                skip_scratch=args.skip_scratch,
-                               timeline=args.timeline)
+                               timeline=args.timeline,
+                               skip_warm=args.skip_warm,
+                               store_parent=args.out.resolve().parent)
         if record["speedup"] is not None:
             print("  speedup: %.2fx (engine only %.2fx), identical: %s" % (
                 record["speedup"], record["speedup_incremental"],
                 record["identical"]))
+        if record["speedup_warm_start"] is not None:
+            print("  warm-start speedup: %.2fx, exact hit: %.4fs" % (
+                record["speedup_warm_start"], record["seconds_exact_hit"]))
         fresh.append(record)
 
     records = merge_records(args.out, fresh)

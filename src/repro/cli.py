@@ -97,6 +97,16 @@ def _add_synthesize(subparsers) -> None:
                         "cumulative functions and write "
                         "profile-<spec fingerprint>.pstats next to the "
                         "result JSON (or the CWD)")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persistent content-addressed synthesis store: "
+                        "exact resubmissions return the cached result, "
+                        "near-hits warm-start from cached schedule "
+                        "fragments (results are byte-identical either "
+                        "way); REPRO_CACHE_DIR is the env fallback")
+    p.add_argument("--no-warm-start", action="store_true",
+                   help="do not read the store (cold run); the store is "
+                        "still written, so the run warms it for later "
+                        "resubmissions")
 
 
 def _add_generate(subparsers) -> None:
@@ -173,6 +183,11 @@ def _add_campaign(subparsers) -> None:
     for target in (run, resume):
         target.add_argument("--workers", type=int, default=1, metavar="N",
                             help="persistent worker processes (default 1)")
+        target.add_argument("--cache-dir", metavar="DIR", default=None,
+                            help="shared synthesis store for all campaign "
+                                 "workers (exported as REPRO_CACHE_DIR so "
+                                 "job configs -- and the manifest -- stay "
+                                 "byte-identical with or without it)")
         target.add_argument("--retries", type=int, default=None, metavar="K",
                             help="per-job re-attempts before recording failure")
         target.add_argument("--timeout", type=float, default=None, metavar="S",
@@ -248,6 +263,8 @@ def _cmd_synthesize(args) -> int:
         parallel_eval=args.parallel_eval,
         pool_batch=args.pool_batch,
         timeline=args.timeline,
+        cache_dir=args.cache_dir,
+        warm_start=not args.no_warm_start,
     )
     tracer = _build_tracer(args)
     profiler = None
@@ -388,6 +405,22 @@ def _campaign_policy(args, base):
     )
 
 
+def _export_cache_dir(args) -> None:
+    """Hand ``--cache-dir`` to campaign workers via the environment.
+
+    Injecting the store into job configs would change the stored
+    campaign spec (and so the manifest) byte-for-byte; the
+    ``REPRO_CACHE_DIR`` fallback consulted by
+    :func:`repro.perf.store.resolve_store` keeps checkpoints and
+    manifests identical with or without a shared store.  Worker
+    processes inherit the parent environment at spawn.
+    """
+    if getattr(args, "cache_dir", None):
+        from repro.perf.store import ENV_CACHE_DIR
+
+        os.environ[ENV_CACHE_DIR] = os.path.abspath(args.cache_dir)
+
+
 def _campaign_exit(outcome) -> int:
     """0 = complete and clean, 1 = complete with failed jobs,
     3 = interrupted/incomplete.
@@ -446,6 +479,7 @@ def _cmd_campaign_run(args) -> int:
             variant_names=args.variants,
             policy=_campaign_policy(args, RetryPolicy()),
         )
+    _export_cache_dir(args)
     outcome = run_campaign(
         args.dir, spec=spec, workers=args.workers,
         stop_after=args.stop_after,
@@ -460,6 +494,7 @@ def _cmd_campaign_resume(args) -> int:
 
     stored = CampaignDir(args.dir).load_spec()
     policy = _campaign_policy(args, stored.policy)
+    _export_cache_dir(args)
     outcome = run_campaign(
         args.dir, workers=args.workers, resume=True,
         retry_failed=not args.keep_failed, stop_after=args.stop_after,

@@ -114,6 +114,22 @@ class CrusadeConfig:
         ``"reuse-first"``) are campaign-grid ablation axes.  A string
         so configs stay picklable and JSON-serializable for the
         campaign runner.
+    cache_dir:
+        Directory of the persistent content-addressed synthesis store
+        (:mod:`repro.perf.store`); ``None`` (default) disables it.
+        With a store, an exact resubmission (same spec content, same
+        catalog, same semantic config) returns the cached result in
+        milliseconds, and near-hit resubmissions reuse still-valid
+        per-component schedule fragments across runs.  Warm-started
+        results are byte-identical to cold ones.  The
+        ``REPRO_CACHE_DIR`` environment variable is the fallback when
+        this field is ``None`` (how campaign workers share one store).
+    warm_start:
+        Whether a configured store may be *read* (exact-result hits
+        and fragment preloads).  ``False`` -- or the
+        ``REPRO_NO_WARM_START=1`` environment kill switch -- forces a
+        cold run that still *writes* the store, warming it for later
+        runs.  Meaningless without ``cache_dir``/``REPRO_CACHE_DIR``.
     """
 
     reconfiguration: bool = True
@@ -135,8 +151,12 @@ class CrusadeConfig:
     bound_abort: bool = True
     pool_batch: int = 4
     policy: str = "default"
+    cache_dir: Optional[str] = None
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            raise SpecificationError("cache_dir must be a string path or None")
         if self.parallel_eval < 0:
             raise SpecificationError("parallel_eval must be >= 0")
         if self.pool_batch < 1:

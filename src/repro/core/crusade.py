@@ -25,6 +25,7 @@ hooks live in :mod:`repro.core.stages`.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.cluster.clustering import ClusteringResult
@@ -39,8 +40,10 @@ from repro.core.stages.support import (
     coupled_graphs,
 )
 from repro.graph.spec import SystemSpec
-from repro.obs.trace import Tracer
+from repro.obs.trace import Tracer, resolve_tracer
 from repro.perf.engine import IncrementalEngine
+from repro.perf.store import resolve_store, store_reads_enabled
+from repro.resources.catalog import default_library
 from repro.resources.library import ResourceLibrary
 
 # Pre-stage-refactor aliases: the helpers grew public homes in
@@ -95,14 +98,74 @@ def crusade(
     SynthesisPolicy` whose hooks steer the heuristic's open decision
     points (cluster order, candidate preference, merge acceptance);
     the default policy reproduces the paper's rules exactly.
+
+    ``config.cache_dir`` (or the ``REPRO_CACHE_DIR`` environment
+    variable) opens the persistent content-addressed synthesis store
+    (:mod:`repro.perf.store`): an exact resubmission returns the
+    cached result without synthesizing, a near-hit resubmission
+    warm-starts the engine's fragment cache from disk, and either way
+    the returned result is byte-identical to a cold run
+    (``warm_start=False`` / ``REPRO_NO_WARM_START=1`` force cold runs
+    that still warm the store).  Calls donating a ``clustering``,
+    ``baseline`` or ``engine`` bypass the full-result tier -- their
+    inputs are not captured by its key -- but still share fragments
+    through the donated or created engine.
     """
+    started = time.perf_counter()
+    if config is None:
+        config = CrusadeConfig()
+    store = resolve_store(config)
+    resolved_tracer = resolve_tracer(tracer)
+    exact_key = None
+    resolved_library = library
+    if store is not None and clustering is None and baseline is None \
+            and engine is None:
+        if resolved_library is None:
+            resolved_library = default_library()
+        exact_key = store.result_key(spec, resolved_library, config)
+        if store_reads_enabled(config):
+            cached = store.load_result(exact_key, tracer=resolved_tracer)
+            if cached is not None:
+                resolved_tracer.incr("perf.store.hit")
+                elapsed = time.perf_counter() - started
+                cached.cpu_seconds = elapsed
+                if resolved_tracer.enabled:
+                    resolved_tracer.event(
+                        "store.hit", system=spec.name, key=exact_key,
+                        feasible=cached.feasible, cost=cached.cost,
+                    )
+                    cached.stats = resolved_tracer.stats(total_seconds=elapsed)
+                return cached
+            resolved_tracer.incr("perf.store.miss")
     ctx = SynthesisContext.begin(
         spec,
-        library=library,
+        library=resolved_library,
         config=config,
         clustering=clustering,
         baseline=baseline,
-        tracer=tracer,
+        tracer=resolved_tracer,
         engine=engine,
     )
-    return synthesize(ctx)
+    if store is not None and ctx.engine is not None and ctx.engine.store is None:
+        from repro.perf.warmstart import bind_engine
+
+        bind_engine(ctx.engine, store, spec, ctx.library, config,
+                    resolved_tracer)
+    result = synthesize(ctx)
+    if exact_key is not None:
+        from repro.perf.warmstart import index_record
+
+        # Persist run-neutral: the stats block is the one legitimately
+        # run-varying field, so a cached result should not carry the
+        # warming run's counters into a later hit (the hit path
+        # snapshots its own stats when traced).
+        stashed_stats = result.stats
+        result.stats = None
+        try:
+            store.save_result(exact_key, result, tracer=resolved_tracer)
+        finally:
+            result.stats = stashed_stats
+        store.save_index(
+            spec.name, index_record(spec, ctx.library, config, exact_key)
+        )
+    return result

@@ -146,6 +146,13 @@ class ModeMerge(Stage):
             bound_abort=ctx.config.bound_abort,
             pool_batch=ctx.config.pool_batch,
             policy=ctx.config.policy,
+            # Store plumbing rides along for faithfulness only: the
+            # nested synthesis enters via SynthesisContext.begin, so
+            # the full-result tier never sees this config, and the
+            # shared parent engine already carries the fragment-tier
+            # binding.
+            cache_dir=ctx.config.cache_dir,
+            warm_start=ctx.config.warm_start,
         )
         ctx.baseline = synthesize(
             SynthesisContext.begin(

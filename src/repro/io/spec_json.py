@@ -95,6 +95,17 @@ def _graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
     }
 
 
+def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Serialize one task graph to plain JSON-ready structures.
+
+    Tasks appear in topological order and every scheduling-visible
+    vector appears under its own key, so the payload doubles as the
+    canonical content the persistent store's per-graph digests hash
+    (:mod:`repro.perf.store.digests`).
+    """
+    return _graph_to_dict(graph)
+
+
 def spec_to_dict(spec: SystemSpec) -> Dict[str, Any]:
     """Serialize a specification to plain JSON-ready structures."""
     compatibility = None

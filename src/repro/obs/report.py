@@ -32,6 +32,19 @@ Counter name prefixes and what they measure:
     (:mod:`repro.perf.fastsched`).  ``sched.runs`` equals
     ``perf.schedule.misses`` when the engine is active (every
     scheduler run builds exactly one cached fragment).
+``perf.store.*``
+    The persistent content-addressed synthesis store
+    (:mod:`repro.perf.store`): ``perf.store.hit`` / ``.miss`` for the
+    full-result tier, ``perf.store.fragments_preloaded`` /
+    ``.fragments_saved`` for the cross-run fragment tier,
+    ``perf.store.corrupt`` for dropped unusable entries, and
+    ``perf.store.graphs_changed`` / ``.graphs_unchanged`` from the
+    warm-start spec diff (:mod:`repro.perf.warmstart`).
+``perf.cache.*``
+    End-of-run gauges snapshotted from
+    :meth:`repro.perf.engine.IncrementalEngine.cache_info` (entries,
+    capacity, lifetime hits/misses and disk hits) -- set once by the
+    finalize stage, not incremented.
 ``scope.*``
     The fast-inner-loop sub-specification cache
     (``scope.hits`` / ``.misses`` / ``.evictions``).

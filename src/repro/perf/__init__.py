@@ -22,6 +22,12 @@ pool is opt-in via ``CrusadeConfig.parallel_eval``):
   selection and warm per-worker engine caches, plus the supervised
   :class:`JobWorker` process primitive the campaign runner
   (:mod:`repro.campaign`) builds its crash/timeout recovery on;
+* :mod:`repro.perf.store` / :mod:`repro.perf.warmstart` -- the
+  persistent content-addressed synthesis store (full-result tier +
+  cross-run fragment tier under ``CrusadeConfig.cache_dir``) and the
+  warm-start path that diffs a resubmitted spec against the cached
+  prior run and rebinds still-valid schedule fragments; reads killed
+  by ``warm_start=False`` / ``REPRO_NO_WARM_START=1``;
 * :mod:`repro.perf.fasttimeline` / :mod:`repro.perf.treetimeline` --
   the fast implementations of the :class:`repro.sched.timeline`
   abstract timelines: bisect-indexed flat lists, and the blocked

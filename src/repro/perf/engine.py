@@ -44,6 +44,13 @@ environment variable.  All cache traffic is reported through the
 tracer as ``perf.schedule.hits`` / ``perf.schedule.misses`` /
 ``perf.schedule.evictions`` and ``perf.plan.hits`` /
 ``perf.plan.misses``.
+
+When a persistent store is configured (``CrusadeConfig.cache_dir``,
+see :mod:`repro.perf.store`), :meth:`IncrementalEngine.bind_store`
+turns the in-memory cache into a read-through/write-through view of
+the on-disk fragment tier: lookups that miss the LRU consult the
+store (hits counted as ``perf.store.fragments_preloaded``), and every
+freshly built fragment is persisted for future runs.
 """
 
 from __future__ import annotations
@@ -133,6 +140,26 @@ class IncrementalEngine:
         self._cluster_map: Optional[
             Tuple[ClusteringResult, Dict[str, list]]
         ] = None
+        #: Optional cross-run persistence: a
+        #: :class:`repro.perf.warmstart.StoreBinding` making the
+        #: in-memory fragment cache a read-through/write-through view
+        #: of the on-disk fragment tier (:mod:`repro.perf.store`).
+        self.store = None
+        self._hits = 0
+        self._misses = 0
+        self._disk_hits = 0
+
+    # ------------------------------------------------------------------
+    def bind_store(self, binding) -> None:
+        """Attach the persistent fragment-tier binding for this run.
+
+        After binding, a fingerprint that misses the in-memory LRU
+        consults the on-disk store before scheduling from scratch, and
+        every freshly built fragment is written through.  Disk hits
+        are inserted into the LRU like any other entry, so a component
+        replayed repeatedly is only read off disk once.
+        """
+        self.store = binding
 
     # ------------------------------------------------------------------
     def _clusters_of_graph(self, clustering: ClusteringResult):
@@ -191,20 +218,33 @@ class IncrementalEngine:
                 fragment = self._fragments.get(key)
                 if fragment is not None:
                     self._fragments.move_to_end(key)
+            from_disk = False
+            if fragment is None and self.store is not None:
+                # Cross-run read-through: a still-valid persisted
+                # fragment behaves exactly like an in-memory hit
+                # (including the carried-abort accounting below).
+                fragment = self.store.load(key, component, tracer)
+                from_disk = fragment is not None
             if fragment is not None:
                 tracer.incr("perf.schedule.hits")
+                with self._lock:
+                    self._hits += 1
+                if from_disk:
+                    with self._lock:
+                        self._disk_hits += 1
+                    self._insert(key, fragment, tracer)
             else:
                 tracer.incr("perf.schedule.misses")
+                with self._lock:
+                    self._misses += 1
                 fragment = self._build_fragment(
                     component, spec, assoc, clustering, arch, priorities,
                     boot_time_fn, preemption, tracer,
                     bound=bound, bound_base=base,
                 )
-                with self._lock:
-                    self._fragments[key] = fragment
-                    while len(self._fragments) > self.max_entries:
-                        self._fragments.popitem(last=False)
-                        tracer.incr("perf.schedule.evictions")
+                self._insert(key, fragment, tracer)
+                if self.store is not None:
+                    self.store.save(key, component, fragment, tracer)
             fragments.append(fragment)
             if bound is not None:
                 base += fragment.misses
@@ -215,6 +255,16 @@ class IncrementalEngine:
                     raise ScheduleAbort("carried")
 
         return self._merge(names, components, fragments, assoc)
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: tuple, fragment: "Fragment", tracer: Tracer) -> None:
+        """Insert one fragment into the LRU, evicting past capacity."""
+        with self._lock:
+            self._fragments[key] = fragment
+            self._fragments.move_to_end(key)
+            while len(self._fragments) > self.max_entries:
+                self._fragments.popitem(last=False)
+                tracer.incr("perf.schedule.evictions")
 
     # ------------------------------------------------------------------
     def _build_fragment(
@@ -308,9 +358,20 @@ class IncrementalEngine:
 
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
-        """Snapshot for diagnostics and tests."""
+        """Snapshot for diagnostics, ``--stats`` and tests.
+
+        ``hits``/``misses`` count fragment lookups over the engine's
+        lifetime; ``disk_hits`` is the subset of hits served by the
+        persistent fragment tier (0 without a bound store).
+        """
         with self._lock:
-            return {"entries": len(self._fragments), "max_entries": self.max_entries}
+            return {
+                "entries": len(self._fragments),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "disk_hits": self._disk_hits,
+            }
 
 
 def incremental_disabled_by_env() -> bool:

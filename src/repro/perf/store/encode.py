@@ -1,0 +1,81 @@
+"""Canonical, process-portable binary encoding for store keys.
+
+The persistent store addresses entries by SHA-256 digests of their
+keys, so two *different processes* (different ``PYTHONHASHSEED``,
+different machines, different Python patch releases) must encode the
+same value to the same bytes.  ``hash()`` and ``repr()`` offer no such
+guarantee; this module does, with a tiny tagged binary format over the
+primitive shapes fingerprints are made of:
+
+* ``None``, ``True``, ``False`` -- one-byte tags;
+* ``int`` -- decimal digits, length-prefixed (arbitrary precision);
+* ``float`` -- the 8 IEEE-754 big-endian bytes (``struct.pack('>d')``),
+  so ``0.0`` and ``-0.0`` encode differently and no decimal rounding
+  is involved;
+* ``str`` -- UTF-8 bytes, length-prefixed;
+* ``bytes`` -- raw, length-prefixed;
+* ``tuple`` / ``list`` -- ``(`` items ``)`` (both sequence types share
+  a tag: component fingerprints are pure tuples, and the distinction
+  never carries meaning in a store key).
+
+Every length prefix makes the encoding self-delimiting, so distinct
+nested values can never collide.  Anything else (sets, dicts, objects)
+is deliberately a ``TypeError``: callers reduce richer values to these
+shapes first (:func:`repro.perf.store.digests.value_digest`), keeping
+the canonical layer too small to drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+#: Hex digits kept from each SHA-256 digest (128 bits -- collision
+#: probability is negligible while file names stay short).
+DIGEST_HEX_CHARS = 32
+
+
+def _encode_into(value, out: bytearray) -> None:
+    """Append the canonical encoding of ``value`` to ``out``."""
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif type(value) is int:
+        digits = str(value).encode("ascii")
+        out += b"I%d:" % len(digits)
+        out += digits
+    elif type(value) is float:
+        out += b"D"
+        out += struct.pack(">d", value)
+    elif type(value) is str:
+        data = value.encode("utf-8")
+        out += b"S%d:" % len(data)
+        out += data
+    elif type(value) is bytes:
+        out += b"B%d:" % len(value)
+        out += value
+    elif type(value) in (tuple, list):
+        out += b"("
+        for item in value:
+            _encode_into(item, out)
+        out += b")"
+    else:
+        raise TypeError(
+            "cannot canonically encode %r (type %s)"
+            % (value, type(value).__name__)
+        )
+
+
+def canonical_encode(value) -> bytes:
+    """The canonical byte encoding of a primitive nested value."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def encoded_digest(value) -> str:
+    """Truncated SHA-256 hex digest of ``value``'s canonical encoding."""
+    return hashlib.sha256(canonical_encode(value)).hexdigest()[:DIGEST_HEX_CHARS]
