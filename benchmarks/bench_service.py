@@ -1,0 +1,174 @@
+"""Service-path latency benchmark: cold vs. exact-hit vs. coalesced.
+
+Starts one real :class:`~repro.service.server.SynthesisServer` on an
+ephemeral port with a fresh store directory, then measures the three
+ways an identical request can be answered (EXPERIMENTS.md, "Serving
+latency"):
+
+* ``cold_s`` -- the first submission: admission + dispatch to a shard
+  worker + one full synthesis + store write-through;
+* ``coalesced_s`` -- N duplicate submissions racing the cold one from
+  concurrent client threads: each attaches to the in-flight job's
+  future (``coalesced: true``) and resolves when the leader does, so
+  the whole batch costs ONE synthesis (wall time ~= the leader's);
+* ``exact_hit_s`` -- a resubmission after the store has the result:
+  admission + digest probe + full-result-tier read, no job queued.
+
+Every response's ``result`` payload is checked byte-identical
+(:func:`repro.io.service_json.result_bytes`) before any timing is
+recorded -- a latency number for a wrong answer is worse than no
+number.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --example A1TR --scale 0.1 --duplicates 4
+
+Writes ``BENCH_service.json`` (``--out``) at the repository root;
+records merge by (example, scale, duplicates) so repeated runs update
+in place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.bench.examples import build_example  # noqa: E402
+from repro.io.service_json import build_request, result_bytes  # noqa: E402
+from repro.service.client import submit  # noqa: E402
+from repro.service.server import SynthesisServer  # noqa: E402
+
+
+def run_benchmark(example: str, scale: float, duplicates: int, workers: int):
+    """One full cold/coalesced/exact-hit measurement; returns a record."""
+    spec = build_example(example, scale=scale)
+    request = build_request(spec)
+    store = tempfile.mkdtemp(prefix="bench-service-store-")
+
+    async def measure():
+        server = SynthesisServer(port=0, workers=workers, cache_dir=store)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        port = server.port
+
+        def client_submit():
+            return submit("127.0.0.1", port, request, timeout_s=3600.0)
+
+        # -- cold + coalesced: duplicates race the leader ------------
+        timings = {}
+        documents = {}
+
+        def timed(slot):
+            started = time.perf_counter()
+            _, document = client_submit()
+            timings[slot] = time.perf_counter() - started
+            documents[slot] = document
+
+        threads = [
+            threading.Thread(target=timed, args=("dup%d" % i,))
+            for i in range(duplicates)
+        ]
+        cold_started = time.perf_counter()
+        leader = threading.Thread(target=timed, args=("cold",))
+        leader.start()
+        # Give admission a moment so the duplicates coalesce instead
+        # of racing the store probe before the leader registers.
+        await asyncio.sleep(0.2)
+        for thread in threads:
+            thread.start()
+        while leader.is_alive() or any(t.is_alive() for t in threads):
+            await asyncio.sleep(0.05)
+        cold_s = timings["cold"]
+        del cold_started  # the per-slot timers carry the measurements
+
+        # -- exact hit -----------------------------------------------
+        hit_started = time.perf_counter()
+        _, hit_document = await loop.run_in_executor(None, client_submit)
+        exact_hit_s = time.perf_counter() - hit_started
+        documents["hit"] = hit_document
+        await server.close()
+        return cold_s, exact_hit_s, timings, documents
+
+    cold_s, exact_hit_s, timings, documents = asyncio.run(measure())
+
+    cold_document = documents["cold"]
+    assert cold_document["status"] == "done", cold_document
+    assert cold_document["cache_hit"] is False
+    reference = result_bytes(cold_document)
+    coalesced = [documents["dup%d" % i] for i in range(duplicates)]
+    for document in coalesced:
+        assert document["coalesced"] is True, (
+            "a duplicate was not coalesced; raise the race margin"
+        )
+        assert result_bytes(document) == reference, "coalesced leg diverged"
+    assert documents["hit"]["cache_hit"] is True
+    assert result_bytes(documents["hit"]) == reference, "hit leg diverged"
+
+    coalesced_s = [timings["dup%d" % i] for i in range(duplicates)]
+    return {
+        "example": example,
+        "scale": scale,
+        "duplicates": duplicates,
+        "workers": workers,
+        "cold_s": round(cold_s, 4),
+        "coalesced_mean_s": round(sum(coalesced_s) / len(coalesced_s), 4),
+        "coalesced_max_s": round(max(coalesced_s), 4),
+        "exact_hit_s": round(exact_hit_s, 4),
+        "speedup_exact_hit": round(cold_s / exact_hit_s, 1),
+        "result_bytes": len(reference),
+    }
+
+
+def merge_records(path: pathlib.Path, record: dict) -> list:
+    """Insert ``record`` into ``path`` keyed by (example, scale, dups)."""
+    records = []
+    if path.exists():
+        records = json.loads(path.read_text())
+    key = (record["example"], record["scale"], record["duplicates"])
+    records = [
+        r for r in records
+        if (r["example"], r["scale"], r["duplicates"]) != key
+    ]
+    records.append(record)
+    records.sort(key=lambda r: (r["example"], r["scale"], r["duplicates"]))
+    return records
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--example", default="A1TR")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--duplicates", type=int, default=4,
+                        help="concurrent duplicate submissions (default 4)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="server shard workers (default 2)")
+    parser.add_argument("--out", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(
+        args.example, args.scale, args.duplicates, args.workers
+    )
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(merge_records(out, record), indent=2) + "\n")
+    print("%s@%g: cold %.2fs; %d coalesced mean %.2fs; "
+          "exact hit %.3fs (x%.0f); wrote %s"
+          % (record["example"], record["scale"], record["cold_s"],
+             record["duplicates"], record["coalesced_mean_s"],
+             record["exact_hit_s"], record["speedup_exact_hit"], out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

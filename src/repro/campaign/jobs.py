@@ -22,6 +22,14 @@ Job kinds
     A synthesis-free job whose result is a pure function of its
     parameters.  It exists so the crash/retry/resume machinery can be
     exercised in milliseconds, and it hosts the fault-injection hook.
+``synthesize``
+    One full co-synthesis of an embedded ``crusade-spec`` document
+    (``params["spec"]``) under the job's config overrides -- the unit
+    of work the synthesis service (:mod:`repro.service`) dispatches to
+    its shard pool.  The result is the run-neutral ``crusade-result``
+    export (``cpu_seconds``/``stats`` stripped), so a recomputation of
+    the same request is byte-identical to the first -- the property
+    the service's cache and coalescing layers are built on.
 
 Fault injection
 ---------------
@@ -56,7 +64,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping
 
 #: The job kinds :func:`execute_job` understands.
-JOB_KINDS = ("table2", "table3", "selftest")
+JOB_KINDS = ("table2", "table3", "selftest", "synthesize")
+
+#: The kinds a campaign grid can expand on its own: ``synthesize``
+#: jobs need a per-job spec document in ``params``, which only the
+#: service front end (:mod:`repro.service`) constructs.
+CAMPAIGN_GRID_KINDS = ("table2", "table3", "selftest")
 
 #: How long an injected hang sleeps; effectively forever next to any
 #: sane per-job timeout, short enough that a leaked worker exits.
@@ -182,10 +195,37 @@ def _run_selftest(job: Job) -> Dict[str, Any]:
     }
 
 
+def _run_synthesize(job: Job) -> Dict[str, Any]:
+    """Execute a ``synthesize`` job: one service synthesis request.
+
+    ``params["spec"]`` is a ``crusade-spec`` document (already
+    admission-validated by the server, but revalidated here by
+    ``spec_from_dict`` -- a worker must never trust a pipe);
+    ``job.config`` carries the whitelisted overrides plus the server's
+    ``cache_dir``, so :func:`repro.core.crusade.crusade` itself
+    read-probes and write-throughs the shared content-addressed store.
+    """
+    from repro.core.config import CrusadeConfig
+    from repro.core.crusade import crusade
+    from repro.io.result_json import result_to_dict
+    from repro.io.service_json import strip_run_varying
+    from repro.io.spec_json import spec_from_dict
+
+    spec = spec_from_dict(job.params["spec"])
+    result = crusade(spec, config=CrusadeConfig(**dict(job.config)))
+    return {
+        "system": spec.name,
+        "feasible": result.feasible,
+        "cost": round(result.cost, 2),
+        "result": strip_run_varying(result_to_dict(result)),
+    }
+
+
 _EXECUTORS = {
     "table2": _run_table2,
     "table3": _run_table3,
     "selftest": _run_selftest,
+    "synthesize": _run_synthesize,
 }
 
 

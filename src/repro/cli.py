@@ -19,6 +19,13 @@ Commands
     Sharded, checkpointed, fault-tolerant benchmark campaigns over
     the example x scale x variant grid (see :mod:`repro.campaign`
     and README.md, "Campaigns").
+``serve``
+    Run the synthesis service: a long-running HTTP job server with
+    exact-hit caching and duplicate coalescing (see
+    :mod:`repro.service` and docs/SERVICE.md).
+``submit SPEC.json``
+    Post one specification to a running service and print (or save)
+    the response document.
 """
 
 from __future__ import annotations
@@ -143,7 +150,7 @@ def _add_tables(subparsers) -> None:
 
 def _add_campaign(subparsers) -> None:
     from repro.campaign.grid import VARIANT_PRESETS
-    from repro.campaign.jobs import JOB_KINDS
+    from repro.campaign.jobs import CAMPAIGN_GRID_KINDS
 
     p = subparsers.add_parser(
         "campaign",
@@ -160,7 +167,8 @@ def _add_campaign(subparsers) -> None:
                      help="campaign directory (checkpoints, manifest)")
     run.add_argument("--name", default=None,
                      help="campaign name (defaults to the directory name)")
-    run.add_argument("--kind", choices=sorted(JOB_KINDS), default="table2",
+    run.add_argument("--kind", choices=sorted(CAMPAIGN_GRID_KINDS),
+                     default="table2",
                      help="job kind for flag-built campaigns (default table2)")
     run.add_argument("--examples", nargs="+", default=None, metavar="NAME",
                      help="examples axis for flag-built campaigns")
@@ -198,6 +206,45 @@ def _add_campaign(subparsers) -> None:
                             help="stop after N new terminal jobs (testing)")
 
 
+def _add_serve(subparsers) -> None:
+    p = subparsers.add_parser(
+        "serve",
+        help="run the synthesis service (HTTP job server; docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface to bind (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8100,
+                   help="TCP port (0 binds an ephemeral port; default 8100)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="shard worker processes (default 1)")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persistent synthesis store; exact resubmissions "
+                        "are served from it without computing")
+    p.add_argument("--retries", type=int, default=1, metavar="K",
+                   help="per-job re-attempts before a failed response")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-attempt wall-clock budget in seconds")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="stream service.* events as JSON lines to FILE")
+
+
+def _add_submit(subparsers) -> None:
+    p = subparsers.add_parser(
+        "submit", help="post one spec to a running synthesis service"
+    )
+    p.add_argument("spec", help="path to a crusade-spec JSON file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8100)
+    p.add_argument("--set", dest="overrides", action="append", default=[],
+                   metavar="KEY=JSON",
+                   help="config override (repeatable), e.g. "
+                        "--set reconfiguration=false --set prune=true")
+    p.add_argument("--timeout", type=float, default=600.0, metavar="S",
+                   help="client-side budget for the full exchange")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the full response document to FILE")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -209,6 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_example(subparsers)
     _add_tables(subparsers)
     _add_campaign(subparsers)
+    _add_serve(subparsers)
+    _add_submit(subparsers)
     experiments = subparsers.add_parser(
         "experiments",
         help="splice the latest benchmarks/results tables into EXPERIMENTS.md",
@@ -539,6 +588,100 @@ def _cmd_campaign(args) -> int:
     return _CAMPAIGN_HANDLERS[args.campaign_command](args)
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.server import SynthesisServer
+
+    tracer = None
+    if args.trace:
+        from repro.obs import JsonlSink, Tracer
+
+        tracer = Tracer(sinks=[JsonlSink(args.trace)])
+
+    async def _run() -> None:
+        server = SynthesisServer(
+            host=args.host, port=args.port, workers=args.workers,
+            cache_dir=args.cache_dir, retries=args.retries,
+            timeout_s=args.timeout, tracer=tracer,
+        )
+        await server.start()
+        print("serving on http://%s:%d  (workers=%d, cache=%s)"
+              % (server.host, server.port, args.workers,
+                 args.cache_dir or "off"), flush=True)
+        loop = asyncio.get_running_loop()
+        stop = loop.create_future()
+
+        def _request_stop() -> None:
+            if not stop.done():
+                stop.set_result(None)
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, _request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platform without loop signal handlers
+        try:
+            await stop
+            print("draining...", flush=True)
+        finally:
+            await server.close()
+        print("drained; bye", flush=True)
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.io.service_json import request_from_spec_payload
+    from repro.service.client import ServiceUnreachable, submit
+
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        spec_payload = json.load(handle)
+    config = {}
+    for item in args.overrides:
+        key, sep, raw = item.partition("=")
+        if not sep:
+            print("--set expects KEY=JSON, got %r" % (item,), file=sys.stderr)
+            return 2
+        try:
+            config[key] = json.loads(raw)
+        except ValueError:
+            config[key] = raw  # bare strings pass through, e.g. policy names
+    request = request_from_spec_payload(spec_payload, config)
+    try:
+        status, document = submit(
+            args.host, args.port, request, timeout_s=args.timeout
+        )
+    except ServiceUnreachable as exc:
+        print("service unreachable: %s" % exc, file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if status != 200:
+        print("HTTP %d %s: %s" % (status, document.get("error", "?"),
+                                  document.get("detail", "")), file=sys.stderr)
+        for error in document.get("errors", []):
+            print("  - %s" % error, file=sys.stderr)
+        return 1
+    if document.get("status") == "failed":
+        error = document.get("error", {})
+        print("job failed (%s): %s"
+              % (error.get("kind", "?"), error.get("detail", "")),
+              file=sys.stderr)
+        return 1
+    result = document.get("result", {})
+    print("status=done feasible=%s cost=%s cache_hit=%s coalesced=%s"
+          % (result.get("feasible"), result.get("cost"),
+             document.get("cache_hit"), document.get("coalesced")))
+    return 0
+
+
 _HANDLERS = {
     "synthesize": _cmd_synthesize,
     "generate": _cmd_generate,
@@ -549,6 +692,8 @@ _HANDLERS = {
     "figure2": _cmd_figure2,
     "experiments": _cmd_experiments,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

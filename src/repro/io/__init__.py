@@ -5,7 +5,9 @@ can be authored, archived, and shared outside Python; synthesis
 results export to JSON for downstream tooling (dashboards, diffing
 architectures across runs).  Campaign checkpoints and manifests
 (:mod:`repro.io.campaign_json`) add canonical-bytes JSON and an
-fsynced JSONL log for the fault-tolerant campaign runner.
+fsynced JSONL log for the fault-tolerant campaign runner; the
+synthesis service's versioned request/response/error documents live
+in :mod:`repro.io.service_json`.
 """
 
 from repro.io.campaign_json import (
@@ -26,8 +28,18 @@ from repro.io.result_json import (
     save_result_file,
     stats_from_result_dict,
 )
+from repro.io.service_json import (
+    SERVICE_SCHEMA_VERSION,
+    RequestValidationError,
+    build_request,
+    validate_request,
+)
 
 __all__ = [
+    "SERVICE_SCHEMA_VERSION",
+    "RequestValidationError",
+    "build_request",
+    "validate_request",
     "CAMPAIGN_SCHEMA_VERSION",
     "canonical_dumps",
     "dump_canonical",

@@ -18,7 +18,12 @@ tracer itself and surface as
 """
 
 from repro.obs.counters import Counters
-from repro.obs.events import CAMPAIGN_EVENT_NAMES, SCHEMA_VERSION, Event
+from repro.obs.events import (
+    CAMPAIGN_EVENT_NAMES,
+    SCHEMA_VERSION,
+    SERVICE_EVENT_NAMES,
+    Event,
+)
 from repro.obs.report import SynthesisStats, render_stats, stats_from_dict
 from repro.obs.timers import PhaseTimers
 from repro.obs.trace import (
@@ -32,6 +37,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "CAMPAIGN_EVENT_NAMES",
+    "SERVICE_EVENT_NAMES",
     "SCHEMA_VERSION",
     "Event",
     "Counters",

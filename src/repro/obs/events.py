@@ -51,6 +51,23 @@ CAMPAIGN_EVENT_NAMES = (
     "campaign.end",
 )
 
+#: Lifecycle events emitted by the synthesis service
+#: (:mod:`repro.service`).  ``service.request`` carries the
+#: per-request trace -- ``outcome`` (``cache_hit`` | ``coalesced`` |
+#: ``computed``) plus, for computed requests, ``queue_wait_s``,
+#: ``worker_wall_s``, ``attempts`` and the winning ``shard``; the
+#: ``service.job.*`` events mirror the campaign runner's supervision
+#: vocabulary (retry reasons ``crash`` | ``timeout`` | ``error``).
+SERVICE_EVENT_NAMES = (
+    "service.start",
+    "service.request",
+    "service.job.start",
+    "service.job.retry",
+    "service.job.failed",
+    "service.drain",
+    "service.end",
+)
+
 
 @dataclass(frozen=True)
 class Event:

@@ -1,0 +1,278 @@
+"""The service's shard pool: pull-based async supervision of JobWorkers.
+
+One :class:`ShardPool` owns ``workers`` persistent
+:class:`~repro.perf.procpool.JobWorker` processes -- the same
+process-level fault-isolation unit the campaign runner supervises --
+and exposes them to the asyncio server as an awaitable
+:meth:`ShardPool.submit`.  Dispatch is **pull-based**: admitted jobs
+land on one shared :class:`asyncio.Queue` and each shard's async loop
+pulls the next job the moment its worker goes idle, so a slow
+synthesis on one shard never head-blocks the others (the
+least-loaded-shard rule falls out of the pull protocol for free).
+
+Supervision mirrors :mod:`repro.campaign.runner` attempt-for-attempt:
+
+* **worker crash** (hard process death mid-job): detected via the
+  process sentinel or a dead pipe; the worker is respawned and the
+  attempt counts as a failure;
+* **per-job timeout**: a worker past its attempt deadline is killed
+  (:meth:`~repro.perf.procpool.JobWorker.kill`'s SIGTERM ->
+  SIGKILL escalation, so a wedged worker is never leaked) and
+  respawned;
+* **job error** (an exception inside the executor): the traceback
+  comes back over the pipe.
+
+Failed attempts retry up to ``retries`` extra times; a job that
+exhausts them resolves to a structured ``{"status": "failed"}``
+verdict -- never an unresolved future, never a hung connection.  The
+blocking waits (``multiprocessing.connection.wait`` on the worker
+pipe + sentinel) run on the event loop's default executor so the
+server's accept loop stays responsive while every shard is busy.
+
+:meth:`ShardPool.drain` is the graceful-shutdown half of the
+contract: it closes the queue to new submissions (the server starts
+refusing with 503 first), lets every queued and in-flight job finish,
+then stops the workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import traceback
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Dict, Optional
+
+from repro.obs.trace import Tracer, resolve_tracer
+from repro.perf.procpool import JobWorker, WorkerCrash
+
+#: Worker target resolved inside each shard process (the same
+#: executor the campaign runner dispatches to).
+JOB_TARGET = "repro.campaign.jobs:execute_job"
+
+#: Longest single blocking wait handed to the executor; shorter slices
+#: keep kill/drain latency bounded without busy-polling.
+_WAIT_SLICE_S = 0.5
+
+#: Supervision verdicts (the ``error.kind`` of a failed response).
+CRASH = "crash"
+TIMEOUT = "timeout"
+ERROR = "error"
+
+#: Policy-independent failure details, mirroring the campaign
+#: runner's: attempt counts ride in the ``attempts`` field instead.
+_CRASH_DETAIL = "worker process died before replying"
+_TIMEOUT_DETAIL = "attempt exceeded the per-job timeout"
+
+
+class PoolClosed(RuntimeError):
+    """A job was submitted to a draining or closed pool."""
+
+
+class ShardPool:
+    """A pull-based pool of supervised synthesis shards.
+
+    ``workers`` JobWorker processes, each paired with an async shard
+    loop pulling from one shared queue.  ``retries`` bounds re-attempts
+    after a crash/timeout/error; ``timeout_s`` is the per-attempt
+    wall-clock budget (``None`` = unbounded).  All counters land on
+    ``tracer`` under ``service.jobs.*``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        retries: int = 1,
+        timeout_s: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        """Configure the pool; processes spawn in :meth:`start`."""
+        if workers < 1:
+            raise ValueError("a shard pool needs >= 1 worker")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.retries = retries
+        self.timeout_s = timeout_s
+        self.tracer = resolve_tracer(tracer)
+        self._queue: Optional[asyncio.Queue] = None
+        self._shards: list = []
+        self._job_workers: list = []
+        self._draining = False
+        self._started = False
+        self._inflight = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has run (and :meth:`drain` has not)."""
+        return self._started
+
+    @property
+    def draining(self) -> bool:
+        """Whether the pool has stopped accepting submissions."""
+        return self._draining
+
+    @property
+    def alive_workers(self) -> int:
+        """How many shard worker processes are currently alive."""
+        return sum(1 for w in self._job_workers if w.alive)
+
+    @property
+    def backlog(self) -> int:
+        """Jobs admitted but not yet resolved (queued + in flight)."""
+        queued = self._queue.qsize() if self._queue is not None else 0
+        return queued + self._inflight
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the shard workers and their pull loops (idempotent)."""
+        if self._started:
+            return
+        self._queue = asyncio.Queue()
+        self._job_workers = [JobWorker(JOB_TARGET) for _ in range(self.workers)]
+        loop = asyncio.get_running_loop()
+        for worker in self._job_workers:
+            # Spawning forks a process; cheap, but keep it off the loop.
+            await loop.run_in_executor(None, worker.spawn)
+        self._shards = [
+            asyncio.ensure_future(self._shard_loop(i, worker))
+            for i, worker in enumerate(self._job_workers)
+        ]
+        self._draining = False
+        self._started = True
+
+    async def submit(self, job_id: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Queue one job payload and await its supervision verdict.
+
+        Returns ``{"status": "done", "result": ..., "attempts": n}``
+        or ``{"status": "failed", "error": {"kind", "detail"},
+        "attempts": n}``; raises :class:`PoolClosed` when draining.
+        """
+        if not self._started or self._draining:
+            raise PoolClosed("the shard pool is not accepting jobs")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight += 1
+        self._queue.put_nowait((job_id, payload, future, time.monotonic()))
+        try:
+            return await future
+        finally:
+            self._inflight -= 1
+
+    async def drain(self) -> None:
+        """Gracefully shut down: finish queued + in-flight jobs first.
+
+        Idempotent; after it returns every submitted future is
+        resolved and every worker process is stopped.
+        """
+        self._draining = True
+        if not self._started:
+            return
+        for _ in self._shards:
+            self._queue.put_nowait(None)  # one stop token per shard
+        await asyncio.gather(*self._shards, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        for worker in self._job_workers:
+            await loop.run_in_executor(None, worker.stop)
+        self._shards = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    async def _shard_loop(self, shard: int, worker: JobWorker) -> None:
+        """One shard: pull jobs until the drain token arrives."""
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                return
+            job_id, payload, future, enqueued_at = item
+            queue_wait_s = time.monotonic() - enqueued_at
+            try:
+                verdict = await self._run_job(shard, worker, job_id, payload)
+            except Exception:  # supervision must never kill the shard
+                verdict = {
+                    "status": "failed",
+                    "error": {"kind": ERROR,
+                              "detail": traceback.format_exc()},
+                    "attempts": 0,
+                }
+                self.tracer.incr("service.jobs.failed")
+            verdict["queue_wait_s"] = round(queue_wait_s, 6)
+            verdict["shard"] = shard
+            if not future.cancelled():
+                future.set_result(verdict)
+
+    async def _run_job(
+        self, shard: int, worker: JobWorker, job_id: str, payload: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Attempt loop for one job on one shard's worker."""
+        loop = asyncio.get_running_loop()
+        failure = (ERROR, "job was never attempted")
+        for attempt in range(1, self.retries + 2):
+            if not worker.alive:
+                await loop.run_in_executor(None, worker.respawn)
+            self.tracer.event(
+                "service.job.start", job=job_id, shard=shard, attempt=attempt
+            )
+            worker.submit(job_id, attempt, payload)
+            verdict = await self._await_attempt(loop, worker)
+            kind = verdict[0]
+            if kind == "ok":
+                self.tracer.incr("service.jobs.done")
+                return {
+                    "status": "done", "result": verdict[1], "attempts": attempt,
+                }
+            failure = (kind, verdict[1])
+            self.tracer.incr("service.jobs.%s" % kind)
+            if attempt <= self.retries:
+                self.tracer.incr("service.jobs.retried")
+                self.tracer.event(
+                    "service.job.retry",
+                    job=job_id, shard=shard, attempt=attempt, reason=kind,
+                )
+        self.tracer.incr("service.jobs.failed")
+        self.tracer.event(
+            "service.job.failed",
+            job=job_id, shard=shard, reason=failure[0],
+        )
+        return {
+            "status": "failed",
+            "error": {"kind": failure[0], "detail": failure[1]},
+            "attempts": self.retries + 1,
+        }
+
+    async def _await_attempt(self, loop, worker: JobWorker) -> tuple:
+        """One attempt's outcome: ("ok", result) | (kind, detail).
+
+        Waits on the worker pipe and its process sentinel in bounded
+        slices on the executor; a deadline overrun kills the worker
+        (SIGTERM -> SIGKILL) and reports ``timeout``, a dead pipe or
+        sentinel reports ``crash``.
+        """
+        deadline = (
+            time.monotonic() + self.timeout_s
+            if self.timeout_s is not None else None
+        )
+        while True:
+            slice_s = _WAIT_SLICE_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    await loop.run_in_executor(None, worker.kill)
+                    return (TIMEOUT, _TIMEOUT_DETAIL)
+                slice_s = min(slice_s, remaining)
+            conn, sentinel = worker.connection, worker.sentinel
+            ready = await loop.run_in_executor(
+                None, _conn_wait, [conn, sentinel], slice_s
+            )
+            if conn in ready:
+                try:
+                    reply = await loop.run_in_executor(None, worker.recv)
+                except WorkerCrash:
+                    await loop.run_in_executor(None, worker.respawn)
+                    return (CRASH, _CRASH_DETAIL)
+                if reply[0] == "ok":
+                    return ("ok", reply[2])
+                return (ERROR, reply[2])  # ("error", job_id, traceback)
+            if sentinel in ready:
+                await loop.run_in_executor(None, worker.respawn)
+                return (CRASH, _CRASH_DETAIL)

@@ -1,10 +1,11 @@
 """Docstring coverage gate for the documented packages and the API.
 
-Gated packages: repro.perf, repro.campaign, and the staged synthesis
-pipeline (repro.core plus repro.core.stages).  CI enforces the same
-contract with ruff's pydocstyle D1 rules (see pyproject.toml); this
-AST-based test keeps the gate verifiable in environments without ruff
-installed.
+Gated packages: repro.perf, repro.campaign, the synthesis service
+(repro.service plus its repro.io.service_json schemas), and the
+staged synthesis pipeline (repro.core plus repro.core.stages).  CI
+enforces the same contract with ruff's pydocstyle D1 rules (see
+pyproject.toml); this AST-based test keeps the gate verifiable in
+environments without ruff installed.
 """
 
 from __future__ import annotations
@@ -17,13 +18,15 @@ import pytest
 import repro
 
 SRC = pathlib.Path(repro.__file__).resolve().parent
-GATED_PACKAGES = ("perf", "campaign", "core", "core/stages")
+GATED_PACKAGES = ("perf", "campaign", "core", "core/stages", "service")
+GATED_MODULES = ("io/service_json.py",)
 
 
 def _gated_modules():
     files = [SRC / "__init__.py"]
     for package in GATED_PACKAGES:
         files.extend(sorted((SRC / package).glob("*.py")))
+    files.extend(SRC / module for module in GATED_MODULES)
     return files
 
 

@@ -1,0 +1,110 @@
+"""Fixtures for the synthesis-service tests.
+
+The server is asyncio; the tests (and the blocking reference client
+they exercise) are synchronous.  :class:`ServerHarness` hosts one
+:class:`~repro.service.server.SynthesisServer` on a dedicated event
+loop in a daemon thread, so tests talk to a *real* listening socket
+through the same client ``repro submit`` uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.graph.spec import SystemSpec
+from repro.graph.taskgraph import TaskGraph
+from repro.graph.task import MemoryRequirement, Task
+from repro.service.server import SynthesisServer
+
+
+def service_spec(name: str = "svc-tiny") -> SystemSpec:
+    """A deterministic three-task system small enough to synthesize
+    in well under a second, so server tests can run real jobs."""
+    g = TaskGraph(name="g0", period=0.1, deadline=0.1)
+    for task in ("a", "b", "c"):
+        g.add_task(
+            Task(
+                name=task,
+                # The service always synthesizes against the default
+                # 1997 catalog, so name a PE type that exists there.
+                exec_times={"MC68040": 0.0005},
+                memory=MemoryRequirement(program=4096, data=2048, stack=512),
+            )
+        )
+    g.add_edge("a", "b", bytes_=128)
+    g.add_edge("b", "c", bytes_=128)
+    return SystemSpec(name, [g])
+
+
+class ServerHarness:
+    """One SynthesisServer on its own event loop in a daemon thread."""
+
+    def __init__(self, **kwargs) -> None:
+        """Store the server kwargs; nothing runs until :meth:`start`."""
+        self._kwargs = kwargs
+        self.loop: asyncio.AbstractEventLoop = None
+        self.server: SynthesisServer = None
+        self._thread: threading.Thread = None
+        self._startup_error: BaseException = None
+
+    @property
+    def port(self) -> int:
+        """The bound (possibly ephemeral) port."""
+        return self.server.port
+
+    def start(self) -> "ServerHarness":
+        """Spin the loop thread up and block until the socket binds."""
+        started = threading.Event()
+
+        def run() -> None:
+            self.loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self.loop)
+            try:
+                self.server = SynthesisServer(port=0, **self._kwargs)
+                self.loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # surface on the test thread
+                self._startup_error = exc
+                started.set()
+                return
+            started.set()
+            self.loop.run_forever()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        assert started.wait(30.0), "server thread never came up"
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def run(self, coro, timeout_s: float = 60.0):
+        """Run ``coro`` on the server's loop; return its result."""
+        future = asyncio.run_coroutine_threadsafe(coro, self.loop)
+        return future.result(timeout_s)
+
+    def stop(self) -> None:
+        """Close the server, stop the loop, join the thread."""
+        if self.server is not None and self.loop.is_running():
+            self.run(self.server.close(), timeout_s=120.0)
+        if self.loop.is_running():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(30.0)
+        if not self.loop.is_closed():
+            self.loop.close()
+
+
+@pytest.fixture
+def harness_factory():
+    """Build ServerHarness instances that are torn down after the test."""
+    live = []
+
+    def build(**kwargs) -> ServerHarness:
+        harness = ServerHarness(**kwargs).start()
+        live.append(harness)
+        return harness
+
+    yield build
+    for harness in live:
+        harness.stop()
