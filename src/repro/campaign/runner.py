@@ -2,13 +2,16 @@
 
 :func:`run_campaign` drives one campaign to completion: it expands
 the grid, skips jobs the checkpoint log already settled, dispatches
-the rest to persistent :class:`~repro.perf.procpool.JobWorker`
-processes, and survives the three failure shapes a long campaign
-meets --
+the rest to persistent workers supervised by
+:class:`~repro.exec.supervise.SupervisedWorker` (the execution
+substrate's single crash/timeout/error state machine, over the
+transport ``REPRO_EXEC_TRANSPORT`` resolves -- pipes by default),
+and survives the three failure shapes a long campaign meets --
 
 * **worker crash** (hard process death: segfault, OOM kill,
-  ``os._exit``): detected via the process sentinel / a dead pipe; the
-  worker is respawned and the job re-attempted;
+  ``os._exit``): detected via the process sentinel / a dead pipe (or,
+  on the socket transport, a dropped connection or stale heartbeat);
+  the worker is respawned and the job re-attempted;
 * **per-job timeout**: a worker past its attempt deadline is killed
   and respawned, and the attempt counts as a failure;
 * **job error** (an exception inside the job): the traceback comes
@@ -38,7 +41,8 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.obs import JsonlSink, Tracer
 from repro.obs.trace import resolve_tracer
-from repro.perf.procpool import JobWorker, WorkerCrash
+from repro.exec import SupervisedWorker, make_job_transport
+from repro.exec import supervise as _supervision
 from repro.campaign.checkpoint import CampaignDir
 from repro.campaign.grid import CampaignSpec, expand_jobs
 from repro.campaign.jobs import Job
@@ -50,14 +54,15 @@ JOB_TARGET = "repro.campaign.jobs:execute_job"
 #: Supervision tick: the longest the loop sleeps with work in flight.
 _TICK_S = 0.25
 
-#: Terminal-failure details for crash/timeout.  Deliberately
-#: **policy-independent** -- no attempt counts, no timeout budgets --
-#: because ``error_summary`` of this text lands in the manifest's
-#: per-job ``error`` field, and a resume under ``policy_override``
-#: must still produce byte-identical manifest output.  Attempt counts
-#: live in the checkpoint record and the obs events instead.
-_CRASH_DETAIL = "worker process died before replying"
-_TIMEOUT_DETAIL = "attempt exceeded the per-job timeout"
+#: Terminal-failure details for crash/timeout, shared with the
+#: execution substrate.  Deliberately **policy-independent** -- no
+#: attempt counts, no timeout budgets -- because ``error_summary`` of
+#: this text lands in the manifest's per-job ``error`` field, and a
+#: resume under ``policy_override`` must still produce byte-identical
+#: manifest output.  Attempt counts live in the checkpoint record and
+#: the obs events instead.
+_CRASH_DETAIL = _supervision.CRASH_DETAIL
+_TIMEOUT_DETAIL = _supervision.TIMEOUT_DETAIL
 
 
 @dataclass
@@ -84,7 +89,7 @@ class _Slot:
 
     __slots__ = ("worker", "job", "attempt", "started_at", "deadline")
 
-    def __init__(self, worker: JobWorker) -> None:
+    def __init__(self, worker: SupervisedWorker) -> None:
         """Wrap ``worker`` with idle supervision state."""
         self.worker = worker
         self.job: Optional[Job] = None
@@ -177,7 +182,12 @@ def run_campaign(
     try:
         if pending:
             n_workers = max(1, min(workers, len(pending)))
-            slots = [_Slot(JobWorker(JOB_TARGET)) for _ in range(n_workers)]
+            slots = [
+                _Slot(SupervisedWorker(
+                    make_job_transport(JOB_TARGET), tracer=tracer
+                ))
+                for _ in range(n_workers)
+            ]
             interrupted = not _supervise(
                 slots, pending, policy, cdir, tracer, counts, stop_after
             )
@@ -243,7 +253,7 @@ def _supervise(
                 break
             job, attempt, _ = entry
             if not slot.worker.alive:
-                slot.worker.respawn()
+                slot.worker.spawn()
             slot.job = job
             slot.attempt = attempt
             slot.started_at = now
@@ -268,56 +278,42 @@ def _supervise(
                 timeout = min(timeout, max(0.0, slot.deadline - now))
         waitables = []
         for slot in busy:
-            waitables.append(slot.worker.connection)
-            waitables.append(slot.worker.sentinel)
-        ready = _conn_wait(waitables, timeout=timeout)
+            waitables.extend(slot.worker.wait_handles())
+        if waitables:
+            _conn_wait(waitables, timeout=timeout)
         now = time.monotonic()
 
         for slot in busy:
             job, attempt = slot.job, slot.attempt
             wall_s = now - slot.started_at
-            if slot.worker.connection in ready:
-                try:
-                    reply = slot.worker.recv()
-                except WorkerCrash:
-                    slot.worker.respawn()
-                    terminal_this_run += _attempt_failed(
-                        slot, "crash", _CRASH_DETAIL,
-                        pending, policy, tracer, counts, finish, wall_s,
-                    )
-                else:
-                    kind = reply[0]
-                    if kind == "ok":
-                        finish(slot, {
-                            "job": job.id,
-                            "status": "done",
-                            "attempts": attempt,
-                            "result": reply[2],
-                            "wall_s": round(wall_s, 3),
-                        })
-                        counts["done"] += 1
-                        terminal_this_run += 1
-                        tracer.incr("campaign.jobs.done")
-                        tracer.event(
-                            "campaign.job.done",
-                            job=job.id, attempt=attempt,
-                            wall_s=round(wall_s, 3),
-                        )
-                    else:  # ("error", job_id, traceback)
-                        terminal_this_run += _attempt_failed(
-                            slot, "error", reply[2],
-                            pending, policy, tracer, counts, finish, wall_s,
-                        )
-            elif slot.worker.sentinel in ready:
-                slot.worker.respawn()
-                terminal_this_run += _attempt_failed(
-                    slot, "crash", _CRASH_DETAIL,
-                    pending, policy, tracer, counts, finish, wall_s,
+            # The substrate's state machine classifies the attempt:
+            # reply (ok/error), transport death (crash; the worker is
+            # already replaced), or deadline (timeout; killed with the
+            # escalated terminate and replaced).
+            outcome = slot.worker.poll(now, deadline=slot.deadline)
+            if outcome is None:
+                continue
+            if outcome.kind == _supervision.OK:
+                finish(slot, {
+                    "job": job.id,
+                    "status": "done",
+                    "attempts": attempt,
+                    "result": outcome.value,
+                    "wall_s": round(wall_s, 3),
+                })
+                counts["done"] += 1
+                terminal_this_run += 1
+                tracer.incr("campaign.jobs.done")
+                tracer.event(
+                    "campaign.job.done",
+                    job=job.id, attempt=attempt,
+                    wall_s=round(wall_s, 3),
                 )
-            elif slot.deadline is not None and now >= slot.deadline:
-                slot.worker.respawn()
+            else:
+                # crash -> the policy-independent crash detail;
+                # timeout -> the timeout detail; error -> traceback.
                 terminal_this_run += _attempt_failed(
-                    slot, "timeout", _TIMEOUT_DETAIL,
+                    slot, outcome.kind, outcome.value,
                     pending, policy, tracer, counts, finish, wall_s,
                 )
             if stop_after is not None and terminal_this_run >= stop_after:

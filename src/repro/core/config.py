@@ -130,6 +130,22 @@ class CrusadeConfig:
         ``REPRO_NO_WARM_START=1`` environment kill switch -- forces a
         cold run that still *writes* the store, warming it for later
         runs.  Meaningless without ``cache_dir``/``REPRO_CACHE_DIR``.
+    exec_transport:
+        Worker transport for the parallel scorer's execution substrate
+        (:mod:`repro.exec`): ``"pipe"`` (default) forks workers over
+        duplex pickle pipes; ``"socket"`` runs them over
+        length-prefixed canonical-JSON TCP frames with heartbeat
+        liveness -- the substrate remote ``repro worker --connect``
+        hosts join through.  Results are byte-identical either way
+        (the pool's first-feasible-by-index selection is
+        transport-independent).  The ``REPRO_EXEC_TRANSPORT``
+        environment variable overrides this knob as a kill switch.
+    worker_port:
+        TCP port on which the parallel scorer accepts remote
+        ``repro worker --connect`` dial-ins for the duration of a
+        synthesis run (``None`` disables, ``0`` binds an ephemeral
+        port).  Joined workers enlarge scoring waves; selection and
+        results stay byte-identical.
     """
 
     reconfiguration: bool = True
@@ -153,12 +169,26 @@ class CrusadeConfig:
     policy: str = "default"
     cache_dir: Optional[str] = None
     warm_start: bool = True
+    exec_transport: str = "pipe"
+    worker_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cache_dir is not None and not isinstance(self.cache_dir, str):
             raise SpecificationError("cache_dir must be a string path or None")
         if self.parallel_eval < 0:
             raise SpecificationError("parallel_eval must be >= 0")
+        if self.exec_transport not in ("pipe", "socket"):
+            raise SpecificationError(
+                "exec_transport must be 'pipe' or 'socket'"
+            )
+        if self.worker_port is not None and (
+            not isinstance(self.worker_port, int)
+            or isinstance(self.worker_port, bool)
+            or not 0 <= self.worker_port <= 65535
+        ):
+            raise SpecificationError(
+                "worker_port must be a port number (0-65535) or None"
+            )
         if self.pool_batch < 1:
             raise SpecificationError("pool_batch must be >= 1")
         if self.timeline not in ("list", "tree", "auto"):

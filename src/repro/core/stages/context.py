@@ -142,6 +142,8 @@ class SynthesisContext:
                 use_engine=self.engine is not None,
                 timeline=self.config.timeline,
                 batch=self.config.pool_batch,
+                transport=self.config.exec_transport,
+                worker_port=self.config.worker_port,
             ) as scorer:
                 self.scorer = scorer
                 try:

@@ -64,6 +64,8 @@ SERVICE_EVENT_NAMES = (
     "service.job.start",
     "service.job.retry",
     "service.job.failed",
+    "service.worker.join",
+    "service.worker.left",
     "service.drain",
     "service.end",
 )

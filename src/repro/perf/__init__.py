@@ -19,9 +19,9 @@ pool is opt-in via ``CrusadeConfig.parallel_eval``):
   candidates before the scheduler runs (pure dominance pruning);
 * :mod:`repro.perf.procpool` -- the wave-based multi-*process*
   candidate scorer with deterministic first-feasible-by-index
-  selection and warm per-worker engine caches, plus the supervised
-  :class:`JobWorker` process primitive the campaign runner
-  (:mod:`repro.campaign`) builds its crash/timeout recovery on;
+  selection and warm per-worker engine caches, running on the
+  :mod:`repro.exec` execution substrate (:class:`JobWorker` remains
+  as the pipe-transport compatibility surface);
 * :mod:`repro.perf.store` / :mod:`repro.perf.warmstart` -- the
   persistent content-addressed synthesis store (full-result tier +
   cross-run fragment tier under ``CrusadeConfig.cache_dir``) and the

@@ -7,6 +7,14 @@ worker *processes*, each holding a warm per-worker
 :class:`~repro.perf.engine.IncrementalEngine` whose scheduler-context
 caches survive across clusters.
 
+Workers run behind the :mod:`repro.exec` execution substrate: the
+default ``pipe`` transport forks workers over duplex pickle pipes
+(byte-identical to the pre-``repro.exec`` scorer), while the
+``socket`` transport runs the same worker loop over length-prefixed
+canonical-JSON TCP frames -- locally spawned, or *remote*: with
+``worker_port`` set the scorer accepts ``repro worker --connect``
+dial-ins and folds those hosts into its waves, bounds and all.
+
 Protocol
 --------
 
@@ -20,31 +28,33 @@ so each worker deserializes each generation at most once.  Workers
 reply one list of compact verdicts per chunk -- each
 ``(kind, badness, prune-floor, reason, counter-deltas)`` -- never a
 schedule, so IPC stays small, and batching amortizes the per-message
-pipe cost.  When the generation carries ``bound_abort``, the parent
-additionally broadcasts the freshest incumbent badness
+transport cost.  When the generation carries ``bound_abort``, the
+parent additionally broadcasts the freshest incumbent badness
 (``("bound", token, badness)``) to a worker right before dispatching
-to it, and each worker folds its own infeasible results into that
-*local* bound, so in-flight evaluations abort as early as the serial
-loop's would (see :class:`~repro.sched.scheduler.ScheduleAbort`);
-aborted evaluations come back as ``"aborted"`` records.
+to it -- a transport-level broadcast, so remote scorers abort against
+each other's discoveries -- and each worker folds its own infeasible
+results into that *local* bound, so in-flight evaluations abort as
+early as the serial loop's would (see
+:class:`~repro.sched.scheduler.ScheduleAbort`); aborted evaluations
+come back as ``"aborted"`` records.
 
 Determinism
 -----------
 
-Chunks are dispatched in waves of ``workers`` and consumed strictly
-in option-index order; the first feasible option wins and the
-least-infeasible fallback uses the same earliest-minimum rule, so
-selection is byte-identical to the serial loop.  A bound a worker
-holds is always the badness of an *earlier-seq* candidate, so an
-abort only ever discards candidates that provably lose the
-``(badness, seq)`` argmin -- stale bounds abort a subset, never a
-different set.  The parent re-evaluates only the winning (or
-fallback) option locally to materialize the full verdict.  Worker
-counter deltas are merged in index order over every dispatched wave,
-so totals are deterministic; as with the old thread scorer,
-*evaluation* counters may exceed the serial counts because a wave is
-always scored in full even when an early member is feasible (workers
-do truncate their own chunk at its first feasible option).
+Chunks are dispatched in waves of one-per-worker and consumed
+strictly in option-index order; the first feasible option wins and
+the least-infeasible fallback uses the same earliest-minimum rule, so
+selection is byte-identical to the serial loop *on every transport
+and pool size*.  A bound a worker holds is always the badness of an
+*earlier-seq* candidate, so an abort only ever discards candidates
+that provably lose the ``(badness, seq)`` argmin -- stale bounds
+abort a subset, never a different set.  The parent re-evaluates only
+the winning (or fallback) option locally to materialize the full
+verdict.  Worker counter deltas are merged in index order over every
+dispatched wave, so totals are deterministic; as with the old thread
+scorer, *evaluation* counters may exceed the serial counts because a
+wave is always scored in full even when an early member is feasible
+(workers do truncate their own chunk at its first feasible option).
 ``batch=1`` restores the PR-6 one-option-per-message protocol
 exactly.
 
@@ -54,37 +64,32 @@ path; see ``tests/perf/test_procpool.py``), and frontiers smaller
 than :data:`MIN_FRONTIER_FACTOR` x workers are scored serially by the
 caller rather than paying IPC for a handful of options.
 
-Besides the candidate scorer, this module provides
-:class:`JobWorker`: a single supervised persistent worker process
-executing arbitrary ``fn(payload, attempt)`` jobs, with crash
-detection and respawn left to the parent.  It is the process-level
-building block of the campaign runner (:mod:`repro.campaign`), which
-layers per-job timeouts, bounded-backoff retries and durable
-checkpointing on top.
+Besides the candidate scorer, this module keeps :class:`JobWorker`:
+the pipe-transport supervised worker executing arbitrary
+``fn(payload, attempt)`` jobs, preserved as the compatibility surface
+of the primitive the campaign runner and service pool were built on
+before both moved onto :class:`~repro.exec.supervise.SupervisedWorker`
+directly.
 """
 
 from __future__ import annotations
 
-import importlib
-import multiprocessing
 import pickle
-import traceback
-from typing import Dict, List, Optional, Tuple
+import threading
+from typing import List, Optional, Tuple
 
 from repro.obs.trace import Tracer
-
-
-def _pool_context():
-    """The multiprocessing context every pool here uses.
-
-    ``fork`` where available (workers inherit the warm interpreter),
-    ``spawn`` otherwise.
-    """
-    return multiprocessing.get_context(
-        "fork"
-        if "fork" in multiprocessing.get_all_start_methods()
-        else "spawn"
-    )
+from repro.exec.frames import FrameConnection
+from repro.exec.sockets import SocketTransport, WorkerListener
+from repro.exec.transport import (
+    PipeTransport,
+    TERM_GRACE_S,  # noqa: F401  (re-export: the single escalation grace)
+    TransportDead,
+    WorkerTransport,
+    pool_context as _pool_context,
+    resolve_transport_name,
+)
+from repro.exec.worker import job_worker_main, welcome_message
 
 #: Frontiers below ``workers * MIN_FRONTIER_FACTOR`` options are not
 #: worth a round of IPC; the caller falls back to the serial path.
@@ -145,8 +150,15 @@ def _score_one(gen: dict, pruner, engine, option, strategy, bound=None):
     return (kind, result.badness(), None, None, tracer.counters.as_dict())
 
 
-def _worker_main(conn, use_engine: bool, timeline: str = "auto") -> None:
-    """Worker loop: install generations, score option chunks, reply."""
+def score_worker_main(conn, use_engine: bool, timeline: str = "auto") -> None:
+    """Scorer worker loop: install generations, score chunks, reply.
+
+    Runs identically over a forked pipe connection and a framed
+    socket (:class:`~repro.exec.frames.FrameConnection`) -- messages
+    arriving as JSON lists index and compare exactly like the pickled
+    tuples do, and badness vectors are re-tupled where ordering
+    matters.
+    """
     from repro.perf.engine import IncrementalEngine
     from repro.perf.prune import CandidatePruner
 
@@ -215,9 +227,9 @@ def _worker_main(conn, use_engine: bool, timeline: str = "auto") -> None:
     conn.close()
 
 
-#: Seconds :meth:`JobWorker.kill` waits after SIGTERM before
-#: escalating to an unignorable SIGKILL.
-TERM_GRACE_S = 5.0
+#: Backwards-compatible private aliases (pre-``repro.exec`` names).
+_worker_main = score_worker_main
+_job_worker_main = job_worker_main
 
 
 class PoolError(RuntimeError):
@@ -228,45 +240,19 @@ class WorkerCrash(RuntimeError):
     """A supervised worker process died while holding a job."""
 
 
-def _job_worker_main(conn, target: str) -> None:
-    """Generic persistent-worker loop for :class:`JobWorker`.
-
-    Resolves ``target`` (a ``"module:function"`` dotted name, so it
-    survives the ``spawn`` start method) and executes
-    ``fn(payload, attempt)`` per submitted job, replying
-    ``("ok", job_id, result)`` or ``("error", job_id, traceback)``.
-    Anything that escapes this loop entirely -- ``os._exit``, a
-    segfault, a kill -- is what the parent's supervision exists for.
-    """
-    module_name, _, fn_name = target.partition(":")
-    fn = getattr(importlib.import_module(module_name), fn_name)
-    while True:
-        try:
-            msg = conn.recv()
-        except EOFError:
-            break
-        if msg[0] == "stop":
-            break
-        _, job_id, attempt, payload = msg
-        try:
-            result = fn(payload, attempt)
-        except BaseException:
-            conn.send(("error", job_id, traceback.format_exc()))
-        else:
-            conn.send(("ok", job_id, result))
-    conn.close()
-
-
 class JobWorker:
-    """One supervised persistent worker process.
+    """One supervised persistent pipe worker (compatibility surface).
 
-    The campaign runner's unit of fault isolation: jobs are submitted
-    over a duplex pipe, results come back over the same pipe, and the
-    *parent* owns every judgement call -- per-job deadlines, crash
-    detection (via :attr:`sentinel`), kill and :meth:`respawn`.  A
-    worker holds at most one job at a time (:attr:`busy`), which keeps
-    supervision exact: a dead busy worker names exactly the job that
-    must be retried.
+    The campaign runner's original unit of fault isolation, now a
+    thin wrapper over :class:`~repro.exec.transport.PipeTransport`:
+    jobs are submitted over a duplex pipe, results come back over the
+    same pipe, and the *parent* owns every judgement call -- per-job
+    deadlines, crash detection (via :attr:`sentinel`), kill
+    (the single SIGTERM -> SIGKILL escalation in
+    :func:`repro.exec.transport.terminate_process`) and
+    :meth:`respawn`.  A worker holds at most one job at a time
+    (:attr:`busy`), which keeps supervision exact: a dead busy worker
+    names exactly the job that must be retried.
 
     ``target`` is a ``"module:function"`` dotted name executed as
     ``fn(payload, attempt)``; it is resolved inside the worker so the
@@ -277,9 +263,7 @@ class JobWorker:
         """Create an unspawned worker for ``target``; see the class
         docstring for the execution contract."""
         self.target = target
-        self._ctx = ctx if ctx is not None else _pool_context()
-        self._proc = None
-        self._conn = None
+        self._transport = PipeTransport(job_worker_main, (target,), ctx=ctx)
         #: (job_id, attempt, payload) of the in-flight job, or None.
         self.busy: Optional[tuple] = None
 
@@ -287,40 +271,30 @@ class JobWorker:
     @property
     def alive(self) -> bool:
         """Whether the worker process exists and is running."""
-        return self._proc is not None and self._proc.is_alive()
+        return self._transport.alive
 
     @property
     def connection(self):
         """The parent end of the worker pipe (for ``wait()``)."""
-        return self._conn
+        return self._transport._conn
 
     @property
     def sentinel(self):
         """The process sentinel (ready when the worker dies)."""
-        return self._proc.sentinel if self._proc is not None else None
+        proc = self._transport._proc
+        return proc.sentinel if proc is not None else None
 
     # ------------------------------------------------------------------
     def spawn(self) -> None:
         """Start the worker process (idempotent while alive)."""
-        if self.alive:
-            return
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        proc = self._ctx.Process(
-            target=_job_worker_main,
-            args=(child_conn, self.target),
-            daemon=True,
-        )
-        proc.start()
-        child_conn.close()
-        self._proc = proc
-        self._conn = parent_conn
+        self._transport.spawn()
         self.busy = None
 
     def submit(self, job_id: str, attempt: int, payload) -> None:
         """Send one job to the (idle, alive) worker."""
         if self.busy is not None:
             raise PoolError("worker already holds job %r" % (self.busy[0],))
-        self._conn.send(("job", job_id, attempt, payload))
+        self._transport.send(("job", job_id, attempt, payload))
         self.busy = (job_id, attempt, payload)
 
     def recv(self) -> tuple:
@@ -330,8 +304,8 @@ class JobWorker:
         exited without replying).
         """
         try:
-            reply = self._conn.recv()
-        except (EOFError, OSError) as exc:
+            reply = self._transport.recv()
+        except TransportDead as exc:
             raise WorkerCrash(
                 "worker died holding job %r"
                 % (self.busy[0] if self.busy else None,)
@@ -341,27 +315,10 @@ class JobWorker:
 
     # ------------------------------------------------------------------
     def kill(self) -> None:
-        """Terminate the worker process and drop its pipe.
-
-        SIGTERM first; a worker still alive after
-        :data:`TERM_GRACE_S` (masked signal, uninterruptible state)
-        gets an unignorable SIGKILL, so a wedged worker can never be
-        leaked to run on beside its respawned replacement.
-        """
-        if self._proc is not None:
-            if self._proc.is_alive():
-                self._proc.terminate()
-            self._proc.join(timeout=TERM_GRACE_S)
-            if self._proc.is_alive():
-                self._proc.kill()
-                self._proc.join()
-        if self._conn is not None:
-            try:
-                self._conn.close()
-            except OSError:
-                pass
-        self._proc = None
-        self._conn = None
+        """Terminate the worker (SIGTERM -> :data:`TERM_GRACE_S` ->
+        SIGKILL via the substrate's single escalation) and drop its
+        pipe."""
+        self._transport.kill()
         self.busy = None
 
     def respawn(self) -> None:
@@ -371,12 +328,8 @@ class JobWorker:
 
     def stop(self) -> None:
         """Politely stop an idle worker (falls back to :meth:`kill`)."""
-        if self._conn is not None:
-            try:
-                self._conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        self.kill()
+        self._transport.stop()
+        self.busy = None
 
 
 class ProcessPoolScorer:
@@ -388,11 +341,17 @@ class ProcessPoolScorer:
         use_engine: bool = True,
         timeline: str = "auto",
         batch: int = 1,
+        transport: Optional[str] = None,
+        worker_port: Optional[int] = None,
+        worker_host: str = "0.0.0.0",
     ) -> None:
         """Configure a pool of ``workers`` processes (spawned lazily);
         ``use_engine`` gives each worker a warm IncrementalEngine
         building ``timeline``-mode timelines; ``batch`` options ride
-        in each worker message (1 = the PR-6 protocol)."""
+        in each worker message (1 = the PR-6 protocol).  ``transport``
+        picks the :mod:`repro.exec` substrate (``REPRO_EXEC_TRANSPORT``
+        overrides); ``worker_port`` additionally accepts remote
+        ``repro worker --connect`` dial-ins on ``worker_host``."""
         if workers < 2:
             raise ValueError(
                 "a process pool needs >= 2 workers; parallel_eval of 0 "
@@ -404,11 +363,15 @@ class ProcessPoolScorer:
         self.use_engine = use_engine
         self.timeline = timeline
         self.batch = batch
-        self._ctx = _pool_context()
-        self._procs: List = []
-        self._conns: List = []
+        self.transport = resolve_transport_name(transport)
+        self.worker_port = worker_port
+        self.worker_host = worker_host
+        self._transports: List[WorkerTransport] = []
         self._worker_token: List[int] = []
         self._worker_bound: List[Optional[tuple]] = []
+        self._listener: Optional[WorkerListener] = None
+        self._dialed: List[tuple] = []
+        self._dialed_lock = threading.Lock()
         self._token = 0
         self._blob: Optional[bytes] = None
         #: Tightest incumbent badness of the current generation, from
@@ -417,27 +380,65 @@ class ProcessPoolScorer:
         self._gen_bounding = False
 
     # ------------------------------------------------------------------
+    def _make_local_transport(self) -> WorkerTransport:
+        """One local worker transport of the configured kind."""
+        if self.transport == "socket":
+            return SocketTransport(
+                "score",
+                {"use_engine": self.use_engine, "timeline": self.timeline},
+            )
+        return PipeTransport(
+            score_worker_main, (self.use_engine, self.timeline)
+        )
+
     def _ensure_started(self) -> None:
-        if self._procs:
+        if self._transports:
             return
         for _ in range(self.workers):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(child_conn, self.use_engine, self.timeline),
-                daemon=True,
+            transport = self._make_local_transport()
+            transport.spawn()
+            self._transports.append(transport)
+            self._worker_token.append(-1)
+            self._worker_bound.append(None)
+        if self.worker_port is not None and self._listener is None:
+            self._listener = WorkerListener(
+                self.worker_host, self.worker_port, self._on_dial_in
             )
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
+            self._listener.start()
+
+    def _on_dial_in(self, conn: FrameConnection, hello: dict,
+                    remote: str) -> None:
+        """Listener-thread hook: queue a dialed-in worker for adoption."""
+        with self._dialed_lock:
+            self._dialed.append((conn, remote))
+
+    def _adopt_dialed(self) -> None:
+        """Welcome queued dial-ins and fold them into the wave pool."""
+        with self._dialed_lock:
+            pending, self._dialed = self._dialed, []
+        for conn, remote in pending:
+            try:
+                conn.send(welcome_message(
+                    "score",
+                    use_engine=self.use_engine,
+                    timeline=self.timeline,
+                ))
+            except (OSError, RuntimeError):
+                conn.close()
+                continue
+            self._transports.append(SocketTransport.adopted(conn, remote))
             self._worker_token.append(-1)
             self._worker_bound.append(None)
 
     @property
     def started(self) -> bool:
         """Whether worker processes exist yet (they start lazily)."""
-        return bool(self._procs)
+        return bool(self._transports)
+
+    @property
+    def pool_size(self) -> int:
+        """Current wave width: local workers + adopted remotes."""
+        return len(self._transports) if self._transports else self.workers
 
     def worth_pool(self, n_options: int) -> bool:
         """Whether a frontier is large enough to pay for IPC."""
@@ -470,9 +471,27 @@ class ProcessPoolScorer:
             return
         if self._worker_bound[offset] == self._gen_bound:
             return
-        self._conns[offset].send(("bound", token, self._gen_bound))
+        self._send(offset, ("bound", token, self._gen_bound))
         self._worker_bound[offset] = self._gen_bound
         tracer.incr("pool.bound_broadcasts")
+
+    def _send(self, offset: int, message) -> None:
+        """Send to one worker; a dead transport is a pool failure."""
+        try:
+            self._transports[offset].send(message)
+        except TransportDead as exc:
+            raise PoolError(
+                "scorer worker %d is unreachable: %s" % (offset, exc)
+            ) from exc
+
+    def _recv(self, offset: int):
+        """Blocking receive from one worker; death is a pool failure."""
+        try:
+            return self._transports[offset].recv()
+        except (TransportDead, EOFError, OSError) as exc:
+            raise PoolError(
+                "scorer worker %d died before replying: %s" % (offset, exc)
+            ) from exc
 
     def score(
         self,
@@ -482,7 +501,7 @@ class ProcessPoolScorer:
         tracer: Tracer,
         bound: Optional[tuple] = None,
     ) -> List[OptionRecord]:
-        """Score ``options`` in waves of ``workers`` chunks; stop
+        """Score ``options`` in waves of one chunk per worker; stop
         after the wave containing the first feasible option.
 
         Returns index-aligned records for the dispatched options (the
@@ -499,6 +518,7 @@ class ProcessPoolScorer:
         if token != self._token:
             raise PoolError("stale generation token %r" % (token,))
         self._ensure_started()
+        self._adopt_dialed()
         if bound is not None and self._gen_bounding:
             seed = tuple(bound)
             if self._gen_bound is None or seed < self._gen_bound:
@@ -507,6 +527,7 @@ class ProcessPoolScorer:
             (start, options[start:start + self.batch])
             for start in range(0, len(options), self.batch)
         ]
+        width = len(self._transports)
         records: List[OptionRecord] = []
         aligned = True
         stop = False
@@ -514,20 +535,19 @@ class ProcessPoolScorer:
         waves = 0
         next_chunk = 0
         while next_chunk < len(chunks) and not stop:
-            wave = chunks[next_chunk:next_chunk + self.workers]
+            wave = chunks[next_chunk:next_chunk + width]
             next_chunk += len(wave)
             waves += 1
             for offset, (start, chunk) in enumerate(wave):
-                conn = self._conns[offset]
                 if self._worker_token[offset] != token:
-                    conn.send(("gen", token, self._blob))
+                    self._send(offset, ("gen", token, self._blob))
                     self._worker_token[offset] = token
                     self._worker_bound[offset] = None
                 self._maybe_send_bound(offset, token, tracer)
-                conn.send(("opts", token, start, chunk, strategy))
+                self._send(offset, ("opts", token, start, chunk, strategy))
                 dispatched += len(chunk)
             for offset, (start, chunk) in enumerate(wave):
-                reply = self._conns[offset].recv()
+                reply = self._recv(offset)
                 rstart, chunk_records = reply
                 if chunk_records == "stale":
                     raise PoolError(
@@ -542,14 +562,19 @@ class ProcessPoolScorer:
                             "worker %d failed on option in chunk %d: %s"
                             % (offset, start, badness)
                         )
+                    # JSON framing turns tuples into lists; re-tuple
+                    # the ordered vectors (a no-op on the pipe path).
+                    if badness is not None:
+                        badness = tuple(badness)
+                    if floor is not None:
+                        floor = tuple(floor)
                     for name, value in sorted(deltas.items()):
                         tracer.incr(name, value)
                     if aligned:
                         records.append((kind, badness, floor, reason))
                     if kind == "infeasible" and badness is not None:
-                        tightened = tuple(badness)
-                        if self._gen_bound is None or tightened < self._gen_bound:
-                            self._gen_bound = tightened
+                        if self._gen_bound is None or badness < self._gen_bound:
+                            self._gen_bound = badness
                     if kind == "feasible":
                         stop = True
                 if len(chunk_records) < len(chunk):
@@ -570,21 +595,19 @@ class ProcessPoolScorer:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the workers down."""
-        for conn in self._conns:
+        """Shut the workers (and the dial-in listener) down."""
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        with self._dialed_lock:
+            pending, self._dialed = self._dialed, []
+        for conn, _remote in pending:
+            conn.close()
+        for transport in self._transports:
             try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
+                transport.stop()
+            except TransportDead:
                 pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():
-                proc.terminate()
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
-        self._procs = []
-        self._conns = []
+        self._transports = []
         self._worker_token = []
+        self._worker_bound = []

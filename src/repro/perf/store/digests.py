@@ -61,6 +61,8 @@ IDENTITY_NEUTRAL_CONFIG_FIELDS = frozenset({
     "pool_batch",
     "cache_dir",
     "warm_start",
+    "exec_transport",
+    "worker_port",
 })
 
 

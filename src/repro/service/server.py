@@ -85,10 +85,14 @@ class SynthesisServer:
         timeout_s: Optional[float] = None,
         tracer: Optional[Tracer] = None,
         pool: Optional[ShardPool] = None,
+        transport: Optional[str] = None,
+        worker_port: Optional[int] = None,
     ) -> None:
         """Configure the server; nothing binds or spawns until
         :meth:`start`.  ``pool`` substitutes a pre-built (or fake)
-        shard pool -- the test seam."""
+        shard pool -- the test seam.  ``transport`` picks the shard
+        pool's worker transport; ``worker_port`` opens the remote
+        ``repro worker --connect`` dial-in listener."""
         self.host = host
         self.port = port
         self.cache_dir = cache_dir
@@ -98,7 +102,8 @@ class SynthesisServer:
         self.tracer = Tracer() if tracer is None else tracer
         self.pool = pool if pool is not None else ShardPool(
             workers=workers, retries=retries, timeout_s=timeout_s,
-            tracer=self.tracer,
+            tracer=self.tracer, transport=transport,
+            worker_port=worker_port,
         )
         self.store: Optional[SynthesisStore] = (
             SynthesisStore(cache_dir) if cache_dir else None
@@ -260,13 +265,16 @@ class SynthesisServer:
         }
 
     def _stats(self) -> Dict[str, Any]:
-        """The observability document: every ``service.*`` counter."""
+        """The observability document: every ``service.*`` and
+        ``exec.workers.*`` counter, plus per-shard worker health."""
+        worker_info = getattr(self.pool, "worker_info", None)
         return {
             "version": SERVICE_SCHEMA_VERSION,
             "counters": self.tracer.counters.as_dict(),
             "inflight_keys": len(self._inflight),
             "backlog": self.pool.backlog,
             "draining": self.draining,
+            "workers": worker_info() if callable(worker_info) else [],
         }
 
     async def _synthesize(self, body: bytes):

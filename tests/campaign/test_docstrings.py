@@ -18,7 +18,7 @@ import pytest
 import repro
 
 SRC = pathlib.Path(repro.__file__).resolve().parent
-GATED_PACKAGES = ("perf", "campaign", "core", "core/stages", "service")
+GATED_PACKAGES = ("perf", "campaign", "core", "core/stages", "exec", "service")
 GATED_MODULES = ("io/service_json.py",)
 
 

@@ -1,0 +1,131 @@
+"""Transport fault injection: every failure is typed, never a hang.
+
+The remote-worker faults (dropped connection mid-job, half-written
+frame, a peer that stops heartbeating) are scripted over a unix
+socketpair standing in for the TCP link, so each fault is exact and
+the resulting verdict provably came from that fault.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.exec import SupervisedWorker, TransportDead
+from repro.exec.frames import FrameConnection, encode_frame
+from repro.exec.sockets import SocketTransport
+
+from tests.exec.test_transport import selftest_job
+
+
+def adopted_pair(heartbeat_timeout_s=1.0, body_timeout_s=0.5):
+    """(transport, scripted peer socket): an adopted remote worker
+    whose far end the test plays by hand."""
+    near, far = socket.socketpair()
+    conn = FrameConnection(near, body_timeout_s=body_timeout_s)
+    transport = SocketTransport.adopted(
+        conn, "test:0", heartbeat_timeout_s=heartbeat_timeout_s
+    )
+    return transport, far
+
+
+def test_connection_dropped_mid_job_is_a_crash_verdict():
+    transport, far = adopted_pair()
+    worker = SupervisedWorker(transport)
+    try:
+        worker.submit("j1", 1, selftest_job("j1"))
+        far.close()  # the remote host vanishes mid-job
+        started = time.monotonic()
+        outcome = None
+        deadline = time.monotonic() + 30.0
+        while outcome is None and time.monotonic() < deadline:
+            outcome = worker.poll(time.monotonic())
+            time.sleep(0.05)
+        assert outcome is not None and outcome.kind == "crash"
+        assert time.monotonic() - started < 10.0
+    finally:
+        worker.kill()
+
+
+def test_half_written_frame_is_a_crash_verdict_not_a_hang():
+    """A reply whose frame never completes trips the body timeout and
+    lands as a typed crash within seconds."""
+    transport, far = adopted_pair(body_timeout_s=0.5)
+    worker = SupervisedWorker(transport)
+    try:
+        worker.submit("j1", 1, selftest_job("j1"))
+        reply = encode_frame(("ok", "j1", {"echo": "pong"}))
+        far.sendall(reply[: len(reply) // 2])  # ...then stall forever
+        started = time.monotonic()
+        outcome = None
+        deadline = time.monotonic() + 30.0
+        while outcome is None and time.monotonic() < deadline:
+            outcome = worker.poll(time.monotonic())
+            time.sleep(0.05)
+        assert outcome is not None and outcome.kind == "crash"
+        assert time.monotonic() - started < 10.0
+    finally:
+        worker.kill()
+        far.close()
+
+
+def test_stopped_heartbeat_is_a_crash_verdict():
+    """A connected-but-silent remote worker goes stale after
+    heartbeat_timeout_s and the in-flight attempt resolves crash."""
+    transport, far = adopted_pair(heartbeat_timeout_s=0.5)
+    far.sendall(encode_frame(("hb",)))  # one beat, then silence
+    worker = SupervisedWorker(transport)
+    try:
+        started = time.monotonic()
+        outcome = worker.attempt("j1", 1, selftest_job("j1"), timeout_s=30.0)
+        assert outcome.kind == "crash"
+        assert 0.3 < time.monotonic() - started < 10.0
+    finally:
+        worker.kill()
+        far.close()
+
+
+def test_heartbeats_keep_a_slow_worker_alive():
+    """Heartbeats are liveness, not progress: a worker that beats but
+    has not replied yet stays alive past the heartbeat timeout."""
+    transport, far = adopted_pair(heartbeat_timeout_s=0.6)
+    try:
+        deadline = time.monotonic() + 1.5
+        while time.monotonic() < deadline:
+            far.sendall(encode_frame(("hb",)))
+            assert transport.alive
+            time.sleep(0.2)
+        far.sendall(encode_frame(("ok", "j1", {"echo": "late"})))
+        assert transport.recv(timeout=5.0) == ["ok", "j1", {"echo": "late"}]
+    finally:
+        transport.kill()
+        far.close()
+
+
+def test_adopted_transport_cannot_respawn():
+    transport, far = adopted_pair()
+    try:
+        assert transport.is_remote and not transport.can_respawn
+        far.close()
+        transport.kill()
+        with pytest.raises(TransportDead):
+            transport.spawn()
+    finally:
+        far.close()
+
+
+def test_torn_frame_surfaces_as_transport_dead():
+    transport, far = adopted_pair(body_timeout_s=0.3)
+    try:
+        frame = encode_frame({"oops": "x" * 128})
+        far.sendall(frame[: len(frame) - 5])
+        with pytest.raises(TransportDead, match="torn frame"):
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                transport.try_recv()
+                time.sleep(0.05)
+    finally:
+        transport.kill()
+        far.close()

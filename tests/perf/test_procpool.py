@@ -72,6 +72,13 @@ def test_pool_equals_serial_with_pruning_off():
         canonical(5, parallel_eval=0, prune=False)
 
 
+def test_socket_transport_pool_equals_serial():
+    """Framed-TCP workers are a transport detail: the socket pool's
+    synthesis is byte-identical to the serial (and pipe) result."""
+    assert canonical(3, parallel_eval=2, exec_transport="socket") == \
+        canonical(3, parallel_eval=0)
+
+
 def test_pool_equals_serial_across_batch_sizes():
     """Chunked dispatch is a transport detail: any batch size yields
     the serial result, and batch=1 is the unbatched protocol."""
@@ -141,13 +148,15 @@ def _direct_score_setup():
     return payload, options
 
 
-def test_fresh_and_stale_bounds_agree_on_decisions():
+@pytest.mark.parametrize("transport", ["pipe", "socket"])
+def test_fresh_and_stale_bounds_agree_on_decisions(transport):
     """A tight (fresh) bound turns completed infeasible verdicts into
     aborts; a loose (stale) bound aborts nothing -- but both runs see
     the same candidates in the same order, and an abort only ever
-    replaces an infeasible verdict (never a feasible one)."""
+    replaces an infeasible verdict (never a feasible one).  True over
+    either transport: bounds are advisory, selection is index-ordered."""
     payload, options = _direct_score_setup()
-    with ProcessPoolScorer(2, batch=2) as scorer:
+    with ProcessPoolScorer(2, batch=2, transport=transport) as scorer:
         token = scorer.begin_cluster(payload)
         stale = scorer.score(
             token, options, "cheapest", Tracer(), bound=(10 ** 9, 0.0, 0.0),
@@ -188,7 +197,7 @@ def test_scorer_context_manager_closes_workers():
         assert token == 1
         # Force the lazy spawn so exit has something real to close.
         scorer._ensure_started()
-        procs = list(scorer._procs)
+        procs = [t._proc for t in scorer._transports]
         assert procs and all(p.is_alive() for p in procs)
     assert not scorer.started
     assert all(not p.is_alive() for p in procs)
@@ -200,7 +209,7 @@ def test_scorer_context_manager_closes_on_error():
     with pytest.raises(RuntimeError, match="stage exploded"):
         with ProcessPoolScorer(2) as scorer:
             scorer._ensure_started()
-            procs = list(scorer._procs)
+            procs = [t._proc for t in scorer._transports]
             raise RuntimeError("stage exploded")
     assert all(not p.is_alive() for p in procs)
 
@@ -245,35 +254,7 @@ def test_parallel_eval_auto_resolves_cpu_count():
         _parallel_eval_arg("many")
 
 
-def test_jobworker_kill_escalates_to_sigkill(tmp_path, monkeypatch):
-    """A wedged worker that masks SIGTERM must not outlive kill():
-    after the grace period the supervisor escalates to SIGKILL rather
-    than leaking the process beside its respawned replacement."""
-    import time
-
-    from repro.perf import procpool
-    from repro.campaign.jobs import Job
-
-    monkeypatch.setattr(procpool, "TERM_GRACE_S", 0.2)
-    worker = procpool.JobWorker("repro.campaign.jobs:execute_job")
-    worker.spawn()
-    ready = tmp_path / "wedged"
-    job = Job(
-        id="wedge", kind="selftest", example="a", scale=0.05,
-        variant="default",
-        params={"inject": {
-            "ignore_sigterm": True,
-            "touch": str(ready),
-            "hang_attempts": 1,
-            "hang_seconds": 60.0,
-        }},
-    )
-    worker.submit(job.id, 1, job.to_dict())
-    deadline = time.monotonic() + 10.0
-    while not ready.exists():  # wait until SIGTERM is masked
-        assert time.monotonic() < deadline, "worker never reached the hang"
-        time.sleep(0.01)
-    proc = worker._proc
-    worker.kill()
-    assert not proc.is_alive()
-    assert worker._proc is None and not worker.alive
+# The SIGTERM -> SIGKILL escalation suite lives with its single
+# implementation now: tests/exec/test_transport.py exercises
+# repro.exec.transport.terminate_process, which every layer's kill
+# (including JobWorker's) delegates to.
